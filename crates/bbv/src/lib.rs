@@ -1,0 +1,133 @@
+//! Basic-block vectors: the program-behaviour signatures under both
+//! SimPoint-style offline phase analysis and the paper's online hashed BBV.
+//!
+//! Two vector flavours are provided:
+//!
+//! * [`FullBbv`] — one counter per *static basic block*, incremented per
+//!   retired instruction (SimPoint's instruction-weighted BBV). Collected by
+//!   a [`FullBbvTracker`] and compared with the Manhattan distance after
+//!   normalising to unit sum, exactly as the SimPoint tool chain does.
+//! * [`HashedBbv`] — the paper's hardware-friendly 32-register vector: five
+//!   random-but-fixed bits of each taken branch's address index a register,
+//!   which is incremented by the number of retired operations since the
+//!   previous taken branch. Collected by a [`HashedBbvTracker`] and compared
+//!   by the *angle* between L2-normalised vectors (the dot product gives the
+//!   cosine; the paper expresses thresholds as fractions of π radians).
+//!
+//! # Example
+//!
+//! ```
+//! use pgss_bbv::{BbvHash, HashedBbv};
+//!
+//! let hash = BbvHash::from_bits([2, 3, 4, 5, 6]);
+//! let mut a = HashedBbv::new();
+//! let mut b = HashedBbv::new();
+//! // Two intervals executing the same branch at the same rate...
+//! a.record(hash.index(0x400), 100);
+//! b.record(hash.index(0x400), 100);
+//! // ...are zero radians apart.
+//! assert!(a.angle(&b) < 1e-9);
+//! // An interval executing a different branch is orthogonal (π/2).
+//! let mut c = HashedBbv::new();
+//! c.record(hash.index(0x404), 100);
+//! assert!(a.angle(&c) > 1.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod full;
+mod hashed;
+
+pub use full::{FullBbv, FullBbvTracker};
+pub use hashed::{BbvHash, HashedBbv, HashedBbvTracker, HASHED_BBV_DIM};
+
+/// Angle in radians between two non-negative vectors after L2
+/// normalisation: `acos(a·b / (‖a‖‖b‖))`, clamped into `[0, π/2]`.
+///
+/// Conventions for degenerate inputs: two zero vectors are identical (angle
+/// 0); a zero vector against a non-zero one is maximally different (π/2).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn angle(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "angle requires equal-length vectors");
+    let na = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    match (na == 0.0, nb == 0.0) {
+        (true, true) => 0.0,
+        (true, false) | (false, true) => std::f64::consts::FRAC_PI_2,
+        (false, false) => {
+            let dot = a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>() / (na * nb);
+            dot.clamp(-1.0, 1.0).acos()
+        }
+    }
+}
+
+/// Manhattan (L1) distance between two vectors after normalising each to
+/// unit *sum* — SimPoint's BBV distance. The result lies in `[0, 2]`.
+///
+/// Two zero vectors are at distance 0; a zero vector against a non-zero one
+/// is at the maximum distance 2.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "manhattan requires equal-length vectors");
+    let sa: f64 = a.iter().sum();
+    let sb: f64 = b.iter().sum();
+    match (sa == 0.0, sb == 0.0) {
+        (true, true) => 0.0,
+        (true, false) | (false, true) => 2.0,
+        (false, false) => {
+            a.iter().zip(b).map(|(x, y)| (x / sa - y / sb).abs()).sum()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn angle_identical_is_zero() {
+        assert!(angle(&[1.0, 2.0], &[2.0, 4.0]) < 1e-7); // scale-invariant
+    }
+
+    #[test]
+    fn angle_orthogonal_is_half_pi() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 3.0];
+        assert!((angle(&a, &b) - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_zero_vector_conventions() {
+        assert_eq!(angle(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        assert_eq!(angle(&[0.0, 0.0], &[1.0, 0.0]), FRAC_PI_2);
+    }
+
+    #[test]
+    fn angle_45_degrees() {
+        let a = [1.0, 0.0];
+        let b = [1.0, 1.0];
+        assert!((angle(&a, &b) - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_basics() {
+        assert_eq!(manhattan(&[1.0, 1.0], &[2.0, 2.0]), 0.0);
+        assert_eq!(manhattan(&[1.0, 0.0], &[0.0, 1.0]), 2.0);
+        assert_eq!(manhattan(&[0.0], &[0.0]), 0.0);
+        assert_eq!(manhattan(&[0.0], &[5.0]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        let _ = angle(&[1.0], &[1.0, 2.0]);
+    }
+}

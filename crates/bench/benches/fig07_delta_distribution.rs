@@ -1,0 +1,60 @@
+//! Figure 7: two-dimensional distribution of basic-block-vector change
+//! versus IPC change between consecutive 100k-op samples, across the ten
+//! Spec2000 benchmarks (equally weighted).
+//!
+//! The paper's takeaway: BBV changes greater than ≈0.05π radians typically
+//! correspond to large IPC changes. The harness prints the density grid
+//! (rows: IPC change in benchmark standard deviations; columns: BBV angle
+//! as a fraction of π) plus the per-column mean IPC change.
+
+use pgss::analysis::density_grid;
+use pgss_bench::{banner, suite_deltas, Table};
+
+fn main() {
+    banner("Figure 7", "(ΔBBV, ΔIPC) density over 100k-op samples, 10 benchmarks");
+    let per_benchmark = suite_deltas(100_000);
+    for (name, d) in &per_benchmark {
+        println!("  {name}: {} deltas", d.len());
+    }
+    let deltas: Vec<Vec<_>> = per_benchmark.iter().map(|(_, d)| d.clone()).collect();
+
+    const XB: usize = 10; // BBV angle bins over [0, 0.5π]
+    const YB: usize = 10; // IPC change bins over [0, 2.5σ]
+    let x_max = 0.5 * std::f64::consts::PI;
+    let y_max = 2.5;
+    let grid = density_grid(&deltas, XB, YB, x_max, y_max);
+
+    let mut header: Vec<String> = vec!["ΔIPC(σ) \\ ΔBBV(π)".to_string()];
+    for x in 0..XB {
+        header.push(format!(".{:02.0}", (x as f64 + 0.5) / XB as f64 * 50.0));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    for y in (0..YB).rev() {
+        let mut row = vec![format!("{:.2}", (y as f64 + 0.5) / YB as f64 * y_max)];
+        for x in 0..XB {
+            let v = grid[y][x];
+            row.push(if v >= 0.0005 { format!("{:.1}", v * 100.0) } else { ".".to_string() });
+        }
+        table.row(&row);
+    }
+    table.print();
+    println!("(cells: percent of samples, benchmarks equally weighted)");
+
+    // Per-column conditional mean ΔIPC: rises with ΔBBV.
+    println!("\nmean ΔIPC (σ) per ΔBBV column:");
+    let all: Vec<_> = deltas.iter().flatten().collect();
+    for x in 0..XB {
+        let lo = x as f64 / XB as f64 * x_max;
+        let hi = (x as f64 + 1.0) / XB as f64 * x_max;
+        let in_col: Vec<f64> = all
+            .iter()
+            .filter(|d| d.bbv_angle >= lo && d.bbv_angle < hi)
+            .map(|d| d.ipc_sigmas)
+            .collect();
+        let mean = pgss_stats::amean(&in_col).unwrap_or(0.0);
+        println!("  .{:02.0}π: {:>8} samples, mean {:.3}σ", (x as f64 + 0.5) / XB as f64 * 50.0, in_col.len(), mean);
+    }
+    println!("\nExpected shape (paper): mass concentrates near the origin; BBV");
+    println!("changes above ≈.05π correspond to large IPC changes.");
+}

@@ -1,0 +1,173 @@
+//! Figure 12: sampling error and amount of detailed simulation for every
+//! technique, across the ten benchmarks, with A-Mean/G-Mean columns.
+//!
+//! Per the paper, SimPoint/Online-SimPoint/PGSS are shown both at their
+//! per-benchmark best configuration and at one fixed best-overall
+//! configuration. Parameter grids are rescaled to the synthetic suite's
+//! ~50M-op benchmarks (see `pgss-bench` crate docs): SMARTS period 100k,
+//! SimPoint intervals {100k, 1M} × k {5, 10, 20}, Online SimPoint
+//! intervals {100k, 1M} × thresholds {.05, .10}π, PGSS periods
+//! {100k, 1M, 10M} × thresholds {.05 … .25}π.
+
+use pgss::{
+    Estimate, GroundTruth, OnlineSimPoint, PgssSim, SimPointOffline, Smarts, Technique,
+    TurboSmarts,
+};
+use pgss_bench::{banner, cached_ground_truth, ops_fmt, pct, suite, Table};
+use pgss_cpu::MachineConfig;
+use pgss_workloads::Workload;
+
+/// One column of the figure: a named strategy producing an estimate.
+struct Column {
+    name: &'static str,
+    run: Box<dyn Fn(&Workload, &GroundTruth) -> Estimate>,
+}
+
+fn main() {
+    banner("Figure 12", "error and detailed-simulation cost per technique");
+    let cfg = MachineConfig::default();
+
+    let smarts = Smarts { period_ops: 100_000, ..Smarts::default() };
+    let columns: Vec<Column> = vec![
+        Column { name: "SMARTS", run: Box::new(move |w, _| smarts.run(w)) },
+        Column {
+            name: "TurboSMARTS",
+            run: Box::new(move |w, _| TurboSmarts { smarts, ..TurboSmarts::default() }.run(w)),
+        },
+        Column {
+            name: "SimPoint(best)",
+            run: Box::new(|w, t| {
+                best_of(
+                    [100_000u64, 1_000_000]
+                        .iter()
+                        .flat_map(|&i| {
+                            [5usize, 10, 20].iter().map(move |&k| SimPointOffline {
+                                interval_ops: i,
+                                k,
+                                ..SimPointOffline::default()
+                            })
+                        })
+                        .map(|sp| sp.run(w))
+                        .collect(),
+                    t,
+                )
+            }),
+        },
+        Column {
+            name: "SimPoint(10x1M)",
+            run: Box::new(|w, _| {
+                SimPointOffline { interval_ops: 1_000_000, k: 10, ..SimPointOffline::default() }
+                    .run(w)
+            }),
+        },
+        Column {
+            name: "OLSimPoint(best)",
+            run: Box::new(|w, t| {
+                best_of(
+                    [100_000u64, 1_000_000]
+                        .iter()
+                        .flat_map(|&i| {
+                            [0.05, 0.10].iter().map(move |&th| OnlineSimPoint {
+                                interval_ops: i,
+                                threshold_rad: pgss::threshold(th),
+                                ..OnlineSimPoint::default()
+                            })
+                        })
+                        .map(|o| o.run(w))
+                        .collect(),
+                    t,
+                )
+            }),
+        },
+        Column {
+            name: "OLSimPoint(1M/.10)",
+            run: Box::new(|w, _| OnlineSimPoint::new().run(w)),
+        },
+        Column {
+            name: "PGSS(best)",
+            run: Box::new(|w, t| {
+                best_of(
+                    [100_000u64, 1_000_000, 10_000_000]
+                        .iter()
+                        .flat_map(|&p| {
+                            [0.05, 0.10, 0.15, 0.20, 0.25]
+                                .iter()
+                                .map(move |&th| PgssSim::with_params(p, th))
+                        })
+                        .map(|p| p.run(w))
+                        .collect(),
+                    t,
+                )
+            }),
+        },
+        Column { name: "PGSS(1M/.05)", run: Box::new(|w, _| PgssSim::new().run(w)) },
+    ];
+
+    let workloads = suite();
+    let truths: Vec<_> = workloads.iter().map(cached_ground_truth).collect();
+    let _ = cfg;
+
+    // results[column][benchmark]
+    let mut errors: Vec<Vec<f64>> = vec![Vec::new(); columns.len()];
+    let mut detailed: Vec<Vec<u64>> = vec![Vec::new(); columns.len()];
+    for (w, t) in workloads.iter().zip(&truths) {
+        eprintln!("running {} ...", w.name());
+        for (c, col) in columns.iter().enumerate() {
+            let est = (col.run)(w, t);
+            errors[c].push(est.error_vs(t));
+            detailed[c].push(est.detailed_ops());
+        }
+    }
+
+    let mut header: Vec<String> = vec!["technique".into()];
+    header.extend(workloads.iter().map(|w| w.name().to_string()));
+    header.push("A-Mean".into());
+    header.push("G-Mean".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    println!("\nSampling error (percent of benchmark IPC):");
+    let mut t1 = Table::new(&header_refs);
+    for (c, col) in columns.iter().enumerate() {
+        let mut row = vec![col.name.to_string()];
+        row.extend(errors[c].iter().map(|&e| pct(e)));
+        row.push(pct(pgss_stats::amean(&errors[c]).unwrap()));
+        row.push(pct(pgss_stats::gmean(&errors[c]).unwrap()));
+        t1.row(&row);
+    }
+    t1.print();
+
+    println!("\nAmount of detailed simulation (instructions):");
+    let mut t2 = Table::new(&header_refs);
+    for (c, col) in columns.iter().enumerate() {
+        let mut row = vec![col.name.to_string()];
+        row.extend(detailed[c].iter().map(|&d| ops_fmt(d)));
+        let mean = detailed[c].iter().sum::<u64>() / detailed[c].len() as u64;
+        let gmean =
+            pgss_stats::gmean(&detailed[c].iter().map(|&d| d as f64).collect::<Vec<_>>()).unwrap();
+        row.push(ops_fmt(mean));
+        row.push(ops_fmt(gmean as u64));
+        t2.row(&row);
+    }
+    t2.print();
+
+    // The paper's headline ratios.
+    let mean_det = |c: usize| detailed[c].iter().sum::<u64>() as f64 / detailed[c].len() as f64;
+    let pgss_fixed = columns.len() - 1;
+    println!("\ndetailed-simulation ratios vs PGSS(1M/.05):");
+    for (c, col) in columns.iter().enumerate() {
+        if c != pgss_fixed {
+            println!("  {:<18} {:>8.1}x", col.name, mean_det(c) / mean_det(pgss_fixed));
+        }
+    }
+    println!("\nExpected shape (paper): SMARTS and SimPoint most accurate;");
+    println!("PGSS slightly worse but better than TurboSMARTS; PGSS uses ~an");
+    println!("order of magnitude less detailed simulation than SMARTS and 2-3");
+    println!("orders less than SimPoint variants.");
+}
+
+fn best_of(results: Vec<Estimate>, truth: &GroundTruth) -> Estimate {
+    results
+        .into_iter()
+        .min_by(|a, b| a.error_vs(truth).partial_cmp(&b.error_vs(truth)).expect("finite errors"))
+        .expect("at least one configuration")
+}

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the simulator's per-mode throughput and
+//! the BBV-tracking overhead — the measured inputs to Figure 13.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pgss_bbv::{BbvHash, HashedBbvTracker};
+use pgss_cpu::{MachineConfig, Mode};
+
+fn bench_modes(c: &mut Criterion) {
+    let cfg = MachineConfig::default();
+    let ops_per_iter: u64 = 200_000;
+    let mut group = c.benchmark_group("simulation_rate");
+    group.throughput(Throughput::Elements(ops_per_iter));
+    group.sample_size(20);
+
+    for (mode, name) in [
+        (Mode::FastForward, "fast_forward"),
+        (Mode::Functional, "functional"),
+        (Mode::DetailedWarming, "detailed_warming"),
+        (Mode::DetailedMeasured, "detailed_measured"),
+    ] {
+        for with_bbv in [false, true] {
+            let label = if with_bbv { format!("{name}+bbv") } else { name.to_string() };
+            // A long-lived machine; each iteration advances it further.
+            // gzip at a small scale regenerates cheaply per benchmark id.
+            let workload = pgss_workloads::gzip(2.0);
+            let mut machine = workload.machine_with(cfg);
+            let mut tracker = HashedBbvTracker::new(BbvHash::from_seed(1));
+            group.bench_function(BenchmarkId::new("mode", label), |b| {
+                b.iter(|| {
+                    if machine.halted() {
+                        machine = workload.machine_with(cfg);
+                    }
+                    if with_bbv {
+                        machine.run_with(mode, ops_per_iter, &mut tracker)
+                    } else {
+                        machine.run(mode, ops_per_iter)
+                    }
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_bbv_math(c: &mut Criterion) {
+    use pgss_bbv::HashedBbv;
+    let mut a = HashedBbv::new();
+    let mut b = HashedBbv::new();
+    for i in 0..32 {
+        a.record(i, (i as u64 + 3) * 17);
+        b.record(i, (i as u64 + 5) * 13);
+    }
+    c.bench_function("hashed_bbv_angle", |bencher| {
+        bencher.iter(|| std::hint::black_box(&a).angle(std::hint::black_box(&b)))
+    });
+}
+
+criterion_group!(benches, bench_modes, bench_bbv_math);
+criterion_main!(benches);

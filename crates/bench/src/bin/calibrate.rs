@@ -1,0 +1,74 @@
+//! Calibration utility: per-benchmark IPC profile and simulator throughput.
+//!
+//! Run with `cargo run --release -p pgss-bench --bin calibrate [scale]`.
+//! Prints, for every workload: overall IPC (detailed), per-100k-op IPC mean
+//! and stddev, phase-visible IPC range, and functional/detailed simulation
+//! rates on this host — the numbers used to sanity-check that each synthetic
+//! benchmark matches its behavioural contract (see `pgss-workloads`).
+
+use std::time::Instant;
+
+use pgss_cpu::Mode;
+use pgss_stats::Welford;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    println!("calibrating at scale {scale}");
+    println!(
+        "{:<14} {:>8} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9} {:>9}",
+        "benchmark", "Mops", "IPC", "ipc100k", "sd100k", "cv", "min", "max", "Mops/s(f)"
+    );
+    let names: Vec<&str> =
+        pgss_workloads::SUITE_NAMES.iter().copied().chain(["168.wupwise"]).collect();
+    for name in names {
+        let w = pgss_workloads::by_name(name, scale).expect("name");
+
+        // Functional rate.
+        let mut m = w.machine();
+        let t0 = Instant::now();
+        let r = m.run(Mode::Functional, u64::MAX);
+        let func_rate = r.ops as f64 / t0.elapsed().as_secs_f64() / 1e6;
+        let total_ops = r.ops;
+
+        // Detailed pass with per-100k IPC.
+        let mut m = w.machine();
+        let t0 = Instant::now();
+        let mut per100k = Welford::new();
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        let mut cycles = 0u64;
+        let mut ops = 0u64;
+        loop {
+            let r = m.run(Mode::DetailedMeasured, 100_000);
+            if r.ops == 0 {
+                break;
+            }
+            cycles += r.cycles;
+            ops += r.ops;
+            if r.ops == 100_000 {
+                let ipc = r.ipc();
+                per100k.push(ipc);
+                min = min.min(ipc);
+                max = max.max(ipc);
+            }
+            if r.halted {
+                break;
+            }
+        }
+        let det_rate = ops as f64 / t0.elapsed().as_secs_f64() / 1e6;
+        let overall = ops as f64 / cycles as f64;
+        println!(
+            "{:<14} {:>8.1} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>9.3} {:>9.3} {:>6.1}/{:.1}",
+            name,
+            total_ops as f64 / 1e6,
+            overall,
+            per100k.mean(),
+            per100k.population_stddev(),
+            per100k.coefficient_of_variation(),
+            min,
+            max,
+            func_rate,
+            det_rate,
+        );
+    }
+}

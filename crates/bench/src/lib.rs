@@ -1,0 +1,225 @@
+//! Shared infrastructure for the experiment harnesses that regenerate every
+//! figure of the PGSS-Sim paper.
+//!
+//! Each figure is a `harness = false` bench target (`cargo bench -p
+//! pgss-bench --bench fig11_pgss_sweep`, etc.) printing the figure's
+//! rows/series as aligned text. This crate holds what they share: the
+//! scaled parameter sets, a plain-text table printer, and a ground-truth
+//! cache (full detailed simulation is the expensive common denominator, so
+//! results are memoised on disk keyed by workload identity and scale).
+//!
+//! # Parameter scaling
+//!
+//! The paper's benchmarks run for hundreds of billions of instructions; the
+//! synthetic suite defaults to ~50 M per benchmark (`PGSS_SCALE` multiplies
+//! this). Parameters that interact with *absolute* program granularity keep
+//! the paper's values — PGSS BBV periods {100k, 1M, 10M}, detailed sample
+//! 1,000 + 3,000 warming, 1M-op spacing rule, thresholds {.05–.25}π —
+//! while parameters that only set *statistical mass* are rescaled and
+//! labelled in each harness: the SMARTS period becomes 100k (≈500 samples
+//! per benchmark instead of the paper's ~100,000) and SimPoint interval
+//! sizes become {100k, 1M} with {5, 10, 20} clusters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use pgss::{FullDetailed, GroundTruth};
+use pgss_workloads::Workload;
+
+/// The global scale factor (`PGSS_SCALE`, default 1.0).
+pub fn scale() -> f64 {
+    pgss_workloads::scale_from_env()
+}
+
+/// The paper's ten-benchmark suite at the global scale.
+pub fn suite() -> Vec<Workload> {
+    pgss_workloads::suite(scale())
+}
+
+/// Ground truth for `workload`, memoised in
+/// `target/pgss_truth_cache.txt` so repeated bench targets skip the full
+/// detailed pass. The cache key includes the workload's name, nominal
+/// length, and the scale, so regenerating workloads invalidates stale
+/// entries.
+pub fn cached_ground_truth(workload: &Workload) -> GroundTruth {
+    let key = format!("{} {} {}", workload.name(), workload.nominal_ops(), scale());
+    let path = cache_path();
+    if let Ok(text) = fs::read_to_string(&path) {
+        for line in text.lines() {
+            let mut parts = line.split('|');
+            if let (Some(k), Some(ipc), Some(ops), Some(cycles)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            {
+                if k == key {
+                    if let (Ok(ipc), Ok(total_ops), Ok(cycles)) =
+                        (ipc.parse(), ops.parse(), cycles.parse())
+                    {
+                        return GroundTruth { ipc, total_ops, cycles };
+                    }
+                }
+            }
+        }
+    }
+    let truth = FullDetailed::new().ground_truth(workload);
+    let mut line = String::new();
+    let _ = writeln!(line, "{key}|{}|{}|{}", truth.ipc, truth.total_ops, truth.cycles);
+    let mut text = fs::read_to_string(&path).unwrap_or_default();
+    text.push_str(&line);
+    let _ = fs::create_dir_all(path.parent().expect("cache path has a parent"));
+    let _ = fs::write(&path, text);
+    truth
+}
+
+/// Collects the consecutive-interval (ΔBBV, ΔIPC) sets behind Figures 7–9:
+/// one detailed pass per suite benchmark at `period_ops`, hashed-BBV
+/// tracking attached, deltas normalised per benchmark.
+pub fn suite_deltas(period_ops: u64) -> Vec<(String, Vec<pgss::analysis::Delta>)> {
+    let cfg = pgss_cpu::MachineConfig::default();
+    suite()
+        .iter()
+        .map(|w| {
+            let profile = pgss::analysis::interval_profile(w, &cfg, period_ops, 1);
+            (w.name().to_string(), pgss::analysis::deltas(&profile))
+        })
+        .collect()
+}
+
+fn cache_path() -> PathBuf {
+    // CARGO_TARGET_DIR is not set by default; fall back to ./target.
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"));
+    target.join("pgss_truth_cache.txt")
+}
+
+/// A fixed-width plain-text table printer for figure output.
+///
+/// # Example
+///
+/// ```
+/// let mut t = pgss_bench::Table::new(&["benchmark", "error %"]);
+/// t.row(&["164.gzip".to_string(), format!("{:.2}", 1.234)]);
+/// let s = t.render();
+/// assert!(s.contains("164.gzip"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept.
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    let _ = write!(out, "{cell:<w$}");
+                } else {
+                    let _ = write!(out, "  {cell:>w$}");
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats an op count compactly (`1.5M`, `320k`, `64`).
+pub fn ops_fmt(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.0}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Prints the standard harness banner: figure id, scale, and a one-line
+/// description.
+pub fn banner(figure: &str, what: &str) {
+    println!("==============================================================");
+    println!("{figure}: {what}");
+    println!("scale = {} (set PGSS_SCALE to change)", scale());
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["name", "v"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer-name".into(), "12345".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1].chars().collect::<Vec<_>>().len(), lines[0].len());
+        assert!(lines[3].starts_with("longer-name"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.123456), "12.35%");
+        assert_eq!(ops_fmt(42), "42");
+        assert_eq!(ops_fmt(320_000), "320k");
+        assert_eq!(ops_fmt(15_000_000), "15.0M");
+    }
+
+    #[test]
+    fn truth_cache_roundtrip() {
+        let w = pgss_workloads::twolf(0.002);
+        // Note: uses the real cache file; the second call must hit it and
+        // agree exactly.
+        let a = cached_ground_truth(&w);
+        let b = cached_ground_truth(&w);
+        assert_eq!(a.total_ops, b.total_ops);
+        assert_eq!(a.ipc, b.ipc);
+    }
+}

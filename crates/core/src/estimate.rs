@@ -1,0 +1,126 @@
+//! Common result types and the [`Technique`] trait.
+
+use pgss_cpu::{MachineConfig, ModeOps};
+use pgss_workloads::Workload;
+
+/// The exhaustively-simulated reference an [`Estimate`] is judged against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundTruth {
+    /// True whole-program IPC (total instructions / total cycles).
+    pub ipc: f64,
+    /// Total retired instructions.
+    pub total_ops: u64,
+    /// Total cycles.
+    pub cycles: u64,
+}
+
+/// Summary of the phase structure a technique discovered (absent for
+/// phase-blind techniques).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSummary {
+    /// Number of distinct phases.
+    pub phases: usize,
+    /// Number of interval-to-interval phase transitions observed.
+    pub changes: u64,
+    /// Detailed samples taken per phase.
+    pub samples_per_phase: Vec<u64>,
+    /// Instruction weight per phase (fraction of total).
+    pub weights: Vec<f64>,
+}
+
+/// A sampled-simulation result: the performance prediction plus exactly
+/// what it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Predicted whole-program IPC.
+    pub ipc: f64,
+    /// Retired instructions per simulation mode across every pass the
+    /// technique ran; [`ModeOps::detailed`] is the paper's cost metric.
+    pub mode_ops: ModeOps,
+    /// Number of detailed samples (or simulated phase intervals) behind the
+    /// estimate.
+    pub samples: u64,
+    /// Phase structure, for phase-aware techniques.
+    pub phases: Option<PhaseSummary>,
+}
+
+impl Estimate {
+    /// Instructions that required cycle-level simulation (warming +
+    /// measured): the paper's "amount of detailed simulation".
+    pub fn detailed_ops(&self) -> u64 {
+        self.mode_ops.detailed()
+    }
+
+    /// Relative IPC error against `truth` (see [`relative_error`]).
+    pub fn error_vs(&self, truth: &GroundTruth) -> f64 {
+        relative_error(self.ipc, truth.ipc)
+    }
+}
+
+/// `|estimate − truth| / truth`, the paper's "sampling error as a percent
+/// of benchmark IPC" (before the ×100).
+///
+/// # Panics
+///
+/// Panics if `truth` is not a positive, finite IPC.
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    assert!(truth.is_finite() && truth > 0.0, "ground-truth IPC must be positive, got {truth}");
+    (estimate - truth).abs() / truth
+}
+
+/// A sampled-simulation technique: given a workload (and machine
+/// configuration), produce an [`Estimate`].
+///
+/// All techniques in this crate implement the trait, so comparison
+/// harnesses can sweep a `Vec<Box<dyn Technique>>`.
+pub trait Technique {
+    /// Human-readable name including salient parameters, e.g.
+    /// `"PGSS(1M/.05)"`.
+    fn name(&self) -> String;
+
+    /// Runs the technique against `workload` on a machine built with
+    /// `config`.
+    fn run_with(&self, workload: &Workload, config: &MachineConfig) -> Estimate;
+
+    /// Runs with the paper's default machine configuration.
+    fn run(&self, workload: &Workload) -> Estimate
+    where
+        Self: Sized,
+    {
+        self.run_with(workload, &MachineConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error(1.1, 1.0), 0.100000000000000088817841970012523233890533447265625);
+        assert!((relative_error(0.9, 1.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(2.0, 2.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_truth_panics() {
+        let _ = relative_error(1.0, 0.0);
+    }
+
+    #[test]
+    fn estimate_cost_is_detailed_modes_only() {
+        let e = Estimate {
+            ipc: 1.0,
+            mode_ops: ModeOps {
+                fast_forward: 10,
+                functional: 100,
+                detailed_warming: 30,
+                detailed_measured: 10,
+            },
+            samples: 10,
+            phases: None,
+        };
+        assert_eq!(e.detailed_ops(), 40);
+    }
+}

@@ -1,0 +1,186 @@
+//! Online SimPoint (Pereira et al., CODES+ISSS 2005), as evaluated in the
+//! paper: online phase detection with one large detailed sample at each
+//! phase's first occurrence, under a perfect phase predictor.
+
+use pgss_bbv::{BbvHash, HashedBbv, HashedBbvTracker};
+use pgss_cpu::{MachineConfig, Mode};
+use pgss_stats::weighted_mean;
+use pgss_workloads::Workload;
+
+use crate::estimate::{Estimate, PhaseSummary, Technique};
+use crate::phase::PhaseTable;
+
+/// The online-SimPoint baseline: intervals are classified into phases by
+/// BBV similarity *online*, and the **first occurrence** of each phase is
+/// detail-simulated in full — one large sample per phase, like offline
+/// SimPoint but without the clustering pass.
+///
+/// The paper grants this technique a *perfect phase predictor* ("the phase
+/// profile was known prior to the actual simulation"), so the
+/// implementation first derives the phase-per-interval map with a free
+/// functional pass, then replays the program, switching to detailed
+/// simulation exactly over each phase's first interval. Only that replay's
+/// instructions are charged.
+///
+/// Its weaknesses — which PGSS-Sim addresses — are that a phase's first
+/// occurrence may be unrepresentative (warm-up effects), and that every
+/// phase costs a full interval of detailed simulation regardless of its
+/// stability or frequency.
+///
+/// # Example
+///
+/// ```no_run
+/// use pgss::{OnlineSimPoint, Technique};
+///
+/// let w = pgss_workloads::equake(0.05);
+/// let est = OnlineSimPoint::new().run(&w);
+/// assert!(est.phases.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineSimPoint {
+    /// Interval (sample) size in instructions; the paper tests 1 M, 10 M,
+    /// and 100 M, with 100 M best overall.
+    pub interval_ops: u64,
+    /// Phase-similarity threshold in radians (the paper's best overall:
+    /// 0.1 π).
+    pub threshold_rad: f64,
+    /// Hash seed for the hashed BBV.
+    pub hash_seed: u64,
+}
+
+impl Default for OnlineSimPoint {
+    fn default() -> OnlineSimPoint {
+        OnlineSimPoint {
+            interval_ops: 1_000_000,
+            threshold_rad: crate::threshold(0.10),
+            hash_seed: 0x0151,
+        }
+    }
+}
+
+impl OnlineSimPoint {
+    /// The defaults above (interval 1 M, threshold 0.1 π).
+    pub fn new() -> OnlineSimPoint {
+        OnlineSimPoint::default()
+    }
+}
+
+impl Technique for OnlineSimPoint {
+    fn name(&self) -> String {
+        format!(
+            "OnlineSimPoint({}M/.{:02.0})",
+            self.interval_ops / 1_000_000,
+            self.threshold_rad / std::f64::consts::PI * 100.0
+        )
+    }
+
+    fn run_with(&self, workload: &Workload, config: &MachineConfig) -> Estimate {
+        assert!(self.interval_ops > 0, "interval_ops must be positive");
+        // Oracle pass (free, per the paper's perfect-predictor assumption):
+        // classify every interval.
+        let mut machine = workload.machine_with(*config);
+        let mut tracker = HashedBbvTracker::new(BbvHash::from_seed(self.hash_seed));
+        let mut table = PhaseTable::new(self.threshold_rad);
+        let mut interval_phases: Vec<usize> = Vec::new();
+        loop {
+            let r = machine.run_with(Mode::Functional, self.interval_ops, &mut tracker);
+            let bbv: HashedBbv = tracker.take();
+            if r.ops == self.interval_ops {
+                interval_phases.push(table.classify(&bbv, r.ops).phase);
+            }
+            if r.halted || r.ops == 0 {
+                break;
+            }
+        }
+        assert!(!interval_phases.is_empty(), "workload shorter than one interval");
+
+        // First occurrence of each phase.
+        let num_phases = table.phases().len();
+        let mut first_of = vec![usize::MAX; num_phases];
+        for (i, &p) in interval_phases.iter().enumerate() {
+            if first_of[p] == usize::MAX {
+                first_of[p] = i;
+            }
+        }
+
+        // Charged pass: detailed over each phase's first interval,
+        // functional (warming) elsewhere.
+        let mut machine = workload.machine_with(*config);
+        let mut cpi_of_phase = vec![f64::NAN; num_phases];
+        let mut samples = 0u64;
+        for (i, &p) in interval_phases.iter().enumerate() {
+            if first_of[p] == i {
+                let r = machine.run(Mode::DetailedMeasured, self.interval_ops);
+                if r.ops > 0 {
+                    cpi_of_phase[p] = r.cycles as f64 / r.ops as f64;
+                    samples += 1;
+                }
+            } else {
+                machine.run(Mode::Functional, self.interval_ops);
+            }
+        }
+        // Trailing partial interval (uncounted in the oracle) is skipped
+        // functionally.
+        machine.run(Mode::Functional, u64::MAX);
+
+        let weights: Vec<f64> = table.weights();
+        let pairs: Vec<(f64, f64)> = cpi_of_phase
+            .iter()
+            .zip(&weights)
+            .filter(|(cpi, _)| cpi.is_finite())
+            .map(|(&cpi, &w)| (cpi, w))
+            .collect();
+        let cpi = weighted_mean(&pairs).expect("at least one phase sampled");
+
+        let samples_per_phase = cpi_of_phase.iter().map(|c| u64::from(c.is_finite())).collect();
+        Estimate {
+            ipc: 1.0 / cpi,
+            mode_ops: machine.mode_ops(),
+            samples,
+            phases: Some(PhaseSummary {
+                phases: num_phases,
+                changes: table.changes(),
+                samples_per_phase,
+                weights,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::relative_error;
+    use crate::FullDetailed;
+
+    fn small() -> OnlineSimPoint {
+        OnlineSimPoint { interval_ops: 100_000, ..OnlineSimPoint::default() }
+    }
+
+    #[test]
+    fn cost_is_one_interval_per_phase() {
+        let w = pgss_workloads::wupwise(0.02);
+        let est = small().run(&w);
+        let p = est.phases.as_ref().unwrap();
+        assert_eq!(est.detailed_ops(), est.samples * 100_000);
+        assert!(est.samples <= p.phases as u64);
+    }
+
+    #[test]
+    fn finds_the_two_wupwise_phases() {
+        let w = pgss_workloads::wupwise(0.02);
+        let est = small().run(&w);
+        let p = est.phases.unwrap();
+        // Two macro phases (plus possibly a transition phase or two).
+        assert!((2..=5).contains(&p.phases), "found {} phases", p.phases);
+    }
+
+    #[test]
+    fn reasonably_accurate_on_periodic_workload() {
+        let w = pgss_workloads::equake(0.02);
+        let truth = FullDetailed::new().ground_truth(&w);
+        let est = small().run(&w);
+        let err = relative_error(est.ipc, truth.ipc);
+        assert!(err < 0.25, "error {err:.4}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Wall-clock simulation-time modelling (the paper's Figure 13).
+//!
+//! Fig. 13 decomposes each technique's total simulation time into
+//! fast-forwarding, detailed warming, and detailed simulation, using the
+//! measured per-mode simulation rates of the host. This module measures the
+//! rates of *this* simulator on *this* host (with and without BBV tracking
+//! attached) and applies them to the per-mode instruction counts an
+//! [`crate::Estimate`] reports.
+
+use std::time::Instant;
+
+use pgss_bbv::{BbvHash, HashedBbvTracker};
+use pgss_cpu::{MachineConfig, Mode, ModeOps};
+use pgss_workloads::Workload;
+
+/// Measured simulation rates in instructions per second, per mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeRates {
+    /// [`Mode::FastForward`] (no warming).
+    pub fast_forward: f64,
+    /// [`Mode::Functional`] (cache/predictor warming).
+    pub functional: f64,
+    /// [`Mode::DetailedWarming`].
+    pub detailed_warming: f64,
+    /// [`Mode::DetailedMeasured`].
+    pub detailed_measured: f64,
+}
+
+/// Measures per-mode simulation rates by running `sample_ops` instructions
+/// of `workload` in each mode, optionally with a hashed-BBV tracker
+/// attached (the paper reports both, showing the tracking overhead is
+/// negligible).
+///
+/// Rates depend on the host and the workload's cache behaviour; Fig. 13
+/// uses a mid-suite workload.
+///
+/// # Panics
+///
+/// Panics if `sample_ops` is zero.
+pub fn measure_rates(
+    workload: &Workload,
+    config: &MachineConfig,
+    with_bbv: bool,
+    sample_ops: u64,
+) -> ModeRates {
+    assert!(sample_ops > 0, "sample_ops must be positive");
+    let rate_of = |mode: Mode| -> f64 {
+        let mut machine = workload.machine_with(*config);
+        // Warm up out of the cold-start region first.
+        machine.run(Mode::Functional, sample_ops / 4);
+        let start = Instant::now();
+        let r = if with_bbv {
+            let mut tracker = HashedBbvTracker::new(BbvHash::from_seed(1));
+            machine.run_with(mode, sample_ops, &mut tracker)
+        } else {
+            machine.run(mode, sample_ops)
+        };
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        r.ops as f64 / secs
+    };
+    ModeRates {
+        fast_forward: rate_of(Mode::FastForward),
+        functional: rate_of(Mode::Functional),
+        detailed_warming: rate_of(Mode::DetailedWarming),
+        detailed_measured: rate_of(Mode::DetailedMeasured),
+    }
+}
+
+/// A technique's modelled wall-clock time, decomposed as in Fig. 13.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeBreakdown {
+    /// Seconds of raw fast-forwarding.
+    pub fast_forward_s: f64,
+    /// Seconds of functional (warming) fast-forwarding.
+    pub functional_s: f64,
+    /// Seconds of detailed warming.
+    pub detailed_warming_s: f64,
+    /// Seconds of measured detailed simulation.
+    pub detailed_s: f64,
+}
+
+impl TimeBreakdown {
+    /// Total modelled seconds.
+    pub fn total(&self) -> f64 {
+        self.fast_forward_s + self.functional_s + self.detailed_warming_s + self.detailed_s
+    }
+}
+
+/// Applies measured `rates` to a technique's per-mode instruction counts.
+///
+/// ```
+/// use pgss::timing::{time_for, ModeRates};
+/// use pgss_cpu::ModeOps;
+///
+/// let rates = ModeRates {
+///     fast_forward: 100e6,
+///     functional: 50e6,
+///     detailed_warming: 10e6,
+///     detailed_measured: 10e6,
+/// };
+/// let ops = ModeOps { functional: 100_000_000, detailed_warming: 3_000_000,
+///                     detailed_measured: 1_000_000, fast_forward: 0 };
+/// let t = time_for(&ops, &rates);
+/// assert!((t.functional_s - 2.0).abs() < 1e-9);
+/// assert!((t.total() - 2.4).abs() < 1e-9);
+/// ```
+pub fn time_for(mode_ops: &ModeOps, rates: &ModeRates) -> TimeBreakdown {
+    TimeBreakdown {
+        fast_forward_s: mode_ops.fast_forward as f64 / rates.fast_forward,
+        functional_s: mode_ops.functional as f64 / rates.functional,
+        detailed_warming_s: mode_ops.detailed_warming as f64 / rates.detailed_warming,
+        detailed_s: mode_ops.detailed_measured as f64 / rates.detailed_measured,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_positive_and_functional_not_slower_than_detailed() {
+        let w = pgss_workloads::twolf(0.01);
+        let rates = measure_rates(&w, &MachineConfig::default(), false, 2_000_000);
+        assert!(rates.fast_forward > 0.0);
+        assert!(rates.functional > 0.0);
+        assert!(rates.detailed_measured > 0.0);
+        // The detailed model does strictly more work per instruction; allow
+        // generous noise but require it not be *faster* by 2x.
+        assert!(rates.detailed_measured < rates.functional * 2.0);
+    }
+
+    #[test]
+    fn bbv_overhead_is_modest() {
+        let w = pgss_workloads::twolf(0.01);
+        let cfg = MachineConfig::default();
+        let with = measure_rates(&w, &cfg, true, 2_000_000);
+        let without = measure_rates(&w, &cfg, false, 2_000_000);
+        // The paper reports ~1% overhead; allow wide noise margins but
+        // catch pathological slowdowns.
+        assert!(with.functional > without.functional * 0.5);
+    }
+
+    #[test]
+    fn breakdown_math() {
+        let rates = ModeRates {
+            fast_forward: 10.0,
+            functional: 10.0,
+            detailed_warming: 1.0,
+            detailed_measured: 2.0,
+        };
+        let ops = ModeOps {
+            fast_forward: 100,
+            functional: 50,
+            detailed_warming: 3,
+            detailed_measured: 4,
+        };
+        let t = time_for(&ops, &rates);
+        assert!((t.fast_forward_s - 10.0).abs() < 1e-12);
+        assert!((t.functional_s - 5.0).abs() < 1e-12);
+        assert!((t.detailed_warming_s - 3.0).abs() < 1e-12);
+        assert!((t.detailed_s - 2.0).abs() < 1e-12);
+        assert!((t.total() - 20.0).abs() < 1e-12);
+    }
+}

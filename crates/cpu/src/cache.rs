@@ -1,0 +1,316 @@
+//! Set-associative caches and the two-level memory system.
+
+use crate::config::{CacheConfig, LatencyConfig, MachineConfig};
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Only tags are modeled (the simulator's architectural memory holds the
+/// data), which is all that timing and warm-up need.
+///
+/// # Example
+///
+/// ```
+/// use pgss_cpu::{Cache, CacheConfig};
+///
+/// let mut cache = Cache::new(CacheConfig { size_bytes: 256, line_bytes: 64, associativity: 2 });
+/// assert!(!cache.access(0));   // cold miss
+/// assert!(cache.access(0));    // now a hit
+/// assert!(!cache.access(4096)); // different line, miss
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `ways[set * assoc .. (set+1) * assoc]`, most-recently-used first.
+    /// `u64::MAX` marks an invalid way.
+    ways: Vec<u64>,
+    assoc: usize,
+    set_mask: u64,
+    line_shift: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any geometry field is zero or not a power of two, or if the
+    /// geometry implies zero sets.
+    pub fn new(config: CacheConfig) -> Cache {
+        assert!(config.size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(config.associativity.is_power_of_two(), "associativity must be a power of two");
+        let sets = config.num_sets();
+        assert!(sets >= 1, "cache geometry implies zero sets");
+        let assoc = config.associativity as usize;
+        Cache {
+            config,
+            ways: vec![u64::MAX; sets as usize * assoc],
+            assoc,
+            set_mask: sets - 1,
+            line_shift: config.line_bytes.trailing_zeros(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accesses the line containing `byte_addr`, updating LRU state and
+    /// allocating on miss. Returns `true` on hit.
+    #[inline]
+    pub fn access(&mut self, byte_addr: u64) -> bool {
+        let line = byte_addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.assoc;
+        let ways = &mut self.ways[base..base + self.assoc];
+        // MRU-first search; move the hit way to the front.
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            ways[..=pos].rotate_right(1);
+            self.hits += 1;
+            true
+        } else {
+            // Evict the LRU way (last slot) by shifting everything down.
+            ways.rotate_right(1);
+            ways[0] = line;
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Probes without updating state. Returns `true` if the line is present.
+    pub fn probe(&self, byte_addr: u64) -> bool {
+        let line = byte_addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.assoc;
+        self.ways[base..base + self.assoc].contains(&line)
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime hit rate in `[0, 1]`; `1.0` when never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Invalidates all lines and clears statistics.
+    pub fn reset(&mut self) {
+        self.ways.fill(u64::MAX);
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// The paper's two-level memory system: split L1 (instruction + data) over a
+/// unified L2.
+///
+/// [`MemSystem::load_latency`] and friends return the access latency in
+/// cycles and update the hierarchy (allocate-on-miss in both levels).
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    /// Instruction L1.
+    l1i: Cache,
+    /// Data L1.
+    l1d: Cache,
+    /// Unified L2.
+    l2: Cache,
+    lat: LatencyConfig,
+}
+
+impl MemSystem {
+    /// Builds the hierarchy described by `config`.
+    pub fn new(config: &MachineConfig) -> MemSystem {
+        MemSystem {
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            lat: config.lat,
+        }
+    }
+
+    /// Fetches the instruction line at `byte_addr`; returns the added fetch
+    /// latency in cycles (0 for an L1I hit).
+    #[inline]
+    pub fn fetch_latency(&mut self, byte_addr: u64) -> u32 {
+        if self.l1i.access(byte_addr) {
+            0
+        } else if self.l2.access(byte_addr) {
+            self.lat.l2_hit
+        } else {
+            self.lat.memory
+        }
+    }
+
+    /// Loads the data word at `byte_addr`; returns the load-to-use latency.
+    #[inline]
+    pub fn load_latency(&mut self, byte_addr: u64) -> u32 {
+        if self.l1d.access(byte_addr) {
+            self.lat.l1_hit
+        } else if self.l2.access(byte_addr) {
+            self.lat.l2_hit
+        } else {
+            self.lat.memory
+        }
+    }
+
+    /// Stores to the data word at `byte_addr` (write-allocate). Returns the
+    /// fill latency: `0` for an L1 hit (the store buffer hides it), otherwise
+    /// the L2 or memory latency, which the core charges against a
+    /// miss-status-holding register.
+    #[inline]
+    pub fn store_latency(&mut self, byte_addr: u64) -> u32 {
+        if self.l1d.access(byte_addr) {
+            0
+        } else if self.l2.access(byte_addr) {
+            self.lat.l2_hit
+        } else {
+            self.lat.memory
+        }
+    }
+
+    /// Touches the hierarchy exactly as a load would, without reporting
+    /// latency — used by the functional warming mode.
+    #[inline]
+    pub fn warm_data(&mut self, byte_addr: u64) {
+        if !self.l1d.access(byte_addr) {
+            self.l2.access(byte_addr);
+        }
+    }
+
+    /// Touches the instruction hierarchy without reporting latency.
+    #[inline]
+    pub fn warm_fetch(&mut self, byte_addr: u64) {
+        if !self.l1i.access(byte_addr) {
+            self.l2.access(byte_addr);
+        }
+    }
+
+    /// The instruction L1.
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// The data L1.
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// The unified L2.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets × 2 ways × 64 B lines.
+        Cache::new(CacheConfig { size_bytes: 256, line_bytes: 64, associativity: 2 })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line, different set
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 lines: addresses with line index even (2 sets, 64B lines).
+        let a = 0u64; // line 0, set 0
+        let b = 128; // line 2, set 0
+        let d = 256; // line 4, set 0
+        assert!(!c.access(a));
+        assert!(!c.access(b));
+        assert!(c.access(a)); // a is now MRU, b is LRU
+        assert!(!c.access(d)); // evicts b
+        assert!(c.access(a));
+        assert!(!c.access(b)); // b was evicted
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(128); // LRU order: 128, 0
+        assert!(c.probe(0));
+        c.access(256); // should evict 0 (LRU), not 128
+        assert!(c.probe(128));
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn reset_clears_contents_and_stats() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(0);
+        c.reset();
+        assert!(!c.probe(0));
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.access(0); // set 0
+        c.access(64); // set 1
+        assert!(c.probe(0));
+        assert!(c.probe(64));
+    }
+
+    #[test]
+    fn mem_system_latencies_escalate() {
+        let cfg = MachineConfig::default();
+        let mut m = MemSystem::new(&cfg);
+        let lat = cfg.lat;
+        assert_eq!(m.load_latency(0), lat.memory); // cold: full miss
+        assert_eq!(m.load_latency(0), lat.l1_hit); // L1 hit
+        // Evict from L1 only: walk 5 lines mapping to L1 set 0 but distinct
+        // L2 sets is fiddly; instead verify L2 hit via a fresh line that was
+        // loaded into L2 by an instruction fetch.
+        assert_eq!(m.fetch_latency(1 << 20), lat.memory);
+        assert_eq!(m.load_latency(1 << 20), lat.l2_hit); // in L2 via fetch path
+    }
+
+    #[test]
+    fn stores_allocate() {
+        let cfg = MachineConfig::default();
+        let mut m = MemSystem::new(&cfg);
+        assert_eq!(m.store_latency(4096), cfg.lat.memory); // cold miss
+        assert_eq!(m.load_latency(4096), cfg.lat.l1_hit);
+        assert_eq!(m.store_latency(4096), 0); // hit
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig { size_bytes: 300, line_bytes: 64, associativity: 2 });
+    }
+}

@@ -1,0 +1,172 @@
+//! Machine configuration types.
+
+/// Geometry of one set-associative cache.
+///
+/// All three fields must be powers of two; [`crate::Cache::new`] validates
+/// this. `size_bytes / (line_bytes × associativity)` gives the set count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line (block) size in bytes.
+    pub line_bytes: u64,
+    /// Number of ways per set.
+    pub associativity: u32,
+}
+
+impl CacheConfig {
+    /// The paper's split L1 configuration: 64 KB, 4-way, 64-byte lines.
+    pub fn l1_default() -> CacheConfig {
+        CacheConfig { size_bytes: 64 * 1024, line_bytes: 64, associativity: 4 }
+    }
+
+    /// The paper's unified L2 configuration: 1 MB, 8-way, 64-byte lines.
+    pub fn l2_default() -> CacheConfig {
+        CacheConfig { size_bytes: 1024 * 1024, line_bytes: 64, associativity: 8 }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * u64::from(self.associativity))
+    }
+}
+
+/// Branch predictor geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchPredictorConfig {
+    /// Global history length in bits; the pattern history table has
+    /// `2^history_bits` two-bit counters.
+    pub history_bits: u32,
+    /// Number of branch-target-buffer entries for indirect jumps (power of
+    /// two).
+    pub btb_entries: u32,
+}
+
+impl Default for BranchPredictorConfig {
+    fn default() -> BranchPredictorConfig {
+        BranchPredictorConfig { history_bits: 12, btb_entries: 512 }
+    }
+}
+
+/// Operation and memory latencies, in cycles.
+///
+/// Values are load-to-use / issue-to-ready latencies for the in-order
+/// scoreboard model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LatencyConfig {
+    /// Simple integer ALU operations.
+    pub alu: u32,
+    /// Integer multiply.
+    pub mul: u32,
+    /// Integer divide / remainder.
+    pub div: u32,
+    /// Floating-point add/subtract.
+    pub fp_add: u32,
+    /// Floating-point multiply.
+    pub fp_mul: u32,
+    /// Floating-point divide.
+    pub fp_div: u32,
+    /// Load hitting in the L1 data cache.
+    pub l1_hit: u32,
+    /// Load missing L1 but hitting the L2.
+    pub l2_hit: u32,
+    /// Load missing the whole hierarchy (main memory).
+    pub memory: u32,
+    /// Pipeline refill penalty on a branch misprediction.
+    pub mispredict: u32,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> LatencyConfig {
+        LatencyConfig {
+            alu: 1,
+            mul: 4,
+            div: 12,
+            fp_add: 3,
+            fp_mul: 4,
+            fp_div: 16,
+            l1_hit: 3,
+            l2_hit: 14,
+            memory: 120,
+            mispredict: 8,
+        }
+    }
+}
+
+/// Complete machine configuration.
+///
+/// [`MachineConfig::default`] reproduces the paper's evaluated machine:
+/// 4-wide in-order issue, split 64 KB 4-way L1s, 1 MB unified L2.
+///
+/// # Example
+///
+/// ```
+/// use pgss_cpu::MachineConfig;
+///
+/// let config = MachineConfig::default();
+/// assert_eq!(config.issue_width, 4);
+/// assert_eq!(config.l1d.size_bytes, 64 * 1024);
+/// assert_eq!(config.l2.size_bytes, 1024 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Maximum instructions issued per cycle (the paper: 4).
+    pub issue_width: u32,
+    /// Instruction L1 cache geometry.
+    pub l1i: CacheConfig,
+    /// Data L1 cache geometry.
+    pub l1d: CacheConfig,
+    /// Unified L2 cache geometry.
+    pub l2: CacheConfig,
+    /// Branch predictor geometry.
+    pub bpred: BranchPredictorConfig,
+    /// Operation latencies.
+    pub lat: LatencyConfig,
+    /// Data memory size in 64-bit words; must be a power of two. Effective
+    /// addresses wrap modulo this size (the machine has no MMU or fault
+    /// model).
+    pub memory_words: usize,
+    /// Number of miss-status-holding registers: the maximum number of
+    /// in-flight L1 data misses. A load or store that misses L1 while all
+    /// MSHRs are busy stalls until one frees, bounding miss bandwidth as on
+    /// a real in-order core.
+    pub mshrs: u32,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            issue_width: 4,
+            l1i: CacheConfig::l1_default(),
+            l1d: CacheConfig::l1_default(),
+            l2: CacheConfig::l2_default(),
+            bpred: BranchPredictorConfig::default(),
+            lat: LatencyConfig::default(),
+            // 32 MiB of data memory: large enough that the memory-bound
+            // workloads (art, mcf) overflow the 1 MB L2 by a wide margin.
+            memory_words: 1 << 22,
+            mshrs: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_machine() {
+        let c = MachineConfig::default();
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.l1i, CacheConfig::l1_default());
+        assert_eq!(c.l1d.associativity, 4);
+        assert_eq!(c.l2.size_bytes, 1 << 20);
+        assert!(c.memory_words.is_power_of_two());
+    }
+
+    #[test]
+    fn set_counts() {
+        assert_eq!(CacheConfig::l1_default().num_sets(), 256);
+        assert_eq!(CacheConfig::l2_default().num_sets(), 2048);
+    }
+}

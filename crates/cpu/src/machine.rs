@@ -1,0 +1,914 @@
+//! The simulated machine: architectural state, the functional interpreter,
+//! and the in-order superscalar timing model.
+
+use std::fmt;
+
+use pgss_isa::{Instr, Program};
+
+use crate::bpred::{BranchPredictor, Btb};
+use crate::cache::MemSystem;
+use crate::config::MachineConfig;
+use crate::sink::{NoopSink, RetireSink};
+
+/// Bytes per encoded instruction, used to map instruction addresses onto
+/// I-cache lines (a 64-byte line holds 16 instructions).
+const INSTR_BYTES: u64 = 4;
+
+/// Simulation fidelity level for a [`Machine::run`] call.
+///
+/// See the [crate-level documentation](crate) for how the modes map onto the
+/// paper's taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Pure functional execution; caches and predictors are *not* touched.
+    FastForward,
+    /// Functional execution that keeps caches and branch predictors warm
+    /// (the paper's "functional fast-forwarding").
+    Functional,
+    /// Cycle-level simulation whose statistics are discarded (pre-sample
+    /// warm-up of short-lifetime pipeline state).
+    DetailedWarming,
+    /// Cycle-level simulation whose cycles are reported.
+    DetailedMeasured,
+}
+
+impl Mode {
+    /// Returns `true` for the two cycle-level modes.
+    #[inline]
+    pub fn is_detailed(self) -> bool {
+        matches!(self, Mode::DetailedWarming | Mode::DetailedMeasured)
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Mode::FastForward => "fast-forward",
+            Mode::Functional => "functional",
+            Mode::DetailedWarming => "detailed-warming",
+            Mode::DetailedMeasured => "detailed-measured",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Retired-instruction counters per [`Mode`], accumulated over a machine's
+/// lifetime.
+///
+/// The paper counts "the number of instructions executed in detailed warming
+/// and detailed simulation" as the cost of a technique;
+/// [`ModeOps::detailed`] is exactly that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModeOps {
+    /// Instructions retired in [`Mode::FastForward`].
+    pub fast_forward: u64,
+    /// Instructions retired in [`Mode::Functional`].
+    pub functional: u64,
+    /// Instructions retired in [`Mode::DetailedWarming`].
+    pub detailed_warming: u64,
+    /// Instructions retired in [`Mode::DetailedMeasured`].
+    pub detailed_measured: u64,
+}
+
+impl ModeOps {
+    /// Total retired instructions across all modes.
+    pub fn total(&self) -> u64 {
+        self.fast_forward + self.functional + self.detailed_warming + self.detailed_measured
+    }
+
+    /// Instructions that required cycle-level simulation (warming +
+    /// measured) — the paper's cost metric.
+    pub fn detailed(&self) -> u64 {
+        self.detailed_warming + self.detailed_measured
+    }
+}
+
+/// The outcome of one [`Machine::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Instructions retired during this call.
+    pub ops: u64,
+    /// Cycles elapsed during this call. Zero for functional modes, which
+    /// have no timing model.
+    pub cycles: u64,
+    /// `true` if the program executed [`pgss_isa::Instr::Halt`] during this
+    /// call (or had already halted).
+    pub halted: bool,
+}
+
+impl RunResult {
+    /// Instructions per cycle for this run; `0.0` when no cycles elapsed.
+    ///
+    /// Only meaningful for [`Mode::DetailedMeasured`] runs.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ops as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A simulated processor executing one [`Program`].
+///
+/// The machine owns all architectural state (registers, data memory, program
+/// counter), the memory hierarchy, the branch predictors, and the timing
+/// model. Sampling controllers drive it by alternating [`Machine::run`]
+/// calls in different [`Mode`]s; architectural execution is bit-identical
+/// across modes, so interleaving modes never changes program behaviour —
+/// only what is modeled alongside it.
+///
+/// See the [crate-level example](crate) for typical use.
+pub struct Machine {
+    config: MachineConfig,
+    instrs: Box<[Instr]>,
+    pc: u32,
+    regs: [i64; 32],
+    fregs: [f64; 32],
+    mem: Vec<i64>,
+    addr_mask: u64,
+    memsys: MemSystem,
+    bpred: BranchPredictor,
+    btb: Btb,
+    halted: bool,
+    mode_ops: ModeOps,
+    /// Retired ops since the last taken control transfer (for
+    /// [`RetireSink::taken_branch`]).
+    ops_since_taken: u64,
+
+    // ---- timing model state ----
+    /// Current issue cycle.
+    now: u64,
+    /// Instructions already issued in cycle `now`.
+    slots: u32,
+    /// Cycle at which each register's value is available; integer file in
+    /// `[0, 32)`, floating-point file in `[32, 64)`.
+    reg_ready: [u64; 64],
+    /// Earliest cycle the next instruction may issue due to fetch stalls and
+    /// mispredict redirects.
+    fetch_ready: u64,
+    /// I-cache line of the most recent fetch (deduplicates same-line
+    /// accesses; exact for LRU state).
+    last_fetch_line: u64,
+    /// Cleared by functional runs; a detailed run starting with stale timing
+    /// state resets the pipeline scoreboard to the current cycle.
+    timing_valid: bool,
+    line_shift: u32,
+    /// Completion cycle of each in-flight L1 data miss
+    /// ([`MachineConfig::mshrs`] slots).
+    mshr: Vec<u64>,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("pc", &self.pc)
+            .field("halted", &self.halted)
+            .field("retired", &self.mode_ops.total())
+            .field("cycle", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Creates a machine executing `program` from address 0, with zeroed
+    /// registers and memory and cold caches/predictors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.memory_words` is zero or not a power of two (see
+    /// [`MachineConfig::memory_words`]).
+    pub fn new(config: MachineConfig, program: &Program) -> Machine {
+        assert!(
+            config.memory_words.is_power_of_two(),
+            "memory_words must be a power of two, got {}",
+            config.memory_words
+        );
+        Machine {
+            instrs: program.instrs().to_vec().into_boxed_slice(),
+            pc: 0,
+            regs: [0; 32],
+            fregs: [0.0; 32],
+            mem: vec![0; config.memory_words],
+            addr_mask: config.memory_words as u64 - 1,
+            memsys: MemSystem::new(&config),
+            bpred: BranchPredictor::new(config.bpred),
+            btb: Btb::new(config.bpred.btb_entries),
+            halted: false,
+            mode_ops: ModeOps::default(),
+            ops_since_taken: 0,
+            now: 0,
+            slots: 0,
+            reg_ready: [0; 64],
+            fetch_ready: 0,
+            last_fetch_line: u64::MAX,
+            timing_valid: false,
+            line_shift: config.l1i.line_bytes.trailing_zeros(),
+            mshr: vec![0; config.mshrs.max(1) as usize],
+            config,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// `true` once the program has executed [`pgss_isa::Instr::Halt`].
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Total retired instructions across all modes.
+    pub fn retired(&self) -> u64 {
+        self.mode_ops.total()
+    }
+
+    /// Per-mode retired-instruction counters.
+    pub fn mode_ops(&self) -> ModeOps {
+        self.mode_ops
+    }
+
+    /// Current cycle of the timing model (advances only in detailed modes).
+    pub fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    /// Read access to an integer register.
+    pub fn reg(&self, index: usize) -> i64 {
+        self.regs[index]
+    }
+
+    /// Read access to data memory.
+    pub fn memory(&self) -> &[i64] {
+        &self.mem
+    }
+
+    /// Mutable access to data memory, for pre-run initialization of workload
+    /// data structures (arrays, pointer-chase rings, entropy tables).
+    pub fn memory_mut(&mut self) -> &mut [i64] {
+        &mut self.mem
+    }
+
+    /// The memory hierarchy (for hit-rate inspection).
+    pub fn memsys(&self) -> &MemSystem {
+        &self.memsys
+    }
+
+    /// The direction predictor (for misprediction-rate inspection).
+    pub fn bpred(&self) -> &BranchPredictor {
+        &self.bpred
+    }
+
+    /// Runs up to `max_ops` instructions in `mode` with no event sink.
+    ///
+    /// Returns early if the program halts. See [`Machine::run_with`].
+    pub fn run(&mut self, mode: Mode, max_ops: u64) -> RunResult {
+        self.run_with(mode, max_ops, &mut NoopSink)
+    }
+
+    /// Runs up to `max_ops` instructions in `mode`, delivering retirement
+    /// events to `sink`.
+    ///
+    /// Architectural execution is identical in every mode; `mode` only
+    /// selects what is modeled alongside it (cache/predictor warming,
+    /// cycle-level timing) and which [`ModeOps`] bucket the retired
+    /// instructions are charged to.
+    pub fn run_with<S: RetireSink>(&mut self, mode: Mode, max_ops: u64, sink: &mut S) -> RunResult {
+        if self.halted || max_ops == 0 {
+            return RunResult { ops: 0, cycles: 0, halted: self.halted };
+        }
+        let (ops, cycles) = match mode {
+            Mode::FastForward => {
+                self.timing_valid = false;
+                (self.run_loop::<false, false, S>(max_ops, sink), 0)
+            }
+            Mode::Functional => {
+                self.timing_valid = false;
+                (self.run_loop::<false, true, S>(max_ops, sink), 0)
+            }
+            Mode::DetailedWarming | Mode::DetailedMeasured => {
+                if !self.timing_valid {
+                    // Pipeline state is stale after functional execution:
+                    // every register is "ready now" and fetch restarts
+                    // cleanly. Detailed warming exists to re-establish
+                    // realistic occupancy before measurement.
+                    self.reg_ready = [self.now; 64];
+                    self.fetch_ready = self.now;
+                    self.slots = 0;
+                    self.last_fetch_line = u64::MAX;
+                    self.mshr.fill(self.now);
+                    self.timing_valid = true;
+                }
+                let start = self.now;
+                let ops = self.run_loop::<true, true, S>(max_ops, sink);
+                let cycles = if ops == 0 { 0 } else { self.now - start + 1 };
+                (ops, cycles)
+            }
+        };
+        match mode {
+            Mode::FastForward => self.mode_ops.fast_forward += ops,
+            Mode::Functional => self.mode_ops.functional += ops,
+            Mode::DetailedWarming => self.mode_ops.detailed_warming += ops,
+            Mode::DetailedMeasured => self.mode_ops.detailed_measured += ops,
+        }
+        RunResult { ops, cycles, halted: self.halted }
+    }
+
+    /// Picks the issue cycle for an instruction whose operands are ready at
+    /// `ready`, honouring program order, fetch stalls, and the issue width.
+    #[inline(always)]
+    fn issue_at(&mut self, ready: u64) -> u64 {
+        let t = self.now.max(self.fetch_ready).max(ready);
+        if t > self.now {
+            self.now = t;
+            self.slots = 0;
+        }
+        if self.slots >= self.config.issue_width {
+            self.now += 1;
+            self.slots = 0;
+        }
+        self.slots += 1;
+        self.now
+    }
+
+    /// Issues a data-memory instruction whose operands are ready at `ready`
+    /// with a cache access latency of `lat_cycles`. L1 misses
+    /// (`is_miss`) must acquire a miss-status-holding register, stalling
+    /// issue until one frees. Returns the completion cycle.
+    #[inline(always)]
+    fn issue_mem(&mut self, ready: u64, lat_cycles: u32, is_miss: bool) -> u64 {
+        let mut ready = ready;
+        let mut slot = usize::MAX;
+        if is_miss {
+            slot = 0;
+            for k in 1..self.mshr.len() {
+                if self.mshr[k] < self.mshr[slot] {
+                    slot = k;
+                }
+            }
+            ready = ready.max(self.mshr[slot]);
+        }
+        let t = self.issue_at(ready);
+        let done = t + u64::from(lat_cycles);
+        if is_miss {
+            self.mshr[slot] = done;
+        }
+        done
+    }
+
+    /// The interpreter/timing loop, monomorphized per mode class.
+    ///
+    /// `DETAILED` enables the cycle-level model; `WARM` enables cache and
+    /// predictor updates (always true when `DETAILED` is).
+    fn run_loop<const DETAILED: bool, const WARM: bool, S: RetireSink>(
+        &mut self,
+        max_ops: u64,
+        sink: &mut S,
+    ) -> u64 {
+        let lat = self.config.lat;
+        let mut ops = 0u64;
+        while ops < max_ops {
+            let pc = self.pc;
+            let instr = self.instrs[pc as usize];
+
+            // Instruction fetch: touch the I-cache hierarchy once per line
+            // transition (exact for LRU state, cheap for straight-line code).
+            if WARM {
+                let line = (u64::from(pc) * INSTR_BYTES) >> self.line_shift;
+                if line != self.last_fetch_line {
+                    self.last_fetch_line = line;
+                    if DETAILED {
+                        let fl = self.memsys.fetch_latency(u64::from(pc) * INSTR_BYTES);
+                        if fl > 0 {
+                            self.fetch_ready = self.fetch_ready.max(self.now) + u64::from(fl);
+                        }
+                    } else {
+                        self.memsys.warm_fetch(u64::from(pc) * INSTR_BYTES);
+                    }
+                }
+            }
+
+            let mut next_pc = pc + 1;
+            let mut taken = false;
+            match instr {
+                Instr::Alu { op, rd, rs, rt } => {
+                    let a = self.regs[rs.index()];
+                    let b = self.regs[rt.index()];
+                    self.write_reg(rd.index(), op.apply(a, b));
+                    if DETAILED {
+                        let ready = self.reg_ready[rs.index()].max(self.reg_ready[rt.index()]);
+                        let t = self.issue_at(ready);
+                        self.reg_ready[rd.index()] = t + u64::from(alu_latency(op, lat));
+                    }
+                }
+                Instr::AluImm { op, rd, rs, imm } => {
+                    let a = self.regs[rs.index()];
+                    self.write_reg(rd.index(), op.apply(a, imm));
+                    if DETAILED {
+                        let t = self.issue_at(self.reg_ready[rs.index()]);
+                        self.reg_ready[rd.index()] = t + u64::from(alu_latency(op, lat));
+                    }
+                }
+                Instr::Li { rd, imm } => {
+                    self.write_reg(rd.index(), imm);
+                    if DETAILED {
+                        let t = self.issue_at(0);
+                        self.reg_ready[rd.index()] = t + u64::from(lat.alu);
+                    }
+                }
+                Instr::Fpu { op, fd, fs, ft } => {
+                    let a = self.fregs[fs.index()];
+                    let b = self.fregs[ft.index()];
+                    self.fregs[fd.index()] = op.apply(a, b);
+                    if DETAILED {
+                        let ready =
+                            self.reg_ready[32 + fs.index()].max(self.reg_ready[32 + ft.index()]);
+                        let t = self.issue_at(ready);
+                        self.reg_ready[32 + fd.index()] = t + u64::from(fpu_latency(op, lat));
+                    }
+                }
+                Instr::Load { rd, base, offset } => {
+                    let addr = self.effective(base.index(), offset);
+                    let value = self.mem[addr as usize];
+                    self.write_reg(rd.index(), value);
+                    if DETAILED {
+                        let l = self.memsys.load_latency(addr * 8);
+                        let done =
+                            self.issue_mem(self.reg_ready[base.index()], l, l > lat.l1_hit);
+                        self.reg_ready[rd.index()] = done;
+                    } else if WARM {
+                        self.memsys.warm_data(addr * 8);
+                    }
+                }
+                Instr::Store { rs, base, offset } => {
+                    let addr = self.effective(base.index(), offset);
+                    self.mem[addr as usize] = self.regs[rs.index()];
+                    if DETAILED {
+                        let ready = self.reg_ready[rs.index()].max(self.reg_ready[base.index()]);
+                        let l = self.memsys.store_latency(addr * 8);
+                        let _ = self.issue_mem(ready, 0, l > 0);
+                    } else if WARM {
+                        self.memsys.warm_data(addr * 8);
+                    }
+                }
+                Instr::FLoad { fd, base, offset } => {
+                    let addr = self.effective(base.index(), offset);
+                    self.fregs[fd.index()] = f64::from_bits(self.mem[addr as usize] as u64);
+                    if DETAILED {
+                        let l = self.memsys.load_latency(addr * 8);
+                        let done =
+                            self.issue_mem(self.reg_ready[base.index()], l, l > lat.l1_hit);
+                        self.reg_ready[32 + fd.index()] = done;
+                    } else if WARM {
+                        self.memsys.warm_data(addr * 8);
+                    }
+                }
+                Instr::FStore { fs, base, offset } => {
+                    let addr = self.effective(base.index(), offset);
+                    self.mem[addr as usize] = self.fregs[fs.index()].to_bits() as i64;
+                    if DETAILED {
+                        let ready =
+                            self.reg_ready[32 + fs.index()].max(self.reg_ready[base.index()]);
+                        let l = self.memsys.store_latency(addr * 8);
+                        let _ = self.issue_mem(ready, 0, l > 0);
+                    } else if WARM {
+                        self.memsys.warm_data(addr * 8);
+                    }
+                }
+                Instr::Branch { cond, rs, rt, target } => {
+                    let a = self.regs[rs.index()];
+                    let b = self.regs[rt.index()];
+                    taken = cond.eval(a, b);
+                    if taken {
+                        next_pc = target;
+                    }
+                    if DETAILED {
+                        let ready = self.reg_ready[rs.index()].max(self.reg_ready[rt.index()]);
+                        let t = self.issue_at(ready);
+                        let correct = self.bpred.predict_and_update(pc, taken);
+                        if !correct {
+                            self.fetch_ready = t + u64::from(lat.mispredict);
+                        }
+                    } else if WARM {
+                        self.bpred.predict_and_update(pc, taken);
+                    }
+                }
+                Instr::Jump { target } => {
+                    next_pc = target;
+                    taken = true;
+                    if DETAILED {
+                        let _ = self.issue_at(0);
+                    }
+                }
+                Instr::Jal { target, link } => {
+                    self.write_reg(link.index(), i64::from(pc) + 1);
+                    next_pc = target;
+                    taken = true;
+                    if DETAILED {
+                        let t = self.issue_at(0);
+                        self.reg_ready[link.index()] = t + u64::from(lat.alu);
+                    }
+                }
+                Instr::Jr { rs } => {
+                    let target = self.regs[rs.index()] as u32;
+                    assert!(
+                        (target as usize) < self.instrs.len(),
+                        "indirect jump at {pc} to out-of-range address {target}"
+                    );
+                    next_pc = target;
+                    taken = true;
+                    if DETAILED {
+                        let t = self.issue_at(self.reg_ready[rs.index()]);
+                        let correct = self.btb.predict_and_update(pc, target);
+                        if !correct {
+                            self.fetch_ready = t + u64::from(lat.mispredict);
+                        }
+                    } else if WARM {
+                        self.btb.predict_and_update(pc, target);
+                    }
+                }
+                Instr::Halt => {
+                    self.halted = true;
+                    if DETAILED {
+                        let _ = self.issue_at(0);
+                    }
+                    ops += 1;
+                    self.ops_since_taken += 1;
+                    sink.retire(pc);
+                    break;
+                }
+            }
+
+            ops += 1;
+            self.ops_since_taken += 1;
+            sink.retire(pc);
+            if taken {
+                sink.taken_branch(pc, self.ops_since_taken);
+                self.ops_since_taken = 0;
+            }
+            self.pc = next_pc;
+        }
+        ops
+    }
+
+    #[inline(always)]
+    fn effective(&self, base: usize, offset: i64) -> u64 {
+        (self.regs[base].wrapping_add(offset)) as u64 & self.addr_mask
+    }
+
+    #[inline(always)]
+    fn write_reg(&mut self, index: usize, value: i64) {
+        // r0 is hardwired to zero.
+        if index != 0 {
+            self.regs[index] = value;
+        }
+    }
+}
+
+#[inline(always)]
+fn alu_latency(op: pgss_isa::AluOp, lat: crate::config::LatencyConfig) -> u32 {
+    use pgss_isa::AluOp;
+    match op {
+        AluOp::Mul => lat.mul,
+        AluOp::Div | AluOp::Rem => lat.div,
+        _ => lat.alu,
+    }
+}
+
+#[inline(always)]
+fn fpu_latency(op: pgss_isa::FpuOp, lat: crate::config::LatencyConfig) -> u32 {
+    use pgss_isa::FpuOp;
+    match op {
+        FpuOp::Add | FpuOp::Sub => lat.fp_add,
+        FpuOp::Mul => lat.fp_mul,
+        FpuOp::Div => lat.fp_div,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgss_isa::{Assembler, Cond, Reg};
+
+    fn small_config() -> MachineConfig {
+        MachineConfig { memory_words: 1 << 16, ..MachineConfig::default() }
+    }
+
+    /// A loop of `body` independent single-cycle ALU ops per iteration,
+    /// iterated `iters` times (I-cache-resident so steady state dominates).
+    fn independent_alu_program(body: usize, iters: i64) -> Program {
+        let mut asm = Assembler::new();
+        let (i, n) = (Reg::R20, Reg::R21);
+        asm.li(i, 0);
+        asm.li(n, iters);
+        let top = asm.bind_new_label();
+        for k in 0..body {
+            // Rotate destinations over r1..r8 with sources r9..r10 (never
+            // written) so there are no dependences.
+            let rd = Reg::from_index(1 + (k % 8)).unwrap();
+            asm.add(rd, Reg::R9, Reg::R10);
+        }
+        asm.addi(i, i, 1);
+        asm.branch(Cond::Lt, i, n, top);
+        asm.halt();
+        asm.finish().unwrap()
+    }
+
+    /// A loop of `body` back-to-back dependent ALU ops per iteration.
+    fn dependent_alu_program(body: usize, iters: i64) -> Program {
+        let mut asm = Assembler::new();
+        let (i, n) = (Reg::R20, Reg::R21);
+        asm.li(i, 0);
+        asm.li(n, iters);
+        let top = asm.bind_new_label();
+        for _ in 0..body {
+            asm.addi(Reg::R1, Reg::R1, 1);
+        }
+        asm.addi(i, i, 1);
+        asm.branch(Cond::Lt, i, n, top);
+        asm.halt();
+        asm.finish().unwrap()
+    }
+
+    #[test]
+    fn independent_ops_reach_full_width() {
+        let p = independent_alu_program(64, 1000);
+        let mut m = Machine::new(small_config(), &p);
+        let r = m.run(Mode::DetailedMeasured, u64::MAX);
+        assert!(r.halted);
+        let ipc = r.ipc();
+        assert!(ipc > 3.5, "expected near-4 IPC for independent ALU ops, got {ipc}");
+    }
+
+    #[test]
+    fn dependent_chain_is_serialized() {
+        let p = dependent_alu_program(64, 1000);
+        let mut m = Machine::new(small_config(), &p);
+        let r = m.run(Mode::DetailedMeasured, u64::MAX);
+        let ipc = r.ipc();
+        assert!(ipc < 1.2, "dependent chain should run near 1 IPC, got {ipc}");
+        assert!(ipc > 0.8, "dependent ALU chain should not be slower than 1/cycle, got {ipc}");
+    }
+
+    #[test]
+    fn architectural_result_is_mode_independent() {
+        // Sum of 0..N computed by loop, run fully in each mode.
+        let build = || {
+            let mut asm = Assembler::new();
+            let (sum, i, n) = (Reg::R1, Reg::R2, Reg::R3);
+            asm.li(sum, 0);
+            asm.li(i, 0);
+            asm.li(n, 1000);
+            let top = asm.bind_new_label();
+            asm.add(sum, sum, i);
+            asm.addi(i, i, 1);
+            asm.branch(Cond::Lt, i, n, top);
+            asm.halt();
+            asm.finish().unwrap()
+        };
+        let expect = (0..1000i64).sum::<i64>();
+        for mode in [Mode::FastForward, Mode::Functional, Mode::DetailedMeasured] {
+            let p = build();
+            let mut m = Machine::new(small_config(), &p);
+            let r = m.run(mode, u64::MAX);
+            assert!(r.halted);
+            assert_eq!(m.reg(1), expect, "wrong sum in mode {mode}");
+        }
+    }
+
+    #[test]
+    fn interleaving_modes_preserves_architectural_state() {
+        let p = dependent_alu_program(64, 200);
+        let mut a = Machine::new(small_config(), &p);
+        let mut b = Machine::new(small_config(), &p);
+        a.run(Mode::Functional, u64::MAX);
+        // b alternates modes every 777 ops.
+        let mut flip = false;
+        while !b.halted() {
+            let mode = if flip { Mode::DetailedMeasured } else { Mode::Functional };
+            b.run(mode, 777);
+            flip = !flip;
+        }
+        assert_eq!(a.reg(1), b.reg(1));
+        assert_eq!(a.retired(), b.retired());
+    }
+
+    #[test]
+    fn cache_misses_slow_execution() {
+        // Loads striding by exactly one line over a >L2-sized region miss
+        // everywhere; the same loop over a tiny region hits in L1. Both
+        // walks repeat so steady-state behaviour dominates.
+        let build = |span_words: i64, reps: i64| {
+            let mut asm = Assembler::new();
+            let (i, n, v, step) = (Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+            let (r, nr) = (Reg::R6, Reg::R7);
+            asm.li(r, 0);
+            asm.li(nr, reps);
+            asm.li(n, span_words);
+            asm.li(step, 8); // 8 words = 64 bytes = one line
+            let outer = asm.bind_new_label();
+            asm.li(i, 0);
+            let top = asm.bind_new_label();
+            asm.load(v, i, 0);
+            asm.add(i, i, step);
+            asm.branch(Cond::Lt, i, n, top);
+            asm.addi(r, r, 1);
+            asm.branch(Cond::Lt, r, nr, outer);
+            asm.halt();
+            asm.finish().unwrap()
+        };
+        let cfg = MachineConfig { memory_words: 1 << 20, ..MachineConfig::default() };
+        // Hot: loops inside 512 words (fits L1), repeated many times.
+        let hot = build(512, 1000);
+        let mut m_hot = Machine::new(cfg, &hot);
+        // Cold: walk 1 << 19 words (4 MiB > 1 MiB L2) twice.
+        let cold = build(1 << 19, 2);
+        let mut m_cold = Machine::new(cfg, &cold);
+        let rh = m_hot.run(Mode::DetailedMeasured, u64::MAX);
+        let rc = m_cold.run(Mode::DetailedMeasured, u64::MAX);
+        assert!(
+            rc.ipc() < rh.ipc() / 2.0,
+            "line-strided walk (ipc {}) should be much slower than L1-resident loop (ipc {})",
+            rc.ipc(),
+            rh.ipc()
+        );
+    }
+
+    #[test]
+    fn mispredicts_slow_execution() {
+        // A data-dependent unpredictable branch vs an always-taken one.
+        let build = |xorshift: bool| {
+            let mut asm = Assembler::new();
+            let (i, n, x, bit) = (Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+            asm.li(i, 0);
+            asm.li(n, 20_000);
+            asm.li(x, 0x1234_5678_9ABC_DEF0u64 as i64);
+            let top = asm.bind_new_label();
+            let skip = asm.new_label();
+            if xorshift {
+                // x ^= x << 13; x ^= x >> 7; x ^= x << 17 — pseudo-random bit.
+                asm.slli(bit, x, 13);
+                asm.xor(x, x, bit);
+                asm.srli(bit, x, 7);
+                asm.xor(x, x, bit);
+                asm.slli(bit, x, 17);
+                asm.xor(x, x, bit);
+                asm.andi(bit, x, 1);
+            } else {
+                asm.nop();
+                asm.nop();
+                asm.nop();
+                asm.nop();
+                asm.nop();
+                asm.nop();
+                asm.li(bit, 0);
+            }
+            asm.branch(Cond::Ne, bit, Reg::R0, skip);
+            asm.addi(i, i, 0);
+            asm.bind(skip);
+            asm.addi(i, i, 1);
+            asm.branch(Cond::Lt, i, n, top);
+            asm.halt();
+            asm.finish().unwrap()
+        };
+        let predictable = build(false);
+        let random = build(true);
+        let mut mp = Machine::new(small_config(), &predictable);
+        let mut mr = Machine::new(small_config(), &random);
+        let rp = mp.run(Mode::DetailedMeasured, u64::MAX);
+        let rr = mr.run(Mode::DetailedMeasured, u64::MAX);
+        assert!(
+            rr.ipc() < rp.ipc() * 0.8,
+            "random branches (ipc {}) should be slower than predictable (ipc {})",
+            rr.ipc(),
+            rp.ipc()
+        );
+    }
+
+    #[test]
+    fn mode_ops_accounting() {
+        let p = dependent_alu_program(64, 200);
+        let mut m = Machine::new(small_config(), &p);
+        m.run(Mode::FastForward, 1000);
+        m.run(Mode::Functional, 2000);
+        m.run(Mode::DetailedWarming, 3000);
+        m.run(Mode::DetailedMeasured, 500);
+        let ops = m.mode_ops();
+        assert_eq!(ops.fast_forward, 1000);
+        assert_eq!(ops.functional, 2000);
+        assert_eq!(ops.detailed_warming, 3000);
+        assert_eq!(ops.detailed_measured, 500);
+        assert_eq!(ops.detailed(), 3500);
+        assert_eq!(ops.total(), 6500);
+        assert_eq!(m.retired(), 6500);
+    }
+
+    #[test]
+    fn functional_runs_report_zero_cycles() {
+        let p = dependent_alu_program(10, 10);
+        let mut m = Machine::new(small_config(), &p);
+        let r = m.run(Mode::Functional, 50);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.ops, 50);
+        assert_eq!(r.ipc(), 0.0);
+    }
+
+    #[test]
+    fn run_after_halt_is_empty() {
+        let p = dependent_alu_program(1, 1);
+        let mut m = Machine::new(small_config(), &p);
+        let r1 = m.run(Mode::Functional, u64::MAX);
+        assert!(r1.halted);
+        let r2 = m.run(Mode::DetailedMeasured, 100);
+        assert_eq!(r2.ops, 0);
+        assert!(r2.halted);
+    }
+
+    #[test]
+    fn max_ops_is_respected_exactly() {
+        let p = dependent_alu_program(64, 200);
+        let mut m = Machine::new(small_config(), &p);
+        for chunk in [1u64, 7, 100, 4096] {
+            let r = m.run(Mode::DetailedMeasured, chunk);
+            assert_eq!(r.ops, chunk);
+        }
+    }
+
+    #[test]
+    fn taken_branch_events_carry_op_counts() {
+        #[derive(Default)]
+        struct Collect(Vec<(u32, u64)>);
+        impl RetireSink for Collect {
+            fn taken_branch(&mut self, pc: u32, ops: u64) {
+                self.0.push((pc, ops));
+            }
+        }
+        // Loop body of 3 instructions (add, addi, branch): each taken branch
+        // should report 3 ops; the first reports more (includes preamble).
+        let mut asm = Assembler::new();
+        let (i, n) = (Reg::R2, Reg::R3);
+        asm.li(i, 0);
+        asm.li(n, 5);
+        let top = asm.bind_new_label();
+        asm.add(Reg::R1, Reg::R1, i);
+        asm.addi(i, i, 1);
+        asm.branch(Cond::Lt, i, n, top);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let mut m = Machine::new(small_config(), &p);
+        let mut sink = Collect::default();
+        m.run_with(Mode::Functional, u64::MAX, &mut sink);
+        // 5 iterations; the final branch is not taken (i == n).
+        assert_eq!(sink.0.len(), 4);
+        assert_eq!(sink.0[0], (4, 5)); // li,li,add,addi,branch
+        for &(pc, ops) in &sink.0[1..] {
+            assert_eq!(pc, 4);
+            assert_eq!(ops, 3);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let p = independent_alu_program(64, 100);
+        let run = || {
+            let mut m = Machine::new(small_config(), &p);
+            m.run(Mode::DetailedWarming, 1000);
+            let r = m.run(Mode::DetailedMeasured, 3000);
+            (r.ops, r.cycles)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut asm = Assembler::new();
+        asm.li(Reg::R0, 42);
+        asm.addi(Reg::R0, Reg::R0, 7);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let mut m = Machine::new(small_config(), &p);
+        m.run(Mode::Functional, u64::MAX);
+        assert_eq!(m.reg(0), 0);
+    }
+
+    #[test]
+    fn memory_addresses_wrap() {
+        let mut asm = Assembler::new();
+        asm.li(Reg::R1, -1); // wraps to memory_words - 1
+        asm.store(Reg::R1, Reg::R1, 0);
+        asm.load(Reg::R2, Reg::R1, 0);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let cfg = small_config();
+        let mut m = Machine::new(cfg, &p);
+        m.run(Mode::Functional, u64::MAX);
+        assert_eq!(m.reg(2), -1);
+        assert_eq!(m.memory()[cfg.memory_words - 1], -1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Retirement event hooks used by basic-block-vector trackers.
+
+/// Observes instruction retirement events from a running [`crate::Machine`].
+///
+/// Both the paper's hashed BBV (which records taken branches and the number
+/// of retired operations since the last taken branch) and SimPoint-style full
+/// BBVs (which count retired instructions per static basic block) are driven
+/// from this trait. Methods have empty default bodies, and
+/// [`crate::Machine::run_with`] is generic over the sink, so an unused hook
+/// costs nothing after monomorphization.
+pub trait RetireSink {
+    /// Called after every retired instruction with its address.
+    #[inline]
+    fn retire(&mut self, pc: u32) {
+        let _ = pc;
+    }
+
+    /// Called when a taken control transfer retires (conditional branch that
+    /// was taken, or any jump), with the transfer's address and the number of
+    /// retired instructions since the previous taken transfer — the quantity
+    /// the paper's hashed-BBV hardware accumulates. The count includes the
+    /// transfer instruction itself.
+    #[inline]
+    fn taken_branch(&mut self, pc: u32, ops_since_last: u64) {
+        let _ = (pc, ops_since_last);
+    }
+}
+
+/// A sink that ignores every event; the default for [`crate::Machine::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl RetireSink for NoopSink {}
+
+impl<S: RetireSink + ?Sized> RetireSink for &mut S {
+    #[inline]
+    fn retire(&mut self, pc: u32) {
+        (**self).retire(pc);
+    }
+
+    #[inline]
+    fn taken_branch(&mut self, pc: u32, ops_since_last: u64) {
+        (**self).taken_branch(pc, ops_since_last);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counting {
+        retired: u64,
+        takens: Vec<(u32, u64)>,
+    }
+
+    impl RetireSink for Counting {
+        fn retire(&mut self, _pc: u32) {
+            self.retired += 1;
+        }
+        fn taken_branch(&mut self, pc: u32, ops: u64) {
+            self.takens.push((pc, ops));
+        }
+    }
+
+    #[test]
+    fn defaults_are_noops() {
+        let mut s = NoopSink;
+        s.retire(1);
+        s.taken_branch(2, 3);
+    }
+
+    #[test]
+    fn reference_forwarding_works() {
+        let mut c = Counting::default();
+        {
+            let r: &mut Counting = &mut c;
+            r.retire(0);
+            r.taken_branch(5, 10);
+        }
+        assert_eq!(c.retired, 1);
+        assert_eq!(c.takens, vec![(5, 10)]);
+    }
+}

@@ -1,0 +1,385 @@
+//! A label-based assembler for building [`Program`]s.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::{AluOp, Cond, FpuOp, Instr, Reg};
+use crate::program::Program;
+
+/// A control-flow label created by [`Assembler::new_label`].
+///
+/// Labels may be referenced before they are bound; [`Assembler::finish`]
+/// resolves all references and reports unbound labels as errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+/// Errors reported by [`Assembler::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced by an instruction but never bound to an
+    /// address.
+    UnboundLabel {
+        /// The offending label.
+        label: Label,
+        /// Address of the first instruction referencing it.
+        first_use: u32,
+    },
+    /// The program contains no instructions.
+    Empty,
+    /// The last instruction can fall through past the end of the program.
+    ///
+    /// Every program must end in an instruction that cannot fall through
+    /// ([`Instr::Halt`], [`Instr::Jump`], or [`Instr::Jr`]), otherwise
+    /// execution would run off the end of the instruction array.
+    FallsOffEnd,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { label, first_use } => {
+                write!(f, "label {:?} referenced at address {} was never bound", label, first_use)
+            }
+            AsmError::Empty => write!(f, "program contains no instructions"),
+            AsmError::FallsOffEnd => {
+                write!(f, "program may fall through past its final instruction")
+            }
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// Builds a [`Program`] instruction by instruction, resolving labels.
+///
+/// The assembler offers one method per instruction form plus a few
+/// conveniences ([`Assembler::nop`], [`Assembler::bind_new_label`]). All
+/// emit methods return the address of the emitted instruction so callers can
+/// record interesting program points.
+///
+/// # Example
+///
+/// ```
+/// use pgss_isa::{Assembler, Cond, Reg};
+///
+/// # fn main() -> Result<(), pgss_isa::AsmError> {
+/// let mut asm = Assembler::new();
+/// let done = asm.new_label();
+/// asm.li(Reg::R1, 5);
+/// asm.branch(Cond::Eq, Reg::R1, Reg::R0, done); // forward reference
+/// asm.addi(Reg::R1, Reg::R1, -1);
+/// asm.bind(done);
+/// asm.halt();
+/// let program = asm.finish()?;
+/// assert_eq!(program.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    instrs: Vec<Instr>,
+    /// Bound address per label id.
+    bound: Vec<Option<u32>>,
+    /// `(instruction address, label)` pairs awaiting resolution.
+    fixups: Vec<(u32, Label)>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Current emission address (the address the next instruction will get).
+    #[inline]
+    pub fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.bound.push(None);
+        Label(self.bound.len() as u32 - 1)
+    }
+
+    /// Binds `label` to the current address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound — each label names exactly one
+    /// program point.
+    pub fn bind(&mut self, label: Label) {
+        let here = self.here();
+        let slot = &mut self.bound[label.0 as usize];
+        assert!(slot.is_none(), "label {label:?} bound twice");
+        *slot = Some(here);
+    }
+
+    /// Creates a label and binds it to the current address in one step.
+    pub fn bind_new_label(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    fn emit(&mut self, i: Instr) -> u32 {
+        let pc = self.here();
+        self.instrs.push(i);
+        pc
+    }
+
+    fn emit_labeled(&mut self, i: Instr, label: Label) -> u32 {
+        let pc = self.emit(i);
+        self.fixups.push((pc, label));
+        pc
+    }
+
+    /// Emits a three-register ALU instruction.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs: Reg, rt: Reg) -> u32 {
+        self.emit(Instr::Alu { op, rd, rs, rt })
+    }
+
+    /// Emits a register-immediate ALU instruction.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs: Reg, imm: i64) -> u32 {
+        self.emit(Instr::AluImm { op, rd, rs, imm })
+    }
+
+    /// Emits `add rd, rs, rt`.
+    pub fn add(&mut self, rd: Reg, rs: Reg, rt: Reg) -> u32 {
+        self.alu(AluOp::Add, rd, rs, rt)
+    }
+
+    /// Emits `sub rd, rs, rt`.
+    pub fn sub(&mut self, rd: Reg, rs: Reg, rt: Reg) -> u32 {
+        self.alu(AluOp::Sub, rd, rs, rt)
+    }
+
+    /// Emits `mul rd, rs, rt`.
+    pub fn mul(&mut self, rd: Reg, rs: Reg, rt: Reg) -> u32 {
+        self.alu(AluOp::Mul, rd, rs, rt)
+    }
+
+    /// Emits `xor rd, rs, rt`.
+    pub fn xor(&mut self, rd: Reg, rs: Reg, rt: Reg) -> u32 {
+        self.alu(AluOp::Xor, rd, rs, rt)
+    }
+
+    /// Emits `and rd, rs, rt`.
+    pub fn and(&mut self, rd: Reg, rs: Reg, rt: Reg) -> u32 {
+        self.alu(AluOp::And, rd, rs, rt)
+    }
+
+    /// Emits `addi rd, rs, imm`.
+    pub fn addi(&mut self, rd: Reg, rs: Reg, imm: i64) -> u32 {
+        self.alui(AluOp::Add, rd, rs, imm)
+    }
+
+    /// Emits `andi rd, rs, imm`.
+    pub fn andi(&mut self, rd: Reg, rs: Reg, imm: i64) -> u32 {
+        self.alui(AluOp::And, rd, rs, imm)
+    }
+
+    /// Emits `slli rd, rs, imm` (shift left by an immediate amount).
+    pub fn slli(&mut self, rd: Reg, rs: Reg, imm: i64) -> u32 {
+        self.alui(AluOp::Sll, rd, rs, imm)
+    }
+
+    /// Emits `srli rd, rs, imm` (logical shift right by an immediate).
+    pub fn srli(&mut self, rd: Reg, rs: Reg, imm: i64) -> u32 {
+        self.alui(AluOp::Srl, rd, rs, imm)
+    }
+
+    /// Emits `li rd, imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> u32 {
+        self.emit(Instr::Li { rd, imm })
+    }
+
+    /// Emits `mov rd, rs` (encoded as `add rd, rs, r0`).
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> u32 {
+        self.add(rd, rs, Reg::R0)
+    }
+
+    /// Emits a no-op (`add r0, r0, r0`).
+    pub fn nop(&mut self) -> u32 {
+        self.add(Reg::R0, Reg::R0, Reg::R0)
+    }
+
+    /// Emits a floating-point operation.
+    pub fn fpu(&mut self, op: FpuOp, fd: Reg, fs: Reg, ft: Reg) -> u32 {
+        self.emit(Instr::Fpu { op, fd, fs, ft })
+    }
+
+    /// Emits an integer load `rd = memory[base + offset]`.
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i64) -> u32 {
+        self.emit(Instr::Load { rd, base, offset })
+    }
+
+    /// Emits an integer store `memory[base + offset] = rs`.
+    pub fn store(&mut self, rs: Reg, base: Reg, offset: i64) -> u32 {
+        self.emit(Instr::Store { rs, base, offset })
+    }
+
+    /// Emits a floating-point load.
+    pub fn fload(&mut self, fd: Reg, base: Reg, offset: i64) -> u32 {
+        self.emit(Instr::FLoad { fd, base, offset })
+    }
+
+    /// Emits a floating-point store.
+    pub fn fstore(&mut self, fs: Reg, base: Reg, offset: i64) -> u32 {
+        self.emit(Instr::FStore { fs, base, offset })
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn branch(&mut self, cond: Cond, rs: Reg, rt: Reg, label: Label) -> u32 {
+        self.emit_labeled(Instr::Branch { cond, rs, rt, target: 0 }, label)
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) -> u32 {
+        self.emit_labeled(Instr::Jump { target: 0 }, label)
+    }
+
+    /// Emits a jump-and-link to `label`, writing the return address to
+    /// `link`.
+    pub fn jal(&mut self, label: Label, link: Reg) -> u32 {
+        self.emit_labeled(Instr::Jal { target: 0, link }, label)
+    }
+
+    /// Emits `li rd, <address of label>`; resolved at `finish` time. Useful
+    /// for building jump tables for [`Assembler::jr`].
+    pub fn la(&mut self, rd: Reg, label: Label) -> u32 {
+        self.emit_labeled(Instr::Li { rd, imm: 0 }, label)
+    }
+
+    /// Emits an indirect jump through `rs`.
+    pub fn jr(&mut self, rs: Reg) -> u32 {
+        self.emit(Instr::Jr { rs })
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) -> u32 {
+        self.emit(Instr::Halt)
+    }
+
+    /// Resolves all label references and produces the [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was never
+    /// bound, [`AsmError::Empty`] for an empty program, and
+    /// [`AsmError::FallsOffEnd`] if the final instruction could fall through
+    /// past the end of the program.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        if self.instrs.is_empty() {
+            return Err(AsmError::Empty);
+        }
+        // Sort fixups so the *first* use of an unbound label is reported.
+        self.fixups.sort_by_key(|&(pc, _)| pc);
+        for &(pc, label) in &self.fixups {
+            let Some(addr) = self.bound[label.0 as usize] else {
+                return Err(AsmError::UnboundLabel { label, first_use: pc });
+            };
+            match &mut self.instrs[pc as usize] {
+                Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Jal { target, .. } => {
+                    *target = addr;
+                }
+                Instr::Li { imm, .. } => *imm = i64::from(addr),
+                other => unreachable!("fixup applied to non-relocatable instruction {other:?}"),
+            }
+        }
+        match self.instrs.last() {
+            Some(Instr::Halt) | Some(Instr::Jump { .. }) | Some(Instr::Jr { .. }) => {}
+            _ => return Err(AsmError::FallsOffEnd),
+        }
+        Ok(Program::new(self.instrs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = Assembler::new();
+        let fwd = asm.new_label();
+        let back = asm.bind_new_label();
+        asm.branch(Cond::Eq, Reg::R1, Reg::R0, fwd);
+        asm.jump(back);
+        asm.bind(fwd);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(p.instr(0), Instr::Branch { cond: Cond::Eq, rs: Reg::R1, rt: Reg::R0, target: 2 });
+        assert_eq!(p.instr(1), Instr::Jump { target: 0 });
+    }
+
+    #[test]
+    fn la_materializes_label_address() {
+        let mut asm = Assembler::new();
+        let target = asm.new_label();
+        asm.la(Reg::R5, target);
+        asm.jr(Reg::R5);
+        asm.bind(target);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        assert_eq!(p.instr(0), Instr::Li { rd: Reg::R5, imm: 2 });
+    }
+
+    #[test]
+    fn unbound_label_is_error_with_first_use() {
+        let mut asm = Assembler::new();
+        let l = asm.new_label();
+        asm.nop();
+        asm.jump(l);
+        asm.jump(l);
+        match asm.finish() {
+            Err(AsmError::UnboundLabel { first_use, .. }) => assert_eq!(first_use, 1),
+            other => panic!("expected UnboundLabel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_program_is_error() {
+        assert_eq!(Assembler::new().finish().unwrap_err(), AsmError::Empty);
+    }
+
+    #[test]
+    fn fall_through_end_is_error() {
+        let mut asm = Assembler::new();
+        asm.nop();
+        assert_eq!(asm.finish().unwrap_err(), AsmError::FallsOffEnd);
+
+        let mut asm = Assembler::new();
+        let l = asm.bind_new_label();
+        asm.branch(Cond::Eq, Reg::R0, Reg::R0, l); // conditional: may fall through
+        assert_eq!(asm.finish().unwrap_err(), AsmError::FallsOffEnd);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut asm = Assembler::new();
+        let l = asm.bind_new_label();
+        asm.bind(l);
+    }
+
+    #[test]
+    fn emit_methods_return_addresses() {
+        let mut asm = Assembler::new();
+        assert_eq!(asm.li(Reg::R1, 1), 0);
+        assert_eq!(asm.nop(), 1);
+        assert_eq!(asm.halt(), 2);
+        assert_eq!(asm.here(), 3);
+        let p = asm.finish().unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = AsmError::UnboundLabel { label: Label(3), first_use: 7 };
+        let s = e.to_string();
+        assert!(s.contains('7'), "{s}");
+        assert!(!AsmError::Empty.to_string().is_empty());
+        assert!(!AsmError::FallsOffEnd.to_string().is_empty());
+    }
+}

@@ -1,0 +1,537 @@
+//! Instruction and register definitions.
+
+use std::fmt;
+
+/// An architectural register name.
+///
+/// The machine has 32 integer registers and 32 floating-point registers.
+/// `Reg` names one slot in either file; which file is addressed is implied by
+/// the instruction ([`Instr::Fpu`] and the floating-point memory instructions
+/// address the floating-point file, everything else the integer file).
+///
+/// Integer register [`Reg::R0`] is hardwired to zero: reads return `0` and
+/// writes are discarded, as in MIPS/RISC-V.
+///
+/// # Example
+///
+/// ```
+/// use pgss_isa::Reg;
+///
+/// let r = Reg::R7;
+/// assert_eq!(r.index(), 7);
+/// assert_eq!(Reg::from_index(7), Some(Reg::R7));
+/// assert_eq!(Reg::from_index(32), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)] // the 32 variants are self-describing
+#[rustfmt::skip]
+pub enum Reg {
+    R0, R1, R2, R3, R4, R5, R6, R7,
+    R8, R9, R10, R11, R12, R13, R14, R15,
+    R16, R17, R18, R19, R20, R21, R22, R23,
+    R24, R25, R26, R27, R28, R29, R30, R31,
+}
+
+impl Reg {
+    /// Number of registers in each register file.
+    pub const COUNT: usize = 32;
+
+    /// The conventional link register written by [`Instr::Jal`]
+    /// (by convention only; any register may be used).
+    pub const LINK: Reg = Reg::R31;
+
+    /// Returns the register's index in its file, in `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns the register with the given index, or `None` if `index >= 32`.
+    pub fn from_index(index: usize) -> Option<Reg> {
+        Self::ALL.get(index).copied()
+    }
+
+    /// All 32 registers in index order.
+    #[rustfmt::skip]
+    pub const ALL: [Reg; 32] = [
+        Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7,
+        Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14, Reg::R15,
+        Reg::R16, Reg::R17, Reg::R18, Reg::R19, Reg::R20, Reg::R21, Reg::R22, Reg::R23,
+        Reg::R24, Reg::R25, Reg::R26, Reg::R27, Reg::R28, Reg::R29, Reg::R30, Reg::R31,
+    ];
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+/// Integer ALU operation selectors for [`Instr::Alu`] and [`Instr::AluImm`].
+///
+/// Division and remainder by zero produce `0` rather than trapping (the
+/// machine has no exception model), and all arithmetic wraps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (longer latency than [`AluOp::Add`]).
+    Mul,
+    /// Wrapping signed division; division by zero yields `0`.
+    Div,
+    /// Signed remainder; remainder by zero yields `0`.
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 64).
+    Sll,
+    /// Logical shift right (shift amount taken modulo 64).
+    Srl,
+    /// Arithmetic shift right (shift amount taken modulo 64).
+    Sra,
+    /// Set-if-less-than (signed): destination is `1` or `0`.
+    Slt,
+}
+
+impl AluOp {
+    /// Applies the operation to two operand values.
+    ///
+    /// ```
+    /// use pgss_isa::AluOp;
+    ///
+    /// assert_eq!(AluOp::Add.apply(2, 3), 5);
+    /// assert_eq!(AluOp::Div.apply(7, 0), 0); // division by zero yields 0
+    /// assert_eq!(AluOp::Slt.apply(-1, 0), 1);
+    /// ```
+    #[inline]
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => ((a as u64) << (b as u64 & 63)) as i64,
+            AluOp::Srl => ((a as u64) >> (b as u64 & 63)) as i64,
+            AluOp::Sra => a >> (b as u64 & 63),
+            AluOp::Slt => i64::from(a < b),
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Floating-point operation selectors for [`Instr::Fpu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpuOp {
+    /// IEEE-754 addition.
+    Add,
+    /// IEEE-754 subtraction.
+    Sub,
+    /// IEEE-754 multiplication.
+    Mul,
+    /// IEEE-754 division.
+    Div,
+}
+
+impl FpuOp {
+    /// Applies the operation to two operand values.
+    #[inline]
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            FpuOp::Add => a + b,
+            FpuOp::Sub => a - b,
+            FpuOp::Mul => a * b,
+            FpuOp::Div => a / b,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            FpuOp::Add => "fadd",
+            FpuOp::Sub => "fsub",
+            FpuOp::Mul => "fmul",
+            FpuOp::Div => "fdiv",
+        }
+    }
+}
+
+impl fmt::Display for FpuOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Branch condition selectors for [`Instr::Branch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Taken when `rs == rt`.
+    Eq,
+    /// Taken when `rs != rt`.
+    Ne,
+    /// Taken when `rs < rt` (signed).
+    Lt,
+    /// Taken when `rs >= rt` (signed).
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition on two operand values.
+    ///
+    /// ```
+    /// use pgss_isa::Cond;
+    ///
+    /// assert!(Cond::Lt.eval(-5, 3));
+    /// assert!(!Cond::Eq.eval(1, 2));
+    /// ```
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "beq",
+            Cond::Ne => "bne",
+            Cond::Lt => "blt",
+            Cond::Ge => "bge",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One machine instruction.
+///
+/// Memory operands address a flat array of 64-bit words: the effective word
+/// address of a load or store is `base_register + offset`. The simulator in
+/// `pgss-cpu` converts word addresses to byte addresses (`× 8`) for cache
+/// indexing.
+///
+/// Control transfers name absolute instruction addresses (`u32` indices into
+/// the program's instruction array). The [`crate::Assembler`] produces these
+/// from labels so programs never hand-compute targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// `rd = op(rs, rt)` on the integer file.
+    Alu {
+        /// Operation selector.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs: Reg,
+        /// Second source register.
+        rt: Reg,
+    },
+    /// `rd = op(rs, imm)` on the integer file.
+    AluImm {
+        /// Operation selector.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+        /// Immediate operand.
+        imm: i64,
+    },
+    /// `rd = imm`: load a 64-bit immediate.
+    Li {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `fd = op(fs, ft)` on the floating-point file.
+    Fpu {
+        /// Operation selector.
+        op: FpuOp,
+        /// Destination register (floating-point file).
+        fd: Reg,
+        /// First source register (floating-point file).
+        fs: Reg,
+        /// Second source register (floating-point file).
+        ft: Reg,
+    },
+    /// `rd = memory[base + offset]` (integer load).
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Word offset added to the base register.
+        offset: i64,
+    },
+    /// `memory[base + offset] = rs` (integer store).
+    Store {
+        /// Source register providing the stored value.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Word offset added to the base register.
+        offset: i64,
+    },
+    /// `fd = memory[base + offset]` reinterpreted as an `f64`.
+    FLoad {
+        /// Destination register (floating-point file).
+        fd: Reg,
+        /// Base address register (integer file).
+        base: Reg,
+        /// Word offset added to the base register.
+        offset: i64,
+    },
+    /// `memory[base + offset] = fs` (bit pattern of the `f64`).
+    FStore {
+        /// Source register (floating-point file).
+        fs: Reg,
+        /// Base address register (integer file).
+        base: Reg,
+        /// Word offset added to the base register.
+        offset: i64,
+    },
+    /// Conditional branch to an absolute target.
+    Branch {
+        /// Condition selector.
+        cond: Cond,
+        /// First compared register.
+        rs: Reg,
+        /// Second compared register.
+        rt: Reg,
+        /// Absolute target instruction address.
+        target: u32,
+    },
+    /// Unconditional jump to an absolute target.
+    Jump {
+        /// Absolute target instruction address.
+        target: u32,
+    },
+    /// Jump-and-link: `link = pc + 1; pc = target`.
+    Jal {
+        /// Absolute target instruction address.
+        target: u32,
+        /// Register receiving the return address.
+        link: Reg,
+    },
+    /// Indirect jump to the address held in `rs` (used for returns and
+    /// computed dispatch).
+    Jr {
+        /// Register holding the target instruction address.
+        rs: Reg,
+    },
+    /// Stop execution; the program is complete.
+    Halt,
+}
+
+impl Instr {
+    /// Returns `true` for instructions that may redirect control flow
+    /// (branches, jumps, and [`Instr::Halt`]).
+    ///
+    /// ```
+    /// use pgss_isa::{Instr, Reg};
+    ///
+    /// assert!(Instr::Jump { target: 0 }.is_control_flow());
+    /// assert!(!Instr::Li { rd: Reg::R1, imm: 4 }.is_control_flow());
+    /// ```
+    #[inline]
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. }
+                | Instr::Jump { .. }
+                | Instr::Jal { .. }
+                | Instr::Jr { .. }
+                | Instr::Halt
+        )
+    }
+
+    /// Returns the statically-known control-flow target, if any.
+    ///
+    /// Indirect jumps ([`Instr::Jr`]) and non-control instructions return
+    /// `None`.
+    #[inline]
+    pub fn static_target(&self) -> Option<u32> {
+        match self {
+            Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Jal { target, .. } => {
+                Some(*target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the instruction accesses data memory.
+    #[inline]
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::Load { .. } | Instr::Store { .. } | Instr::FLoad { .. } | Instr::FStore { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Alu { op, rd, rs, rt } => write!(f, "{op} {rd}, {rs}, {rt}"),
+            Instr::AluImm { op, rd, rs, imm } => write!(f, "{op}i {rd}, {rs}, {imm}"),
+            Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Instr::Fpu { op, fd, fs, ft } => write!(f, "{op} f{}, f{}, f{}", fd.index(), fs.index(), ft.index()),
+            Instr::Load { rd, base, offset } => write!(f, "ld {rd}, {offset}({base})"),
+            Instr::Store { rs, base, offset } => write!(f, "st {rs}, {offset}({base})"),
+            Instr::FLoad { fd, base, offset } => write!(f, "fld f{}, {offset}({base})", fd.index()),
+            Instr::FStore { fs, base, offset } => write!(f, "fst f{}, {offset}({base})", fs.index()),
+            Instr::Branch { cond, rs, rt, target } => write!(f, "{cond} {rs}, {rt}, @{target}"),
+            Instr::Jump { target } => write!(f, "j @{target}"),
+            Instr::Jal { target, link } => write!(f, "jal {link}, @{target}"),
+            Instr::Jr { rs } => write!(f, "jr {rs}"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_index_roundtrip() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), Some(*r));
+        }
+        assert_eq!(Reg::from_index(32), None);
+        assert_eq!(Reg::from_index(usize::MAX), None);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(i64::MAX, 1), i64::MIN); // wrapping
+        assert_eq!(AluOp::Sub.apply(3, 5), -2);
+        assert_eq!(AluOp::Mul.apply(6, 7), 42);
+        assert_eq!(AluOp::Div.apply(7, 2), 3);
+        assert_eq!(AluOp::Div.apply(7, 0), 0);
+        assert_eq!(AluOp::Rem.apply(7, 3), 1);
+        assert_eq!(AluOp::Rem.apply(7, 0), 0);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Sll.apply(1, 4), 16);
+        assert_eq!(AluOp::Srl.apply(-1, 63), 1);
+        assert_eq!(AluOp::Sra.apply(-8, 2), -2);
+        assert_eq!(AluOp::Slt.apply(1, 2), 1);
+        assert_eq!(AluOp::Slt.apply(2, 1), 0);
+    }
+
+    #[test]
+    fn shift_amount_wraps_at_64() {
+        assert_eq!(AluOp::Sll.apply(1, 64), 1);
+        assert_eq!(AluOp::Sll.apply(1, 65), 2);
+    }
+
+    #[test]
+    fn div_min_by_minus_one_wraps() {
+        assert_eq!(AluOp::Div.apply(i64::MIN, -1), i64::MIN);
+        assert_eq!(AluOp::Rem.apply(i64::MIN, -1), 0);
+    }
+
+    #[test]
+    fn cond_semantics() {
+        assert!(Cond::Eq.eval(4, 4));
+        assert!(Cond::Ne.eval(4, 5));
+        assert!(Cond::Lt.eval(-1, 0));
+        assert!(Cond::Ge.eval(0, 0));
+        assert!(!Cond::Lt.eval(0, -1));
+    }
+
+    #[test]
+    fn fpu_semantics() {
+        assert_eq!(FpuOp::Add.apply(1.5, 2.5), 4.0);
+        assert_eq!(FpuOp::Mul.apply(3.0, 2.0), 6.0);
+        assert!(FpuOp::Div.apply(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        let b = Instr::Branch { cond: Cond::Eq, rs: Reg::R1, rt: Reg::R2, target: 7 };
+        assert!(b.is_control_flow());
+        assert_eq!(b.static_target(), Some(7));
+        assert_eq!(Instr::Jr { rs: Reg::R31 }.static_target(), None);
+        assert!(Instr::Halt.is_control_flow());
+        assert!(Instr::Load { rd: Reg::R1, base: Reg::R2, offset: 0 }.is_memory());
+        assert!(!Instr::Halt.is_memory());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_stable() {
+        let cases = [
+            Instr::Alu { op: AluOp::Add, rd: Reg::R1, rs: Reg::R2, rt: Reg::R3 },
+            Instr::AluImm { op: AluOp::Xor, rd: Reg::R1, rs: Reg::R2, imm: -9 },
+            Instr::Li { rd: Reg::R4, imm: 123 },
+            Instr::Fpu { op: FpuOp::Mul, fd: Reg::R0, fs: Reg::R1, ft: Reg::R2 },
+            Instr::Load { rd: Reg::R5, base: Reg::R6, offset: 8 },
+            Instr::Store { rs: Reg::R5, base: Reg::R6, offset: -8 },
+            Instr::FLoad { fd: Reg::R2, base: Reg::R6, offset: 1 },
+            Instr::FStore { fs: Reg::R2, base: Reg::R6, offset: 1 },
+            Instr::Branch { cond: Cond::Ne, rs: Reg::R1, rt: Reg::R0, target: 42 },
+            Instr::Jump { target: 3 },
+            Instr::Jal { target: 3, link: Reg::LINK },
+            Instr::Jr { rs: Reg::LINK },
+            Instr::Halt,
+        ];
+        for instr in cases {
+            assert!(!instr.to_string().is_empty());
+        }
+        assert_eq!(cases[0].to_string(), "add r1, r2, r3");
+        assert_eq!(cases[8].to_string(), "bne r1, r0, @42");
+    }
+}

@@ -1,0 +1,55 @@
+//! A small load/store RISC instruction set used as the execution substrate of
+//! the PGSS-Sim reproduction.
+//!
+//! The ISPASS 2007 paper evaluates sampled simulation on SPEC2000 binaries
+//! compiled by the IMPACT toolchain. That substrate is unavailable, so this
+//! crate defines a compact RISC-style instruction set in which the synthetic
+//! benchmarks of `pgss-workloads` are written as *real programs*: assembled
+//! basic blocks, loops, data-dependent branches, and genuine address streams.
+//! Everything downstream — basic-block vectors, cache behaviour, branch
+//! prediction, instruction-level parallelism — is emergent from executing
+//! these programs, not scripted.
+//!
+//! # Overview
+//!
+//! * [`Instr`] — the instruction set: integer ALU ops, floating-point ops,
+//!   loads/stores, conditional branches, direct and indirect jumps.
+//! * [`Program`] — an assembled instruction sequence plus derived static
+//!   basic-block structure (used for full basic-block vectors).
+//! * [`Assembler`] — a label-based builder that resolves forward references
+//!   and produces a [`Program`].
+//!
+//! # Example
+//!
+//! Assemble a loop that sums the first 10 integers:
+//!
+//! ```
+//! use pgss_isa::{Assembler, Cond, Reg};
+//!
+//! # fn main() -> Result<(), pgss_isa::AsmError> {
+//! let mut asm = Assembler::new();
+//! let (acc, i, limit) = (Reg::R1, Reg::R2, Reg::R3);
+//! asm.li(acc, 0);
+//! asm.li(i, 0);
+//! asm.li(limit, 10);
+//! let top = asm.bind_new_label();
+//! asm.add(acc, acc, i);
+//! asm.addi(i, i, 1);
+//! asm.branch(Cond::Lt, i, limit, top);
+//! asm.halt();
+//! let program = asm.finish()?;
+//! assert!(program.len() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod instr;
+mod program;
+
+pub use asm::{AsmError, Assembler, Label};
+pub use instr::{AluOp, Cond, FpuOp, Instr, Reg};
+pub use program::{BasicBlock, Program};

@@ -1,0 +1,283 @@
+//! Assembled programs and their static basic-block structure.
+
+use std::fmt;
+
+use crate::instr::Instr;
+
+/// A static basic block: a maximal straight-line instruction range.
+///
+/// Blocks are derived from a [`Program`]'s instruction array by the classic
+/// leader algorithm: the entry point, every statically-known control-flow
+/// target, and every instruction following a control-flow instruction start a
+/// block. Full basic-block vectors (SimPoint-style) count executions per
+/// block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BasicBlock {
+    /// Address of the block's first instruction.
+    pub start: u32,
+    /// Address one past the block's last instruction.
+    pub end: u32,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the block contains no instructions.
+    ///
+    /// Blocks produced by [`Program::new`] are never empty; this exists for
+    /// completeness of the container-like API.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// An immutable, assembled program: instructions plus derived basic-block
+/// metadata.
+///
+/// Construct programs with the [`crate::Assembler`]; [`Program::new`] is
+/// public for handcrafted tests.
+///
+/// # Example
+///
+/// ```
+/// use pgss_isa::{Instr, Program, Reg};
+///
+/// let program = Program::new(vec![
+///     Instr::Li { rd: Reg::R1, imm: 1 },
+///     Instr::Jump { target: 3 },
+///     Instr::Li { rd: Reg::R2, imm: 2 }, // unreachable, still a block
+///     Instr::Halt,
+/// ]);
+/// assert_eq!(program.len(), 4);
+/// assert_eq!(program.num_blocks(), 3);
+/// assert_eq!(program.block_of(0), program.block_of(1));
+/// assert_ne!(program.block_of(1), program.block_of(3));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    /// `block_of[pc]` is the basic-block id containing `pc`.
+    block_of: Vec<u32>,
+    blocks: Vec<BasicBlock>,
+}
+
+impl Program {
+    /// Builds a program from an instruction sequence, deriving basic blocks.
+    ///
+    /// Execution starts at address 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instrs` is empty or if any statically-known control-flow
+    /// target is out of range — an assembled program must be self-contained.
+    pub fn new(instrs: Vec<Instr>) -> Program {
+        assert!(!instrs.is_empty(), "a program must contain at least one instruction");
+        let n = instrs.len() as u32;
+        for (pc, i) in instrs.iter().enumerate() {
+            if let Some(t) = i.static_target() {
+                assert!(t < n, "instruction {pc} targets out-of-range address {t} (program length {n})");
+            }
+        }
+
+        // Leader algorithm.
+        let mut leader = vec![false; instrs.len()];
+        leader[0] = true;
+        for (pc, i) in instrs.iter().enumerate() {
+            if let Some(t) = i.static_target() {
+                leader[t as usize] = true;
+            }
+            if i.is_control_flow() && pc + 1 < instrs.len() {
+                leader[pc + 1] = true;
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0u32; instrs.len()];
+        let mut start = 0u32;
+        for pc in 1..instrs.len() {
+            if leader[pc] {
+                blocks.push(BasicBlock { start, end: pc as u32 });
+                start = pc as u32;
+            }
+        }
+        blocks.push(BasicBlock { start, end: n });
+        for (id, b) in blocks.iter().enumerate() {
+            for pc in b.start..b.end {
+                block_of[pc as usize] = id as u32;
+            }
+        }
+
+        Program { instrs, block_of, blocks }
+    }
+
+    /// Number of instructions in the program.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the program has no instructions (never true for a
+    /// constructed `Program`; present for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at address `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    #[inline]
+    pub fn instr(&self, pc: u32) -> Instr {
+        self.instrs[pc as usize]
+    }
+
+    /// The full instruction array.
+    #[inline]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of static basic blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The static basic blocks in address order.
+    #[inline]
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The basic-block id containing address `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    #[inline]
+    pub fn block_of(&self, pc: u32) -> u32 {
+        self.block_of[pc as usize]
+    }
+
+    /// Renders the program as a disassembly listing, one instruction per
+    /// line, with block boundaries annotated.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (pc, i) in self.instrs.iter().enumerate() {
+            let block = self.block_of[pc];
+            let marker = if self.blocks[block as usize].start == pc as u32 {
+                format!("B{block}:")
+            } else {
+                String::new()
+            };
+            out.push_str(&format!("{marker:>8} {pc:6}  {i}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Program({} instrs, {} blocks)", self.len(), self.num_blocks())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AluOp, Cond, Reg};
+
+    fn nop() -> Instr {
+        Instr::Alu { op: AluOp::Add, rd: Reg::R0, rs: Reg::R0, rt: Reg::R0 }
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let p = Program::new(vec![nop(), nop(), nop(), Instr::Halt]);
+        assert_eq!(p.num_blocks(), 1);
+        assert_eq!(p.blocks()[0], BasicBlock { start: 0, end: 4 });
+        for pc in 0..4 {
+            assert_eq!(p.block_of(pc), 0);
+        }
+    }
+
+    #[test]
+    fn branch_splits_blocks() {
+        // 0: nop
+        // 1: beq r0,r0 -> 4
+        // 2: nop        (leader: follows branch)
+        // 3: nop
+        // 4: halt       (leader: branch target)
+        let p = Program::new(vec![
+            nop(),
+            Instr::Branch { cond: Cond::Eq, rs: Reg::R0, rt: Reg::R0, target: 4 },
+            nop(),
+            nop(),
+            Instr::Halt,
+        ]);
+        assert_eq!(p.num_blocks(), 3);
+        assert_eq!(p.block_of(0), p.block_of(1));
+        assert_ne!(p.block_of(1), p.block_of(2));
+        assert_eq!(p.block_of(2), p.block_of(3));
+        assert_ne!(p.block_of(3), p.block_of(4));
+    }
+
+    #[test]
+    fn backward_branch_target_is_leader() {
+        // loop: 0: nop; 1: bne -> 0; 2: halt
+        let p = Program::new(vec![
+            nop(),
+            Instr::Branch { cond: Cond::Ne, rs: Reg::R1, rt: Reg::R0, target: 0 },
+            Instr::Halt,
+        ]);
+        assert_eq!(p.num_blocks(), 2);
+        assert_eq!(p.blocks()[0], BasicBlock { start: 0, end: 2 });
+    }
+
+    #[test]
+    fn blocks_partition_program() {
+        let p = Program::new(vec![
+            nop(),
+            Instr::Jump { target: 3 },
+            nop(),
+            Instr::Branch { cond: Cond::Lt, rs: Reg::R1, rt: Reg::R2, target: 0 },
+            Instr::Halt,
+        ]);
+        // Blocks must tile [0, len) without gaps or overlap.
+        let mut covered = 0u32;
+        for b in p.blocks() {
+            assert_eq!(b.start, covered);
+            assert!(b.end > b.start);
+            covered = b.end;
+        }
+        assert_eq!(covered, p.len() as u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction")]
+    fn empty_program_panics() {
+        let _ = Program::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn out_of_range_target_panics() {
+        let _ = Program::new(vec![Instr::Jump { target: 9 }, Instr::Halt]);
+    }
+
+    #[test]
+    fn disassembly_mentions_every_block() {
+        let p = Program::new(vec![nop(), Instr::Jump { target: 0 }, Instr::Halt]);
+        let text = p.disassemble();
+        for id in 0..p.num_blocks() {
+            assert!(text.contains(&format!("B{id}:")), "missing B{id} in:\n{text}");
+        }
+    }
+}

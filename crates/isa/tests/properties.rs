@@ -1,0 +1,84 @@
+//! Property-based tests for the ISA crate.
+
+use pgss_isa::{AluOp, Cond, Instr, Program, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0usize..32).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+/// Arbitrary instruction with control-flow targets inside `0..len`.
+fn arb_instr(len: u32) -> impl Strategy<Value = Instr> {
+    let alu = (arb_reg(), arb_reg(), arb_reg())
+        .prop_map(|(rd, rs, rt)| Instr::Alu { op: AluOp::Add, rd, rs, rt });
+    let li = (arb_reg(), any::<i64>()).prop_map(|(rd, imm)| Instr::Li { rd, imm });
+    let ld = (arb_reg(), arb_reg(), -16i64..16)
+        .prop_map(|(rd, base, offset)| Instr::Load { rd, base, offset });
+    let st = (arb_reg(), arb_reg(), -16i64..16)
+        .prop_map(|(rs, base, offset)| Instr::Store { rs, base, offset });
+    let br = (arb_reg(), arb_reg(), 0u32..len)
+        .prop_map(|(rs, rt, target)| Instr::Branch { cond: Cond::Ne, rs, rt, target });
+    let jmp = (0u32..len).prop_map(|target| Instr::Jump { target });
+    prop_oneof![4 => alu, 2 => li, 2 => ld, 2 => st, 2 => br, 1 => jmp]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (1usize..64).prop_flat_map(|n| {
+        proptest::collection::vec(arb_instr(n as u32 + 1), n).prop_map(|mut v| {
+            v.push(Instr::Halt);
+            Program::new(v)
+        })
+    })
+}
+
+proptest! {
+    /// Basic blocks tile the program: contiguous, non-empty, in order.
+    #[test]
+    fn blocks_partition_program(p in arb_program()) {
+        let mut covered = 0u32;
+        for b in p.blocks() {
+            prop_assert_eq!(b.start, covered);
+            prop_assert!(b.end > b.start);
+            covered = b.end;
+        }
+        prop_assert_eq!(covered, p.len() as u32);
+    }
+
+    /// `block_of` is consistent with the block table.
+    #[test]
+    fn block_of_matches_blocks(p in arb_program()) {
+        for pc in 0..p.len() as u32 {
+            let b = p.blocks()[p.block_of(pc) as usize];
+            prop_assert!(b.start <= pc && pc < b.end);
+        }
+    }
+
+    /// Every statically-known target starts a block, and every instruction
+    /// after a control-flow instruction starts a block.
+    #[test]
+    fn leaders_start_blocks(p in arb_program()) {
+        for pc in 0..p.len() as u32 {
+            let i = p.instr(pc);
+            if let Some(t) = i.static_target() {
+                let b = p.blocks()[p.block_of(t) as usize];
+                prop_assert_eq!(b.start, t);
+            }
+            if i.is_control_flow() && pc + 1 < p.len() as u32 {
+                let b = p.blocks()[p.block_of(pc + 1) as usize];
+                prop_assert_eq!(b.start, pc + 1);
+            }
+        }
+    }
+
+    /// ALU operations never panic on any operand values.
+    #[test]
+    fn alu_total(a in any::<i64>(), b in any::<i64>()) {
+        for op in [
+            AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Div, AluOp::Rem,
+            AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Sll, AluOp::Srl,
+            AluOp::Sra, AluOp::Slt,
+        ] {
+            let _ = op.apply(a, b);
+        }
+    }
+}

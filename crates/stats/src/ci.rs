@@ -1,0 +1,123 @@
+//! Gaussian confidence intervals, as used by SMARTS/TurboSMARTS stopping
+//! rules.
+
+use crate::welford::Welford;
+
+/// The z-score for 99.7 % two-sided confidence (±3σ), the bound the paper's
+/// TurboSMARTS configuration targets ("3 % accuracy with 99.7 confidence").
+pub const Z_997: f64 = 3.0;
+
+/// A Gaussian confidence interval on a sample mean.
+///
+/// The half-width is `z · s / √n` where `s` is the sample standard
+/// deviation. This is only *valid* when the sample population is
+/// approximately Gaussian — the paper's central observation is that
+/// phase-structured programs violate this, so intervals computed this way
+/// understate the real error. The reproduction keeps the flawed math
+/// faithfully and lets the experiments expose it.
+///
+/// # Example
+///
+/// ```
+/// use pgss_stats::{ConfidenceInterval, Welford, Z_997};
+///
+/// let w: Welford = (0..100).map(|i| 1.0 + 0.01 * (i % 3) as f64).collect();
+/// let ci = ConfidenceInterval::from_welford(&w, Z_997);
+/// assert!(ci.half_width > 0.0);
+/// assert!(ci.meets_relative(0.03)); // well within ±3 %
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// The sample mean the interval is centred on.
+    pub mean: f64,
+    /// Half the interval width (`z · s / √n`).
+    pub half_width: f64,
+    /// Number of samples behind the estimate.
+    pub n: u64,
+}
+
+impl ConfidenceInterval {
+    /// Builds the interval from sample statistics.
+    ///
+    /// With fewer than two samples the half-width is infinite: no finite
+    /// confidence claim can be made.
+    pub fn new(mean: f64, sample_stddev: f64, n: u64, z: f64) -> ConfidenceInterval {
+        let half_width = if n < 2 {
+            f64::INFINITY
+        } else {
+            z * sample_stddev / (n as f64).sqrt()
+        };
+        ConfidenceInterval { mean, half_width, n }
+    }
+
+    /// Builds the interval from a [`Welford`] accumulator.
+    pub fn from_welford(w: &Welford, z: f64) -> ConfidenceInterval {
+        ConfidenceInterval::new(w.mean(), w.sample_stddev(), w.count(), z)
+    }
+
+    /// Returns `true` when the half-width is within `rel` of the mean
+    /// (e.g. `rel = 0.03` for the paper's ±3 % target).
+    ///
+    /// A zero mean never meets a relative target (relative error is
+    /// undefined there).
+    pub fn meets_relative(&self, rel: f64) -> bool {
+        self.mean != 0.0 && self.half_width <= rel * self.mean.abs()
+    }
+
+    /// The interval bounds `(low, high)`.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.mean - self.half_width, self.mean + self.half_width)
+    }
+
+    /// Returns `true` if `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        let (lo, hi) = self.bounds();
+        lo <= value && value <= hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn too_few_samples_is_infinite() {
+        let ci = ConfidenceInterval::new(1.0, 0.5, 1, Z_997);
+        assert!(ci.half_width.is_infinite());
+        assert!(!ci.meets_relative(0.5));
+        assert!(ci.contains(1.0));
+    }
+
+    #[test]
+    fn half_width_formula() {
+        let ci = ConfidenceInterval::new(2.0, 0.4, 16, 3.0);
+        assert!((ci.half_width - 3.0 * 0.4 / 4.0).abs() < 1e-12);
+        let (lo, hi) = ci.bounds();
+        assert!((lo - 1.7).abs() < 1e-12);
+        assert!((hi - 2.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shrinks_with_n() {
+        let a = ConfidenceInterval::new(1.0, 1.0, 100, 3.0);
+        let b = ConfidenceInterval::new(1.0, 1.0, 400, 3.0);
+        assert!((a.half_width / b.half_width - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_target() {
+        let ci = ConfidenceInterval::new(1.0, 0.1, 10_000, 3.0); // hw = 0.003
+        assert!(ci.meets_relative(0.003 + 1e-12));
+        assert!(!ci.meets_relative(0.002));
+        let zero = ConfidenceInterval::new(0.0, 0.0, 100, 3.0);
+        assert!(!zero.meets_relative(0.03));
+    }
+
+    #[test]
+    fn identical_samples_collapse_immediately() {
+        let w: Welford = std::iter::repeat(2.5).take(3).collect();
+        let ci = ConfidenceInterval::from_welford(&w, Z_997);
+        assert_eq!(ci.half_width, 0.0);
+        assert!(ci.meets_relative(0.0001));
+    }
+}

@@ -1,0 +1,123 @@
+//! Statistics for sampled simulation: streaming moments, Gaussian confidence
+//! intervals, histograms, and aggregate means.
+//!
+//! SMARTS-style techniques decide when to *stop* sampling by checking a
+//! Gaussian confidence interval over the samples collected so far; the paper
+//! shows that this is exactly where they go wrong on phase-structured
+//! programs (the sample population is polymodal, not Gaussian). This crate
+//! supplies the statistical machinery both for the techniques themselves
+//! ([`Welford`], [`ConfidenceInterval`]) and for the evaluation figures
+//! ([`Histogram`] for Fig. 3, [`amean`]/[`gmean`] for the summary columns of
+//! Figs. 11–12).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ci;
+mod histogram;
+mod welford;
+
+pub use ci::{ConfidenceInterval, Z_997};
+pub use histogram::Histogram;
+pub use welford::Welford;
+
+/// Arithmetic mean of a slice; `None` when empty.
+///
+/// ```
+/// assert_eq!(pgss_stats::amean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(pgss_stats::amean(&[]), None);
+/// ```
+pub fn amean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Geometric mean of a slice of non-negative values; `None` when empty.
+///
+/// Zeros are clamped to `1e-12` so a single perfect result does not collapse
+/// the mean to zero (the convention used for error tables, where a measured
+/// error of exactly 0 % is a rounding artifact).
+///
+/// ```
+/// let g = pgss_stats::gmean(&[1.0, 100.0]).unwrap();
+/// assert!((g - 10.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any value is negative.
+pub fn gmean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x >= 0.0, "gmean requires non-negative values, got {x}");
+            x.max(1e-12).ln()
+        })
+        .sum();
+    Some((sum / xs.len() as f64).exp())
+}
+
+/// Weighted arithmetic mean: `Σ wᵢxᵢ / Σ wᵢ`; `None` when weights sum to
+/// zero.
+///
+/// Used to compose per-phase CPI into a whole-program estimate, weighting
+/// each phase by its instruction count.
+///
+/// ```
+/// let m = pgss_stats::weighted_mean(&[(1.0, 1.0), (3.0, 3.0)]).unwrap();
+/// assert!((m - 2.5).abs() < 1e-12);
+/// ```
+pub fn weighted_mean(pairs: &[(f64, f64)]) -> Option<f64> {
+    let (mut num, mut den) = (0.0, 0.0);
+    for &(x, w) in pairs {
+        num += x * w;
+        den += w;
+    }
+    if den == 0.0 {
+        None
+    } else {
+        Some(num / den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amean_basics() {
+        assert_eq!(amean(&[4.0]), Some(4.0));
+        assert_eq!(amean(&[1.0, 3.0]), Some(2.0));
+        assert_eq!(amean(&[]), None);
+    }
+
+    #[test]
+    fn gmean_basics() {
+        assert_eq!(gmean(&[]), None);
+        let g = gmean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+        // Zero is clamped, not propagated.
+        assert!(gmean(&[0.0, 1.0]).unwrap() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn gmean_rejects_negative() {
+        let _ = gmean(&[-1.0]);
+    }
+
+    #[test]
+    fn weighted_mean_basics() {
+        assert_eq!(weighted_mean(&[]), None);
+        assert_eq!(weighted_mean(&[(5.0, 0.0)]), None);
+        assert_eq!(weighted_mean(&[(5.0, 2.0)]), Some(5.0));
+        let m = weighted_mean(&[(1.0, 9.0), (11.0, 1.0)]).unwrap();
+        assert!((m - 2.0).abs() < 1e-12);
+    }
+}

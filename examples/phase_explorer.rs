@@ -1,0 +1,72 @@
+//! Phase explorer: watch the paper's online phase detector work.
+//!
+//! ```text
+//! cargo run --release --example phase_explorer [benchmark] [scale]
+//! ```
+//!
+//! Profiles a benchmark at 100k-op granularity, classifies every interval
+//! with the hashed-BBV phase table (0.05π threshold), and prints a phase
+//! timeline plus per-phase IPC statistics — the view PGSS-Sim steers by.
+
+use pgss::analysis::interval_profile;
+use pgss::PhaseTable;
+use pgss_cpu::MachineConfig;
+use pgss_stats::Welford;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "256.bzip2".to_string());
+    let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let Some(workload) = pgss_workloads::by_name(&name, scale) else {
+        eprintln!("unknown benchmark {name}; try one of {:?}", pgss_workloads::SUITE_NAMES);
+        std::process::exit(1);
+    };
+
+    println!("profiling {name} at 100k-op intervals ...");
+    let profile = interval_profile(&workload, &MachineConfig::default(), 100_000, 1);
+
+    let mut table = PhaseTable::new(pgss::threshold(0.05));
+    let mut timeline = String::new();
+    let mut per_phase: Vec<Welford> = Vec::new();
+    for s in &profile {
+        let c = table.classify(&s.bbv, s.ops);
+        if c.created {
+            per_phase.push(Welford::new());
+        }
+        per_phase[c.phase].push(s.ipc);
+        // One timeline glyph per interval: A, B, C, … per phase.
+        timeline.push(glyph(c.phase));
+    }
+
+    println!("\nphase timeline (one glyph per 100k ops):");
+    for chunk in timeline.as_bytes().chunks(80) {
+        println!("  {}", std::str::from_utf8(chunk).expect("ascii glyphs"));
+    }
+
+    println!("\nper-phase statistics:");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10}",
+        "phase", "intervals", "weight", "mean IPC", "IPC stddev"
+    );
+    let weights = table.weights();
+    for (i, (p, stats)) in table.phases().iter().zip(&per_phase).enumerate() {
+        println!(
+            "{:<6} {:>10} {:>9.1}% {:>10.3} {:>10.3}",
+            glyph(i),
+            p.intervals,
+            weights[i] * 100.0,
+            stats.mean(),
+            stats.population_stddev(),
+        );
+    }
+    println!(
+        "\n{} phases, {} transitions over {} intervals",
+        table.phases().len(),
+        table.changes(),
+        profile.len()
+    );
+}
+
+fn glyph(phase: usize) -> char {
+    let glyphs = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    glyphs.as_bytes()[phase % glyphs.len()] as char
+}

@@ -1,0 +1,39 @@
+//! Quickstart: estimate a benchmark's IPC with PGSS-Sim and compare against
+//! full detailed simulation.
+//!
+//! ```text
+//! cargo run --release --example quickstart [scale]
+//! ```
+//!
+//! The example builds the synthetic `164.gzip` workload, runs the paper's
+//! best-overall PGSS configuration (1M-op BBV period, 0.05π threshold), and
+//! prints the estimate, its error against exhaustive simulation, and the
+//! detailed-simulation savings.
+
+use pgss::{FullDetailed, PgssSim, Technique};
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    println!("building 164.gzip at scale {scale} ...");
+    let workload = pgss_workloads::gzip(scale);
+    println!("  {} instructions (nominal)", workload.nominal_ops());
+
+    println!("running full detailed simulation (the expensive ground truth) ...");
+    let truth = FullDetailed::new().ground_truth(&workload);
+    println!("  true IPC = {:.4} over {} instructions", truth.ipc, truth.total_ops);
+
+    println!("running PGSS-Sim (1M-op BBV period, 0.05π threshold) ...");
+    let estimate = PgssSim::new().run(&workload);
+    let phases = estimate.phases.as_ref().expect("PGSS reports phases");
+    println!("  estimated IPC = {:.4}", estimate.ipc);
+    println!("  error         = {:.2}%", estimate.error_vs(&truth) * 100.0);
+    println!("  phases found  = {} ({} transitions)", phases.phases, phases.changes);
+    println!("  samples taken = {} (1k measured + 3k warming each)", estimate.samples);
+    println!(
+        "  detailed simulation: {} of {} instructions ({:.3}% — {}x less than full detail)",
+        estimate.detailed_ops(),
+        truth.total_ops,
+        estimate.detailed_ops() as f64 / truth.total_ops as f64 * 100.0,
+        truth.total_ops / estimate.detailed_ops().max(1),
+    );
+}

@@ -1,0 +1,60 @@
+//! Threshold tuning: Section 4 of the paper, as a tool.
+//!
+//! ```text
+//! cargo run --release --example threshold_tuning [benchmark] [scale]
+//! ```
+//!
+//! The hardest PGSS parameter is the BBV-change threshold. This example
+//! reproduces the paper's tuning methodology on one benchmark: it computes
+//! consecutive-interval (ΔBBV, ΔIPC) pairs, sweeps candidate thresholds,
+//! reports the detection and false-positive rates at each (Figs. 8–9), and
+//! recommends the threshold that catches ≥90 % of significant changes with
+//! the fewest false positives.
+
+use pgss::analysis::{deltas, detection_rate, false_positive_rate, interval_profile};
+use pgss_cpu::MachineConfig;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "164.gzip".to_string());
+    let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let Some(workload) = pgss_workloads::by_name(&name, scale) else {
+        eprintln!("unknown benchmark {name}; try one of {:?}", pgss_workloads::SUITE_NAMES);
+        std::process::exit(1);
+    };
+
+    println!("profiling {name} at 100k-op intervals ...");
+    let profile = interval_profile(&workload, &MachineConfig::default(), 100_000, 1);
+    let d = deltas(&profile);
+    println!("{} consecutive-interval changes\n", d.len());
+
+    const SIGMA: f64 = 0.3; // "significant" = IPC moved by ≥ 0.3 benchmark σ
+    println!("{:>13} {:>11} {:>16}", "threshold(π)", "caught", "false positives");
+    let mut recommended: Option<(f64, f64)> = None;
+    for i in 1..=10 {
+        let frac = i as f64 * 0.025;
+        let rad = pgss::threshold(frac);
+        let caught = detection_rate(&d, rad, SIGMA);
+        let fp = false_positive_rate(&d, rad, SIGMA);
+        println!(
+            "{:>13.3} {:>10.1}% {:>15.1}%",
+            frac,
+            caught.unwrap_or(f64::NAN) * 100.0,
+            fp.unwrap_or(f64::NAN) * 100.0
+        );
+        if let (Some(c), Some(f)) = (caught, fp) {
+            if c >= 0.9 && recommended.map_or(true, |(_, best_fp)| f < best_fp) {
+                recommended = Some((frac, f));
+            }
+        }
+    }
+    match recommended {
+        Some((frac, fp)) => println!(
+            "\nrecommended threshold: {frac:.3}π (catches ≥90% of ≥{SIGMA}σ changes, {:.1}% false positives)",
+            fp * 100.0
+        ),
+        None => println!(
+            "\nno threshold catches ≥90% of ≥{SIGMA}σ changes — this workload's \
+             performance shifts without code-signature shifts; use the paper's 0.05π default"
+        ),
+    }
+}

@@ -1,0 +1,8 @@
+//! Umbrella package for the PGSS-Sim reproduction workspace.
+//!
+//! This crate exists so the repository root can host runnable
+//! [`examples/`](https://doc.rust-lang.org/cargo/guide/project-layout.html)
+//! and cross-crate integration tests in `tests/`. All functionality lives in
+//! the member crates; the most useful entry point is the [`pgss`] crate.
+
+pub use pgss;

@@ -1,0 +1,102 @@
+//! Integration: the online phase detector discovers *planted* phase
+//! structure in custom-built workloads.
+
+use pgss::analysis::{deltas, detection_rate, interval_profile, phase_threshold_sweep};
+use pgss::{OnlineSimPoint, PgssSim, Technique};
+use pgss_cpu::MachineConfig;
+use pgss_workloads::{Kernel, WorkloadBuilder};
+
+/// Two strongly-contrasting segments alternating every 500k ops.
+fn two_planted_phases() -> pgss_workloads::Workload {
+    let mut b = WorkloadBuilder::new("planted-2", 11);
+    let fast = b.add_segment(Kernel::ComputeInt { chains: 6, ops_per_chain: 3 });
+    let slow = b.add_segment(Kernel::Chase { ring_words: 1 << 18, chains: 1, compute_per_step: 2 });
+    b.alternate(&[(fast, 500_000), (slow, 500_000)], 10);
+    b.finish()
+}
+
+/// Three segments in a repeating A-B-A-C pattern.
+fn three_planted_phases() -> pgss_workloads::Workload {
+    let mut b = WorkloadBuilder::new("planted-3", 12);
+    let a = b.add_segment(Kernel::ComputeInt { chains: 4, ops_per_chain: 3 });
+    let bb = b.add_segment(Kernel::Branchy { table_words: 2048, bias: 128, work_per_side: 2 });
+    let c = b.add_segment(Kernel::Stream { region_words: 1 << 15, stride_words: 1, compute_per_load: 2 });
+    b.alternate(&[(a, 400_000), (bb, 400_000), (a, 400_000), (c, 400_000)], 4);
+    b.finish()
+}
+
+#[test]
+fn profile_shows_exactly_two_phases() {
+    let w = two_planted_phases();
+    let profile = interval_profile(&w, &MachineConfig::default(), 100_000, 1);
+    let rows = phase_threshold_sweep(&profile, &[pgss::threshold(0.05)]);
+    // 2 planted behaviours; transitions may add one mixed pseudo-phase.
+    assert!(
+        (2..=4).contains(&rows[0].num_phases),
+        "found {} phases in a 2-phase workload",
+        rows[0].num_phases
+    );
+    // The alternation is every 5 intervals; changes must be frequent.
+    assert!(rows[0].num_changes >= 8, "only {} changes", rows[0].num_changes);
+}
+
+#[test]
+fn every_planted_transition_is_detected() {
+    let w = two_planted_phases();
+    let profile = interval_profile(&w, &MachineConfig::default(), 100_000, 1);
+    let d = deltas(&profile);
+    // Significant IPC changes (>0.5σ) coincide with the planted segment
+    // switches; the hashed BBV must catch essentially all of them at the
+    // paper's 0.05π threshold.
+    let rate = detection_rate(&d, pgss::threshold(0.05), 0.5).expect("has significant changes");
+    assert!(rate > 0.9, "detection rate {rate}");
+}
+
+#[test]
+fn online_simpoint_matches_planted_phase_count() {
+    let w = three_planted_phases();
+    let est = OnlineSimPoint { interval_ops: 400_000, ..OnlineSimPoint::default() }.run(&w);
+    let p = est.phases.unwrap();
+    // 3 planted behaviours (A appears twice per round but is one phase).
+    assert!(
+        (3..=5).contains(&p.phases),
+        "online simpoint found {} phases in a 3-phase workload",
+        p.phases
+    );
+}
+
+#[test]
+fn pgss_weights_match_planted_proportions() {
+    // fast:slow planted 50:50 by ops.
+    let w = two_planted_phases();
+    let est = PgssSim { ff_ops: 100_000, spacing_ops: 200_000, ..PgssSim::default() }.run(&w);
+    let p = est.phases.unwrap();
+    // The two dominant phases must each hold roughly half the weight.
+    let mut weights = p.weights.clone();
+    weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    assert!(weights[0] > 0.3 && weights[0] < 0.7, "weights {:?}", p.weights);
+    assert!(weights[1] > 0.2, "weights {:?}", p.weights);
+}
+
+#[test]
+fn pgss_estimate_is_accurate_on_planted_phases() {
+    let w = two_planted_phases();
+    let truth = pgss::FullDetailed::new().ground_truth(&w);
+    let est = PgssSim { ff_ops: 100_000, spacing_ops: 200_000, ..PgssSim::default() }.run(&w);
+    let err = est.error_vs(&truth);
+    assert!(err < 0.12, "error {err:.4} on a clean two-phase workload");
+}
+
+#[test]
+fn threshold_sweep_collapses_phases_at_high_thresholds() {
+    let w = three_planted_phases();
+    let profile = interval_profile(&w, &MachineConfig::default(), 100_000, 1);
+    let rows = phase_threshold_sweep(
+        &profile,
+        &[pgss::threshold(0.05), std::f64::consts::FRAC_PI_2 + 0.01],
+    );
+    assert!(rows[0].num_phases > rows[1].num_phases);
+    assert_eq!(rows[1].num_phases, 1);
+    // With one phase, within-phase variation equals overall variation.
+    assert!((rows[1].ipc_variation_sigmas - 1.0).abs() < 1e-9);
+}

@@ -1,0 +1,171 @@
+//! Integration: the simulator's modes agree architecturally, and the whole
+//! stack is deterministic.
+
+use pgss_bbv::{BbvHash, HashedBbvTracker};
+use pgss_cpu::{MachineConfig, Mode, RetireSink};
+use pgss_workloads::{Kernel, WorkloadBuilder};
+
+#[derive(Default)]
+struct Recorder {
+    retired: u64,
+    taken: u64,
+    taken_ops: u64,
+    checksum: u64,
+}
+
+impl RetireSink for Recorder {
+    fn retire(&mut self, pc: u32) {
+        self.retired += 1;
+        self.checksum = self.checksum.wrapping_mul(31).wrapping_add(u64::from(pc));
+    }
+    fn taken_branch(&mut self, pc: u32, ops: u64) {
+        self.taken += 1;
+        self.taken_ops += ops;
+        let _ = pc;
+    }
+}
+
+/// Functional and detailed execution retire the *identical* instruction
+/// stream (same pcs in the same order), so sampled simulation can switch
+/// modes freely.
+#[test]
+fn functional_and_detailed_retire_identical_streams() {
+    let w = pgss_workloads::gzip(0.01);
+    let mut a = Recorder::default();
+    let mut b = Recorder::default();
+    let mut ma = w.machine();
+    let mut mb = w.machine();
+    ma.run_with(Mode::Functional, u64::MAX, &mut a);
+    mb.run_with(Mode::DetailedMeasured, u64::MAX, &mut b);
+    assert_eq!(a.retired, b.retired);
+    assert_eq!(a.checksum, b.checksum, "retired pc streams differ between modes");
+    assert_eq!(a.taken, b.taken);
+    assert_eq!(a.taken_ops, b.taken_ops);
+}
+
+/// Interleaving modes at arbitrary boundaries never changes the
+/// architectural stream.
+#[test]
+fn mode_interleaving_preserves_stream() {
+    let w = pgss_workloads::parser(0.01);
+    let mut reference = Recorder::default();
+    let mut m = w.machine();
+    m.run_with(Mode::Functional, u64::MAX, &mut reference);
+
+    let mut interleaved = Recorder::default();
+    let mut m = w.machine();
+    let mut chunk = 997u64;
+    let modes = [Mode::Functional, Mode::DetailedWarming, Mode::FastForward, Mode::DetailedMeasured];
+    let mut i = 0;
+    while !m.halted() {
+        m.run_with(modes[i % modes.len()], chunk, &mut interleaved);
+        chunk = chunk.wrapping_mul(7).wrapping_add(13) % 50_000 + 1;
+        i += 1;
+    }
+    assert_eq!(reference.retired, interleaved.retired);
+    assert_eq!(reference.checksum, interleaved.checksum);
+    assert_eq!(reference.taken_ops, interleaved.taken_ops);
+}
+
+/// Taken-branch op counts partition the retired stream: the sum of
+/// `ops_since_last` over all taken branches plus the trailing straight-line
+/// tail equals the total retired count.
+#[test]
+fn taken_branch_ops_partition_the_stream() {
+    let w = pgss_workloads::mesa(0.01);
+    let mut r = Recorder::default();
+    let mut m = w.machine();
+    m.run_with(Mode::Functional, u64::MAX, &mut r);
+    assert!(r.taken_ops <= r.retired);
+    // The tail after the last taken branch is at most the longest
+    // straight-line stretch, which is tiny compared to the program.
+    assert!(r.retired - r.taken_ops < 1000, "tail {} too large", r.retired - r.taken_ops);
+}
+
+/// The hashed-BBV tracker accounts every retired op to some bucket.
+#[test]
+fn bbv_totals_match_taken_branch_ops() {
+    let w = pgss_workloads::twolf(0.01);
+    let mut m = w.machine();
+    let mut tracker = HashedBbvTracker::new(BbvHash::from_seed(1));
+    let mut total = 0u64;
+    loop {
+        let r = m.run_with(Mode::Functional, 100_000, &mut tracker);
+        total += tracker.take().total_ops();
+        if r.halted || r.ops == 0 {
+            break;
+        }
+    }
+    let mut check = Recorder::default();
+    let mut m = w.machine();
+    m.run_with(Mode::Functional, u64::MAX, &mut check);
+    assert_eq!(total, check.taken_ops);
+}
+
+/// The full stack is bit-deterministic: same workload, same machine, same
+/// cycles.
+#[test]
+fn cycle_level_determinism_across_runs() {
+    let w = pgss_workloads::equake(0.01);
+    let run = || {
+        let mut m = w.machine();
+        let mut cycles = 0u64;
+        let mut ops = 0u64;
+        loop {
+            let r = m.run(Mode::DetailedMeasured, 123_456);
+            cycles += r.cycles;
+            ops += r.ops;
+            if r.halted || r.ops == 0 {
+                break;
+            }
+        }
+        (ops, cycles, m.memsys().l1d().misses(), m.bpred().mispredictions())
+    };
+    assert_eq!(run(), run());
+}
+
+/// Workload generation itself is deterministic across processes (seeded).
+#[test]
+fn workload_generation_is_reproducible() {
+    for name in pgss_workloads::SUITE_NAMES {
+        let a = pgss_workloads::by_name(name, 0.01).unwrap();
+        let b = pgss_workloads::by_name(name, 0.01).unwrap();
+        assert_eq!(a.program().instrs(), b.program().instrs(), "{name} programs differ");
+        assert_eq!(a.memory(), b.memory(), "{name} memory images differ");
+        assert_eq!(a.nominal_ops(), b.nominal_ops());
+    }
+}
+
+/// Different machine configurations change timing but never architecture.
+#[test]
+fn configuration_changes_timing_not_architecture() {
+    // A chase ring that fits the default 1 MiB L2 but thrashes a 64 KiB
+    // one, so the configuration change must show up in cycles.
+    let w = {
+        let mut b = WorkloadBuilder::new("l2-sensitive", 5);
+        let seg = b.add_segment(Kernel::Chase {
+            ring_words: 48 * 1024, // 384 KiB
+            chains: 1,
+            compute_per_step: 2,
+        });
+        b.run(seg, 2_000_000);
+        b.finish()
+    };
+    let small_cache = MachineConfig {
+        l2: pgss_cpu::CacheConfig { size_bytes: 64 * 1024, ..pgss_cpu::CacheConfig::l2_default() },
+        ..MachineConfig::default()
+    };
+    let mut r1 = Recorder::default();
+    let mut r2 = Recorder::default();
+    let mut m1 = w.machine();
+    let mut m2 = w.machine_with(small_cache);
+    let a = m1.run_with(Mode::DetailedMeasured, u64::MAX, &mut r1);
+    let b = m2.run_with(Mode::DetailedMeasured, u64::MAX, &mut r2);
+    assert_eq!(r1.checksum, r2.checksum);
+    assert!(
+        b.cycles > a.cycles,
+        "shrinking the L2 16x should cost cycles ({} vs {})",
+        b.cycles,
+        a.cycles
+    );
+}
