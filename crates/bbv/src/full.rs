@@ -14,7 +14,10 @@ pub struct FullBbv {
 impl FullBbv {
     /// Creates a zero vector with one slot per basic block.
     pub fn zeroed(num_blocks: usize) -> FullBbv {
-        FullBbv { counts: vec![0; num_blocks], total: 0 }
+        FullBbv {
+            counts: vec![0; num_blocks],
+            total: 0,
+        }
     }
 
     /// Number of dimensions (static basic blocks).
@@ -67,8 +70,13 @@ pub struct FullBbvTracker {
 impl FullBbvTracker {
     /// Creates a tracker for `program`.
     pub fn new(program: &Program) -> FullBbvTracker {
-        let block_of = (0..program.len() as u32).map(|pc| program.block_of(pc)).collect();
-        FullBbvTracker { block_of, current: FullBbv::zeroed(program.num_blocks()) }
+        let block_of = (0..program.len() as u32)
+            .map(|pc| program.block_of(pc))
+            .collect();
+        FullBbvTracker {
+            block_of,
+            current: FullBbv::zeroed(program.num_blocks()),
+        }
     }
 
     /// The vector accumulated so far in the current interval.
@@ -154,9 +162,18 @@ mod tests {
 
     #[test]
     fn manhattan_distances() {
-        let a = FullBbv { counts: vec![10, 0], total: 10 };
-        let b = FullBbv { counts: vec![5, 0], total: 5 };
-        let c = FullBbv { counts: vec![0, 7], total: 7 };
+        let a = FullBbv {
+            counts: vec![10, 0],
+            total: 10,
+        };
+        let b = FullBbv {
+            counts: vec![5, 0],
+            total: 5,
+        };
+        let c = FullBbv {
+            counts: vec![0, 7],
+            total: 7,
+        };
         assert_eq!(a.manhattan(&b), 0.0); // same distribution
         assert_eq!(a.manhattan(&c), 2.0); // disjoint support
         let zero = FullBbv::zeroed(2);

@@ -1,9 +1,7 @@
 //! The paper's online hashed basic-block vector.
 
 use pgss_cpu::RetireSink;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use pgss_stats::DetRng;
 
 /// Dimensionality of the hashed BBV: the hash yields a 5-bit index into 32
 /// registers.
@@ -56,18 +54,22 @@ impl BbvHash {
         let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        BbvHash { kind: HashKind::Mix((z ^ (z >> 31)) | 1) }
+        BbvHash {
+            kind: HashKind::Mix((z ^ (z >> 31)) | 1),
+        }
     }
 
     /// The paper's literal mechanism with pseudo-random positions: five
     /// distinct bit positions drawn from the low 16 bits of the address.
     pub fn select_bits_from_seed(seed: u64) -> BbvHash {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let mut positions: Vec<u32> = (0..16).collect();
-        positions.shuffle(&mut rng);
+        rng.shuffle(&mut positions);
         let mut bits = [0u32; 5];
         bits.copy_from_slice(&positions[..5]);
-        BbvHash { kind: HashKind::Bits(bits) }
+        BbvHash {
+            kind: HashKind::Bits(bits),
+        }
     }
 
     /// The paper's literal mechanism with explicit bit positions (each must
@@ -78,7 +80,9 @@ impl BbvHash {
     /// Panics if any position is 32 or greater.
     pub fn from_bits(bits: [u32; 5]) -> BbvHash {
         assert!(bits.iter().all(|&b| b < 32), "bit positions must be < 32");
-        BbvHash { kind: HashKind::Bits(bits) }
+        BbvHash {
+            kind: HashKind::Bits(bits),
+        }
     }
 
     /// The selected bit positions, when the hash is a bit selection.
@@ -144,7 +148,12 @@ impl HashedBbv {
     /// zero vector.
     pub fn normalized(&self) -> [f64; HASHED_BBV_DIM] {
         let mut v = [0.0; HASHED_BBV_DIM];
-        let norm = self.counts.iter().map(|&c| (c as f64) * (c as f64)).sum::<f64>().sqrt();
+        let norm = self
+            .counts
+            .iter()
+            .map(|&c| (c as f64) * (c as f64))
+            .sum::<f64>()
+            .sqrt();
         if norm > 0.0 {
             for (o, &c) in v.iter_mut().zip(&self.counts) {
                 *o = c as f64 / norm;
@@ -192,7 +201,10 @@ pub struct HashedBbvTracker {
 impl HashedBbvTracker {
     /// Creates a tracker using `hash`.
     pub fn new(hash: BbvHash) -> HashedBbvTracker {
-        HashedBbvTracker { hash, current: HashedBbv::new() }
+        HashedBbvTracker {
+            hash,
+            current: HashedBbv::new(),
+        }
     }
 
     /// The tracker's hash function.
@@ -253,7 +265,11 @@ mod tests {
         let mut buckets: Vec<usize> = (0..24u32).map(|pc| h.index(pc * 7 + 3)).collect();
         buckets.sort_unstable();
         buckets.dedup();
-        assert!(buckets.len() >= 12, "24 dense addresses landed in only {} buckets", buckets.len());
+        assert!(
+            buckets.len() >= 12,
+            "24 dense addresses landed in only {} buckets",
+            buckets.len()
+        );
     }
 
     #[test]

@@ -81,9 +81,7 @@ pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
     match (sa == 0.0, sb == 0.0) {
         (true, true) => 0.0,
         (true, false) | (false, true) => 2.0,
-        (false, false) => {
-            a.iter().zip(b).map(|(x, y)| (x / sa - y / sb).abs()).sum()
-        }
+        (false, false) => a.iter().zip(b).map(|(x, y)| (x / sa - y / sb).abs()).sum(),
     }
 }
 

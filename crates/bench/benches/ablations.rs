@@ -12,22 +12,47 @@ use pgss_bench::{banner, cached_ground_truth, ops_fmt, pct, Table};
 use pgss_cpu::Mode;
 
 fn main() {
-    banner("Ablations", "spacing rule, CI stop, detailed warming, BBV hash");
+    banner(
+        "Ablations",
+        "spacing rule, CI stop, detailed warming, BBV hash",
+    );
     let names = ["164.gzip", "183.equake", "300.twolf"];
-    let workloads: Vec<_> =
-        names.iter().map(|n| pgss_workloads::by_name(n, pgss_bench::scale()).unwrap()).collect();
+    let workloads: Vec<_> = names
+        .iter()
+        .map(|n| pgss_workloads::by_name(n, pgss_bench::scale()).unwrap())
+        .collect();
     let truths: Vec<_> = workloads.iter().map(cached_ground_truth).collect();
 
     // ---- 1 + 2: PGSS sampling-control ablations -------------------------
     println!("\n[1+2] PGSS(100k ff) sampling-control ablations:");
     let variants: [(&str, PgssSim); 3] = [
-        ("full PGSS", PgssSim { ff_ops: 100_000, ..PgssSim::default() }),
+        (
+            "full PGSS",
+            PgssSim {
+                ff_ops: 100_000,
+                ..PgssSim::default()
+            },
+        ),
         // Spacing disabled: a phase may be sampled on every interval until
         // its CI closes.
-        ("no spacing rule", PgssSim { ff_ops: 100_000, spacing_ops: 0, ..PgssSim::default() }),
+        (
+            "no spacing rule",
+            PgssSim {
+                ff_ops: 100_000,
+                spacing_ops: 0,
+                ..PgssSim::default()
+            },
+        ),
         // CI stop disabled (ci_rel = 0 can never be met): sampling is
         // limited only by the spacing rule.
-        ("no CI stop", PgssSim { ff_ops: 100_000, ci_rel: 0.0, ..PgssSim::default() }),
+        (
+            "no CI stop",
+            PgssSim {
+                ff_ops: 100_000,
+                ci_rel: 0.0,
+                ..PgssSim::default()
+            },
+        ),
     ];
     let mut t = Table::new(&["variant", "benchmark", "error", "detailed ops", "samples"]);
     for (label, v) in &variants {
@@ -54,7 +79,12 @@ fn main() {
     let mut t = Table::new(&["warm ops", "benchmark", "error", "est IPC", "true IPC"]);
     for warm in [0u64, 1_000, 3_000, 10_000] {
         for (w, truth) in workloads.iter().zip(&truths) {
-            let est = Smarts { unit_ops: 1_000, warm_ops: warm, period_ops: 100_000 }.run(w);
+            let est = Smarts {
+                unit_ops: 1_000,
+                warm_ops: warm,
+                period_ops: 100_000,
+            }
+            .run(w);
             t.row(&[
                 warm.to_string(),
                 w.name().to_string(),
@@ -74,11 +104,16 @@ fn main() {
     // ---- 4: hash variant -------------------------------------------------
     println!("\n[4] phase counts under the multiplicative mix vs the literal");
     println!("5-raw-bit hash (10 seeds), 1M-op intervals, 0.05π threshold:");
-    let mut t = Table::new(&["benchmark", "mix phases", "raw-bit phases (min..max over seeds)"]);
+    let mut t = Table::new(&[
+        "benchmark",
+        "mix phases",
+        "raw-bit phases (min..max over seeds)",
+    ]);
     for w in &workloads {
         let mix = count_phases(w, BbvHash::from_seed(0x5047_5353));
-        let mut raw: Vec<usize> =
-            (0..10).map(|s| count_phases(w, BbvHash::select_bits_from_seed(s))).collect();
+        let mut raw: Vec<usize> = (0..10)
+            .map(|s| count_phases(w, BbvHash::select_bits_from_seed(s)))
+            .collect();
         raw.sort_unstable();
         t.row(&[
             w.name().to_string(),
@@ -91,7 +126,6 @@ fn main() {
     println!("phases on this repository's compact generated code (branch sites");
     println!("span a few hundred addresses, not a 32-bit address space), which");
     println!("is why the default hash mixes the address first (DESIGN.md §2).");
-
 }
 
 /// Number of phases the online detector finds using `hash`.

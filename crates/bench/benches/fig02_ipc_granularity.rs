@@ -16,7 +16,10 @@ use pgss_cpu::MachineConfig;
 use pgss_stats::Welford;
 
 fn main() {
-    banner("Figure 2", "IPC vs completed ops for 164.gzip at 4 sampling periods");
+    banner(
+        "Figure 2",
+        "IPC vs completed ops for 164.gzip at 4 sampling periods",
+    );
     let w = pgss_workloads::gzip(scale());
     let cfg = MachineConfig::default();
     // Collect once at the finest period and aggregate upward (identical to
@@ -24,7 +27,14 @@ fn main() {
     let periods: [u64; 4] = [10_000, 100_000, 1_000_000, 10_000_000];
     let fine = ipc_trace(&w, &cfg, periods[0]);
 
-    let mut table = Table::new(&["period", "intervals", "min IPC", "max IPC", "stddev", "Δ|IPC| mean"]);
+    let mut table = Table::new(&[
+        "period",
+        "intervals",
+        "min IPC",
+        "max IPC",
+        "stddev",
+        "Δ|IPC| mean",
+    ]);
     for &p in &periods {
         let group = (p / periods[0]) as usize;
         let series = aggregate(&fine, group);

@@ -13,7 +13,10 @@ use pgss_cpu::MachineConfig;
 use pgss_stats::Histogram;
 
 fn main() {
-    banner("Figure 3", "IPC vs time and cycle-weighted IPC distribution for 168.wupwise");
+    banner(
+        "Figure 3",
+        "IPC vs time and cycle-weighted IPC distribution for 168.wupwise",
+    );
     let w = pgss_workloads::wupwise(scale());
     let profile = interval_profile(&w, &MachineConfig::default(), 100_000, 1);
     assert!(!profile.is_empty(), "workload too short");

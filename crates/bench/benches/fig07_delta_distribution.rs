@@ -11,7 +11,10 @@ use pgss::analysis::density_grid;
 use pgss_bench::{banner, suite_deltas, Table};
 
 fn main() {
-    banner("Figure 7", "(ΔBBV, ΔIPC) density over 100k-op samples, 10 benchmarks");
+    banner(
+        "Figure 7",
+        "(ΔBBV, ΔIPC) density over 100k-op samples, 10 benchmarks",
+    );
     let per_benchmark = suite_deltas(100_000);
     for (name, d) in &per_benchmark {
         println!("  {name}: {} deltas", d.len());
@@ -32,9 +35,12 @@ fn main() {
     let mut table = Table::new(&header_refs);
     for y in (0..YB).rev() {
         let mut row = vec![format!("{:.2}", (y as f64 + 0.5) / YB as f64 * y_max)];
-        for x in 0..XB {
-            let v = grid[y][x];
-            row.push(if v >= 0.0005 { format!("{:.1}", v * 100.0) } else { ".".to_string() });
+        for &v in &grid[y] {
+            row.push(if v >= 0.0005 {
+                format!("{:.1}", v * 100.0)
+            } else {
+                ".".to_string()
+            });
         }
         table.row(&row);
     }
@@ -53,7 +59,12 @@ fn main() {
             .map(|d| d.ipc_sigmas)
             .collect();
         let mean = pgss_stats::amean(&in_col).unwrap_or(0.0);
-        println!("  .{:02.0}π: {:>8} samples, mean {:.3}σ", (x as f64 + 0.5) / XB as f64 * 50.0, in_col.len(), mean);
+        println!(
+            "  .{:02.0}π: {:>8} samples, mean {:.3}σ",
+            (x as f64 + 0.5) / XB as f64 * 50.0,
+            in_col.len(),
+            mean
+        );
     }
     println!("\nExpected shape (paper): mass concentrates near the origin; BBV");
     println!("changes above ≈.05π correspond to large IPC changes.");

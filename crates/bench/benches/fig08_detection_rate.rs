@@ -9,7 +9,10 @@ use pgss::analysis::{detection_rate, Delta};
 use pgss_bench::{banner, suite_deltas, Table};
 
 fn main() {
-    banner("Figure 8", "% of significant IPC changes caught vs BBV threshold");
+    banner(
+        "Figure 8",
+        "% of significant IPC changes caught vs BBV threshold",
+    );
     let per_benchmark = suite_deltas(100_000);
     let sigma_levels = [0.1, 0.2, 0.3, 0.4, 0.5];
     let thresholds: Vec<f64> = (0..=20).map(|i| i as f64 * 0.025).collect(); // fractions of π
@@ -23,10 +26,12 @@ fn main() {
         let rad = pgss::threshold(t);
         let mut row = vec![format!("{t:.3}")];
         for &sigma in &sigma_levels {
-            row.push(match mean_rate(&per_benchmark, |d| detection_rate(d, rad, sigma)) {
-                Some(r) => pgss_bench::pct(r),
-                None => "-".into(),
-            });
+            row.push(
+                match mean_rate(&per_benchmark, |d| detection_rate(d, rad, sigma)) {
+                    Some(r) => pgss_bench::pct(r),
+                    None => "-".into(),
+                },
+            );
         }
         table.row(&row);
     }

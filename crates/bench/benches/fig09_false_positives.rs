@@ -9,7 +9,10 @@ use pgss::analysis::{false_positive_rate, Delta};
 use pgss_bench::{banner, suite_deltas, Table};
 
 fn main() {
-    banner("Figure 9", "% of detected phase changes that are false positives");
+    banner(
+        "Figure 9",
+        "% of detected phase changes that are false positives",
+    );
     let per_benchmark = suite_deltas(100_000);
     let sigma_levels = [0.1, 0.2, 0.3, 0.4, 0.5];
     let thresholds: Vec<f64> = (0..=20).map(|i| i as f64 * 0.025).collect();
@@ -23,10 +26,12 @@ fn main() {
         let rad = pgss::threshold(t);
         let mut row = vec![format!("{t:.3}")];
         for &sigma in &sigma_levels {
-            row.push(match mean_rate(&per_benchmark, |d| false_positive_rate(d, rad, sigma)) {
-                Some(r) => pgss_bench::pct(r),
-                None => "-".into(),
-            });
+            row.push(
+                match mean_rate(&per_benchmark, |d| false_positive_rate(d, rad, sigma)) {
+                    Some(r) => pgss_bench::pct(r),
+                    None => "-".into(),
+                },
+            );
         }
         table.row(&row);
     }

@@ -13,7 +13,10 @@ use pgss_cpu::MachineConfig;
 use pgss_stats::Welford;
 
 fn main() {
-    banner("Figure 10", "threshold effects on 300.twolf phase characteristics");
+    banner(
+        "Figure 10",
+        "threshold effects on 300.twolf phase characteristics",
+    );
     let w = pgss_workloads::twolf(scale());
     let profile = interval_profile(&w, &MachineConfig::default(), 100_000, 1);
     let overall: Welford = profile.iter().map(|s| s.ipc).collect();
@@ -25,7 +28,9 @@ fn main() {
     );
 
     // 0 → 0.5π in the paper's x-axis range (shown there in radians 0–1.57).
-    let thresholds: Vec<f64> = (0..=20).map(|i| pgss::threshold(i as f64 * 0.025)).collect();
+    let thresholds: Vec<f64> = (0..=20)
+        .map(|i| pgss::threshold(i as f64 * 0.025))
+        .collect();
     let rows = phase_threshold_sweep(&profile, &thresholds);
 
     let mut table = Table::new(&[

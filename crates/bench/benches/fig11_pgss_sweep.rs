@@ -11,7 +11,10 @@ use pgss_bench::{banner, cached_ground_truth, pct, suite, Table};
 use pgss_cpu::MachineConfig;
 
 fn main() {
-    banner("Figure 11", "PGSS error: 3 BBV periods x 5 thresholds x 10 benchmarks");
+    banner(
+        "Figure 11",
+        "PGSS error: 3 BBV periods x 5 thresholds x 10 benchmarks",
+    );
     let cfg = MachineConfig::default();
     let workloads = suite();
     let truths: Vec<_> = workloads.iter().map(cached_ground_truth).collect();
@@ -46,7 +49,7 @@ fn main() {
             amean_row.push(pct(a));
             gmean_row.push(pct(g));
             let name = format!("{period_name}/.{:02.0}π", thresholds[ti] * 100.0);
-            if best_overall.as_ref().map_or(true, |(b, _)| g < *b) {
+            if best_overall.as_ref().is_none_or(|(b, _)| g < *b) {
                 best_overall = Some((g, name));
             }
         }
@@ -56,7 +59,10 @@ fn main() {
     }
 
     let (g, name) = best_overall.expect("at least one configuration");
-    println!("\nbest overall configuration by G-Mean: {name} ({})", pct(g));
+    println!(
+        "\nbest overall configuration by G-Mean: {name} ({})",
+        pct(g)
+    );
     println!("Expected shape (paper): 1M/.05π best overall; art/mcf degrade at");
     println!("the 100k period (micro-phase aliasing) and recover at 1M+.");
 }

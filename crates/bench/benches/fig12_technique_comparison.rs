@@ -8,113 +8,161 @@
 //! SimPoint intervals {100k, 1M} × k {5, 10, 20}, Online SimPoint
 //! intervals {100k, 1M} × thresholds {.05, .10}π, PGSS periods
 //! {100k, 1M, 10M} × thresholds {.05 … .25}π.
+//!
+//! Every (benchmark × configuration) cell is one campaign job, so the whole
+//! figure fans out across the host's cores via [`pgss::campaign`]; the
+//! "best" columns then pick per benchmark among their sweep's cells.
 
-use pgss::{
-    Estimate, GroundTruth, OnlineSimPoint, PgssSim, SimPointOffline, Smarts, Technique,
-    TurboSmarts,
-};
+use std::ops::Range;
+
+use pgss::{campaign, OnlineSimPoint, PgssSim, SimPointOffline, Smarts, Technique, TurboSmarts};
 use pgss_bench::{banner, cached_ground_truth, ops_fmt, pct, suite, Table};
 use pgss_cpu::MachineConfig;
-use pgss_workloads::Workload;
 
-/// One column of the figure: a named strategy producing an estimate.
+/// One column of the figure: a fixed configuration, or the per-benchmark
+/// best of a sweep range (indices into the technique list).
 struct Column {
     name: &'static str,
-    run: Box<dyn Fn(&Workload, &GroundTruth) -> Estimate>,
+    select: Range<usize>,
 }
 
 fn main() {
-    banner("Figure 12", "error and detailed-simulation cost per technique");
+    banner(
+        "Figure 12",
+        "error and detailed-simulation cost per technique",
+    );
     let cfg = MachineConfig::default();
 
-    let smarts = Smarts { period_ops: 100_000, ..Smarts::default() };
+    let smarts = Smarts {
+        period_ops: 100_000,
+        ..Smarts::default()
+    };
+    let turbo = TurboSmarts {
+        smarts,
+        ..TurboSmarts::default()
+    };
+    let simpoints: Vec<SimPointOffline> = [100_000u64, 1_000_000]
+        .iter()
+        .flat_map(|&i| {
+            [5usize, 10, 20].iter().map(move |&k| SimPointOffline {
+                interval_ops: i,
+                k,
+                ..SimPointOffline::default()
+            })
+        })
+        .collect();
+    let olsps: Vec<OnlineSimPoint> = [100_000u64, 1_000_000]
+        .iter()
+        .flat_map(|&i| {
+            [0.05, 0.10].iter().map(move |&th| OnlineSimPoint {
+                interval_ops: i,
+                threshold_rad: pgss::threshold(th),
+                ..OnlineSimPoint::default()
+            })
+        })
+        .collect();
+    let pgsss: Vec<PgssSim> = [100_000u64, 1_000_000, 10_000_000]
+        .iter()
+        .flat_map(|&p| {
+            [0.05, 0.10, 0.15, 0.20, 0.25]
+                .iter()
+                .map(move |&th| PgssSim::with_params(p, th))
+        })
+        .collect();
+
+    let mut techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &turbo];
+    let sp_start = techs.len();
+    techs.extend(simpoints.iter().map(|t| t as &(dyn Technique + Sync)));
+    let sp_range = sp_start..techs.len();
+    let olsp_start = techs.len();
+    techs.extend(olsps.iter().map(|t| t as &(dyn Technique + Sync)));
+    let olsp_range = olsp_start..techs.len();
+    let pgss_start = techs.len();
+    techs.extend(pgsss.iter().map(|t| t as &(dyn Technique + Sync)));
+    let pgss_range = pgss_start..techs.len();
+    // The fixed best-overall configurations are members of their sweeps.
+    let index_of = |range: &Range<usize>, name: &str| {
+        range
+            .clone()
+            .find(|&i| techs[i].name() == name)
+            .expect("fixed config is in its sweep")
+    };
+    let sp_fixed = index_of(
+        &sp_range,
+        &SimPointOffline {
+            interval_ops: 1_000_000,
+            k: 10,
+            ..SimPointOffline::default()
+        }
+        .name(),
+    );
+    let olsp_fixed = index_of(&olsp_range, &OnlineSimPoint::new().name());
+    let pgss_fixed = index_of(&pgss_range, &PgssSim::new().name());
+
     let columns: Vec<Column> = vec![
-        Column { name: "SMARTS", run: Box::new(move |w, _| smarts.run(w)) },
+        Column {
+            name: "SMARTS",
+            select: 0..1,
+        },
         Column {
             name: "TurboSMARTS",
-            run: Box::new(move |w, _| TurboSmarts { smarts, ..TurboSmarts::default() }.run(w)),
+            select: 1..2,
         },
         Column {
             name: "SimPoint(best)",
-            run: Box::new(|w, t| {
-                best_of(
-                    [100_000u64, 1_000_000]
-                        .iter()
-                        .flat_map(|&i| {
-                            [5usize, 10, 20].iter().map(move |&k| SimPointOffline {
-                                interval_ops: i,
-                                k,
-                                ..SimPointOffline::default()
-                            })
-                        })
-                        .map(|sp| sp.run(w))
-                        .collect(),
-                    t,
-                )
-            }),
+            select: sp_range,
         },
         Column {
             name: "SimPoint(10x1M)",
-            run: Box::new(|w, _| {
-                SimPointOffline { interval_ops: 1_000_000, k: 10, ..SimPointOffline::default() }
-                    .run(w)
-            }),
+            select: sp_fixed..sp_fixed + 1,
         },
         Column {
             name: "OLSimPoint(best)",
-            run: Box::new(|w, t| {
-                best_of(
-                    [100_000u64, 1_000_000]
-                        .iter()
-                        .flat_map(|&i| {
-                            [0.05, 0.10].iter().map(move |&th| OnlineSimPoint {
-                                interval_ops: i,
-                                threshold_rad: pgss::threshold(th),
-                                ..OnlineSimPoint::default()
-                            })
-                        })
-                        .map(|o| o.run(w))
-                        .collect(),
-                    t,
-                )
-            }),
+            select: olsp_range,
         },
         Column {
             name: "OLSimPoint(1M/.10)",
-            run: Box::new(|w, _| OnlineSimPoint::new().run(w)),
+            select: olsp_fixed..olsp_fixed + 1,
         },
         Column {
             name: "PGSS(best)",
-            run: Box::new(|w, t| {
-                best_of(
-                    [100_000u64, 1_000_000, 10_000_000]
-                        .iter()
-                        .flat_map(|&p| {
-                            [0.05, 0.10, 0.15, 0.20, 0.25]
-                                .iter()
-                                .map(move |&th| PgssSim::with_params(p, th))
-                        })
-                        .map(|p| p.run(w))
-                        .collect(),
-                    t,
-                )
-            }),
+            select: pgss_range,
         },
-        Column { name: "PGSS(1M/.05)", run: Box::new(|w, _| PgssSim::new().run(w)) },
+        Column {
+            name: "PGSS(1M/.05)",
+            select: pgss_fixed..pgss_fixed + 1,
+        },
     ];
 
     let workloads = suite();
     let truths: Vec<_> = workloads.iter().map(cached_ground_truth).collect();
-    let _ = cfg;
+
+    eprintln!(
+        "running {} campaign cells ...",
+        workloads.len() * techs.len()
+    );
+    let jobs = campaign::grid(&workloads, &techs, cfg);
+    let cells = campaign::run(&jobs);
+    let cell = |w: usize, t: usize| &cells[w * techs.len() + t];
 
     // results[column][benchmark]
     let mut errors: Vec<Vec<f64>> = vec![Vec::new(); columns.len()];
     let mut detailed: Vec<Vec<u64>> = vec![Vec::new(); columns.len()];
-    for (w, t) in workloads.iter().zip(&truths) {
-        eprintln!("running {} ...", w.name());
+    for (wi, truth) in truths.iter().enumerate() {
         for (c, col) in columns.iter().enumerate() {
-            let est = (col.run)(w, t);
-            errors[c].push(est.error_vs(t));
+            // The column's estimate for this benchmark: its only cell, or
+            // the lowest-error cell of its sweep.
+            let est = col
+                .select
+                .clone()
+                .map(|t| &cell(wi, t).estimate)
+                .min_by(|a, b| {
+                    a.error_vs(truth)
+                        .partial_cmp(&b.error_vs(truth))
+                        .expect("finite errors")
+                })
+                .expect("column selects at least one technique");
+            errors[c].push(est.error_vs(truth));
             detailed[c].push(est.detailed_ops());
         }
     }
@@ -152,22 +200,19 @@ fn main() {
 
     // The paper's headline ratios.
     let mean_det = |c: usize| detailed[c].iter().sum::<u64>() as f64 / detailed[c].len() as f64;
-    let pgss_fixed = columns.len() - 1;
+    let pgss_fixed_col = columns.len() - 1;
     println!("\ndetailed-simulation ratios vs PGSS(1M/.05):");
     for (c, col) in columns.iter().enumerate() {
-        if c != pgss_fixed {
-            println!("  {:<18} {:>8.1}x", col.name, mean_det(c) / mean_det(pgss_fixed));
+        if c != pgss_fixed_col {
+            println!(
+                "  {:<18} {:>8.1}x",
+                col.name,
+                mean_det(c) / mean_det(pgss_fixed_col)
+            );
         }
     }
     println!("\nExpected shape (paper): SMARTS and SimPoint most accurate;");
     println!("PGSS slightly worse but better than TurboSMARTS; PGSS uses ~an");
     println!("order of magnitude less detailed simulation than SMARTS and 2-3");
     println!("orders less than SimPoint variants.");
-}
-
-fn best_of(results: Vec<Estimate>, truth: &GroundTruth) -> Estimate {
-    results
-        .into_iter()
-        .min_by(|a, b| a.error_vs(truth).partial_cmp(&b.error_vs(truth)).expect("finite errors"))
-        .expect("at least one configuration")
 }

@@ -8,12 +8,15 @@
 //! is bounded by the functional:detailed speed ratio of the simulator.
 
 use pgss::timing::{measure_rates, time_for, ModeRates, TimeBreakdown};
-use pgss::{OnlineSimPoint, PgssSim, SimPointOffline, Smarts, Technique};
+use pgss::{campaign, OnlineSimPoint, PgssSim, SimPointOffline, Smarts, Technique};
 use pgss_bench::{banner, suite, Table};
 use pgss_cpu::{MachineConfig, ModeOps};
 
 fn main() {
-    banner("Figure 13", "total simulation time decomposition per technique");
+    banner(
+        "Figure 13",
+        "total simulation time decomposition per technique",
+    );
     let cfg = MachineConfig::default();
 
     // Measured rates on this host, mid-suite workload (gzip), with and
@@ -32,23 +35,52 @@ fn main() {
         ]);
     };
     rate_row("fast-forward", with_bbv.fast_forward, without.fast_forward);
-    rate_row("functional fast-forward", with_bbv.functional, without.functional);
-    rate_row("detailed warming", with_bbv.detailed_warming, without.detailed_warming);
-    rate_row("detailed simulation", with_bbv.detailed_measured, without.detailed_measured);
+    rate_row(
+        "functional fast-forward",
+        with_bbv.functional,
+        without.functional,
+    );
+    rate_row(
+        "detailed warming",
+        with_bbv.detailed_warming,
+        without.detailed_warming,
+    );
+    rate_row(
+        "detailed simulation",
+        with_bbv.detailed_measured,
+        without.detailed_measured,
+    );
     rates_table.print();
 
-    // Per-technique mode_ops summed over the ten benchmarks.
-    let techniques: Vec<(&str, Box<dyn Technique>)> = vec![
-        ("SMARTS", Box::new(Smarts { period_ops: 100_000, ..Smarts::default() })),
-        (
-            "SimPoint(10x1M)",
-            Box::new(SimPointOffline { interval_ops: 1_000_000, k: 10, ..Default::default() }),
-        ),
-        ("OLSimPoint(1M/.10)", Box::new(OnlineSimPoint::new())),
-        ("PGSS(1M/.05)", Box::new(PgssSim::new())),
+    // Per-technique mode_ops summed over the ten benchmarks; one campaign
+    // cell per (benchmark × technique), run across the host's cores.
+    let smarts = Smarts {
+        period_ops: 100_000,
+        ..Smarts::default()
+    };
+    let simpoint = SimPointOffline {
+        interval_ops: 1_000_000,
+        k: 10,
+        ..Default::default()
+    };
+    let olsp = OnlineSimPoint::new();
+    let pgss = PgssSim::new();
+    let names = [
+        "SMARTS",
+        "SimPoint(10x1M)",
+        "OLSimPoint(1M/.10)",
+        "PGSS(1M/.05)",
     ];
+    let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &simpoint, &olsp, &pgss];
 
     let workloads = suite();
+    eprintln!(
+        "running {} campaign cells ...",
+        workloads.len() * techs.len()
+    );
+    let jobs = campaign::grid(&workloads, &techs, cfg);
+    let cells = campaign::run(&jobs);
+
     let mut table = Table::new(&[
         "technique",
         "fast-fwd (s)",
@@ -58,11 +90,10 @@ fn main() {
         "total (s)",
     ]);
     let mut totals: Vec<(String, TimeBreakdown)> = Vec::new();
-    for (name, tech) in &techniques {
-        eprintln!("running {name} over the suite ...");
+    for (t_idx, name) in names.iter().enumerate() {
         let mut ops = ModeOps::default();
-        for w in &workloads {
-            let est = tech.run_with(w, &cfg);
+        for w_idx in 0..workloads.len() {
+            let est = &cells[w_idx * techs.len() + t_idx].estimate;
             ops.fast_forward += est.mode_ops.fast_forward;
             ops.functional += est.mode_ops.functional;
             ops.detailed_warming += est.mode_ops.detailed_warming;
@@ -95,7 +126,11 @@ fn main() {
     println!("\nwith live-point checkpoints (paper Sec. 7 future work), the");
     println!("functional component vanishes; remaining modelled time:");
     for (name, t) in &totals {
-        println!("  {:<20} {:.3} s", name, t.detailed_warming_s + t.detailed_s);
+        println!(
+            "  {:<20} {:.3} s",
+            name,
+            t.detailed_warming_s + t.detailed_s
+        );
     }
     println!("\nExpected shape (paper): all techniques are dominated by");
     println!("(functional) fast-forwarding without checkpoints; PGSS's detailed");

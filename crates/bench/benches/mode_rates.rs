@@ -1,16 +1,35 @@
-//! Criterion micro-benchmarks for the simulator's per-mode throughput and
+//! Self-timed micro-benchmarks for the simulator's per-mode throughput and
 //! the BBV-tracking overhead — the measured inputs to Figure 13.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pgss_bbv::{BbvHash, HashedBbvTracker};
+use std::time::Instant;
+
+use pgss_bbv::{BbvHash, HashedBbv, HashedBbvTracker};
+use pgss_bench::Table;
 use pgss_cpu::{MachineConfig, Mode};
 
-fn bench_modes(c: &mut Criterion) {
+const OPS_PER_ITER: u64 = 200_000;
+const ITERS: u32 = 20;
+
+/// Median ops/s over `ITERS` timed runs of `ops` simulated instructions.
+fn rate(mut step: impl FnMut() -> u64) -> f64 {
+    let mut rates: Vec<f64> = (0..ITERS)
+        .map(|_| {
+            let start = Instant::now();
+            let ops = step();
+            ops as f64 / start.elapsed().as_secs_f64().max(1e-12)
+        })
+        .collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+    rates[rates.len() / 2]
+}
+
+fn main() {
+    pgss_bench::banner(
+        "mode_rates",
+        "per-mode simulation throughput (median of 20 runs)",
+    );
     let cfg = MachineConfig::default();
-    let ops_per_iter: u64 = 200_000;
-    let mut group = c.benchmark_group("simulation_rate");
-    group.throughput(Throughput::Elements(ops_per_iter));
-    group.sample_size(20);
+    let mut table = Table::new(&["mode", "Mops/s", "Mops/s +bbv", "bbv overhead"]);
 
     for (mode, name) in [
         (Mode::FastForward, "fast_forward"),
@@ -18,42 +37,51 @@ fn bench_modes(c: &mut Criterion) {
         (Mode::DetailedWarming, "detailed_warming"),
         (Mode::DetailedMeasured, "detailed_measured"),
     ] {
-        for with_bbv in [false, true] {
-            let label = if with_bbv { format!("{name}+bbv") } else { name.to_string() };
+        let mut rates = [0.0f64; 2];
+        for (slot, with_bbv) in [false, true].into_iter().enumerate() {
             // A long-lived machine; each iteration advances it further.
-            // gzip at a small scale regenerates cheaply per benchmark id.
+            // gzip at a small scale regenerates cheaply per configuration.
             let workload = pgss_workloads::gzip(2.0);
             let mut machine = workload.machine_with(cfg);
             let mut tracker = HashedBbvTracker::new(BbvHash::from_seed(1));
-            group.bench_function(BenchmarkId::new("mode", label), |b| {
-                b.iter(|| {
-                    if machine.halted() {
-                        machine = workload.machine_with(cfg);
-                    }
-                    if with_bbv {
-                        machine.run_with(mode, ops_per_iter, &mut tracker)
-                    } else {
-                        machine.run(mode, ops_per_iter)
-                    }
-                });
+            rates[slot] = rate(|| {
+                if machine.halted() {
+                    machine = workload.machine_with(cfg);
+                }
+                let r = if with_bbv {
+                    machine.run_with(mode, OPS_PER_ITER, &mut tracker)
+                } else {
+                    machine.run(mode, OPS_PER_ITER)
+                };
+                r.ops.max(1)
             });
         }
+        table.row(&[
+            name.to_string(),
+            format!("{:.2}", rates[0] / 1e6),
+            format!("{:.2}", rates[1] / 1e6),
+            format!("{:.1}%", (rates[0] / rates[1] - 1.0) * 100.0),
+        ]);
     }
-    group.finish();
-}
+    table.print();
 
-fn bench_bbv_math(c: &mut Criterion) {
-    use pgss_bbv::HashedBbv;
+    // BBV angle math: nanoseconds per 32-dimension angle computation.
     let mut a = HashedBbv::new();
     let mut b = HashedBbv::new();
     for i in 0..32 {
         a.record(i, (i as u64 + 3) * 17);
         b.record(i, (i as u64 + 5) * 13);
     }
-    c.bench_function("hashed_bbv_angle", |bencher| {
-        bencher.iter(|| std::hint::black_box(&a).angle(std::hint::black_box(&b)))
-    });
+    let reps = 100_000u32;
+    let mut best = f64::INFINITY;
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            acc += std::hint::black_box(&a).angle(std::hint::black_box(&b));
+        }
+        std::hint::black_box(acc);
+        best = best.min(start.elapsed().as_secs_f64() / f64::from(reps));
+    }
+    println!("hashed_bbv_angle: {:.1} ns/op", best * 1e9);
 }
-
-criterion_group!(benches, bench_modes, bench_bbv_math);
-criterion_main!(benches);

@@ -12,14 +12,20 @@ use pgss_cpu::Mode;
 use pgss_stats::Welford;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
     println!("calibrating at scale {scale}");
     println!(
         "{:<14} {:>8} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9} {:>9}",
         "benchmark", "Mops", "IPC", "ipc100k", "sd100k", "cv", "min", "max", "Mops/s(f)"
     );
-    let names: Vec<&str> =
-        pgss_workloads::SUITE_NAMES.iter().copied().chain(["168.wupwise"]).collect();
+    let names: Vec<&str> = pgss_workloads::SUITE_NAMES
+        .iter()
+        .copied()
+        .chain(["168.wupwise"])
+        .collect();
     for name in names {
         let w = pgss_workloads::by_name(name, scale).expect("name");
 

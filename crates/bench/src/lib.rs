@@ -45,33 +45,47 @@ pub fn suite() -> Vec<Workload> {
 /// detailed pass. The cache key includes the workload's name, nominal
 /// length, and the scale, so regenerating workloads invalidates stale
 /// entries.
+///
+/// Concurrency-safe for parallel campaigns: entries are *appended* (never
+/// read-modify-written, which used to lose entries when two harnesses
+/// raced), unparseable lines — e.g. a line torn by an interrupted writer —
+/// are skipped, and duplicate keys are deduplicated on read. Simulation is
+/// deterministic, so duplicate entries for a key always carry the same
+/// values and the first valid one wins.
 pub fn cached_ground_truth(workload: &Workload) -> GroundTruth {
     let key = format!("{} {} {}", workload.name(), workload.nominal_ops(), scale());
     let path = cache_path();
-    if let Ok(text) = fs::read_to_string(&path) {
-        for line in text.lines() {
-            let mut parts = line.split('|');
-            if let (Some(k), Some(ipc), Some(ops), Some(cycles)) =
-                (parts.next(), parts.next(), parts.next(), parts.next())
-            {
-                if k == key {
-                    if let (Ok(ipc), Ok(total_ops), Ok(cycles)) =
-                        (ipc.parse(), ops.parse(), cycles.parse())
-                    {
-                        return GroundTruth { ipc, total_ops, cycles };
-                    }
-                }
-            }
-        }
+    if let Some(truth) = read_cache(&path, &key) {
+        return truth;
     }
     let truth = FullDetailed::new().ground_truth(workload);
-    let mut line = String::new();
-    let _ = writeln!(line, "{key}|{}|{}|{}", truth.ipc, truth.total_ops, truth.cycles);
-    let mut text = fs::read_to_string(&path).unwrap_or_default();
-    text.push_str(&line);
     let _ = fs::create_dir_all(path.parent().expect("cache path has a parent"));
-    let _ = fs::write(&path, text);
+    if let Ok(mut file) = fs::OpenOptions::new().create(true).append(true).open(&path) {
+        use std::io::Write as _;
+        let _ = writeln!(
+            file,
+            "{key}|{}|{}|{}",
+            truth.ipc, truth.total_ops, truth.cycles
+        );
+    }
     truth
+}
+
+/// First valid entry for `key`, skipping unparseable or foreign lines.
+fn read_cache(path: &std::path::Path, key: &str) -> Option<GroundTruth> {
+    let text = fs::read_to_string(path).ok()?;
+    text.lines().find_map(|line| {
+        let mut parts = line.split('|');
+        let (k, ipc, ops, cycles) = (parts.next()?, parts.next()?, parts.next()?, parts.next()?);
+        if k != key {
+            return None;
+        }
+        Some(GroundTruth {
+            ipc: ipc.parse().ok()?,
+            total_ops: ops.parse().ok()?,
+            cycles: cycles.parse().ok()?,
+        })
+    })
 }
 
 /// Collects the consecutive-interval (ΔBBV, ΔIPC) sets behind Figures 7–9:
@@ -115,7 +129,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Table {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; missing cells render empty, extra cells are kept.
@@ -125,7 +142,10 @@ impl Table {
 
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
-        let cols = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -221,5 +241,47 @@ mod tests {
         let b = cached_ground_truth(&w);
         assert_eq!(a.total_ops, b.total_ops);
         assert_eq!(a.ipc, b.ipc);
+    }
+
+    #[test]
+    fn truth_cache_tolerates_garbage_lines() {
+        let path = cache_path();
+        let _ = fs::create_dir_all(path.parent().unwrap());
+        {
+            use std::io::Write as _;
+            let mut f = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap();
+            // A torn line from an interrupted writer, and outright garbage.
+            writeln!(f, "half|an|entry").unwrap();
+            writeln!(f, "not a cache line at all").unwrap();
+            writeln!(f, "bad parse|x|y|z").unwrap();
+        }
+        let w = pgss_workloads::mesa(0.002);
+        let a = cached_ground_truth(&w);
+        let b = cached_ground_truth(&w);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truth_cache_concurrent_callers_agree() {
+        let w = pgss_workloads::gzip(0.002);
+        let results: Vec<GroundTruth> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| cached_ground_truth(&w)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &results[1..] {
+            assert_eq!(*r, results[0]);
+        }
+        // And the file still parses cleanly afterwards.
+        assert_eq!(Some(results[0]), read_cache(&cache_path(), &cache_key(&w)));
+    }
+
+    fn cache_key(w: &Workload) -> String {
+        format!("{} {} {}", w.name(), w.nominal_ops(), scale())
     }
 }

@@ -38,8 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pgss_stats::DetRng;
 
 /// Projects `data` (rows of equal dimension) to `dims` dimensions with a
 /// seeded uniform-random linear map, as SimPoint does before clustering.
@@ -51,20 +50,33 @@ use rand::{Rng, SeedableRng};
 ///
 /// Panics if rows have unequal lengths or `dims == 0`.
 pub fn project(data: &[Vec<f64>], dims: usize, seed: u64) -> Vec<Vec<f64>> {
-    assert!(dims > 0, "projection target must have at least one dimension");
-    let Some(first) = data.first() else { return Vec::new() };
+    assert!(
+        dims > 0,
+        "projection target must have at least one dimension"
+    );
+    let Some(first) = data.first() else {
+        return Vec::new();
+    };
     let d = first.len();
-    assert!(data.iter().all(|r| r.len() == d), "all rows must have equal dimension");
+    assert!(
+        data.iter().all(|r| r.len() == d),
+        "all rows must have equal dimension"
+    );
     if d <= dims {
         return data.to_vec();
     }
-    let mut rng = SmallRng::seed_from_u64(seed);
-    // Column-major projection matrix with entries uniform in [-1, 1].
-    let matrix: Vec<f64> = (0..d * dims).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+    let mut rng = DetRng::seed_from_u64(seed);
+    // Column-major projection matrix with entries uniform in [-1, 1).
+    let matrix: Vec<f64> = (0..d * dims).map(|_| rng.range_f64(-1.0, 1.0)).collect();
     data.iter()
         .map(|row| {
             (0..dims)
-                .map(|j| row.iter().zip(matrix[j * d..(j + 1) * d].iter()).map(|(x, m)| x * m).sum())
+                .map(|j| {
+                    row.iter()
+                        .zip(matrix[j * d..(j + 1) * d].iter())
+                        .map(|(x, m)| x * m)
+                        .sum()
+                })
                 .collect()
         })
         .collect()
@@ -90,7 +102,12 @@ impl KMeans {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> KMeans {
         assert!(k > 0, "k must be positive");
-        KMeans { k, seed: 0, max_iters: 100, restarts: 5 }
+        KMeans {
+            k,
+            seed: 0,
+            max_iters: 100,
+            restarts: 5,
+        }
     }
 
     /// Sets the RNG seed (restart `r` uses `seed + r`).
@@ -122,12 +139,15 @@ impl KMeans {
     pub fn run(&self, data: &[Vec<f64>]) -> Clustering {
         assert!(!data.is_empty(), "cannot cluster an empty data set");
         let d = data[0].len();
-        assert!(data.iter().all(|r| r.len() == d), "all rows must have equal dimension");
+        assert!(
+            data.iter().all(|r| r.len() == d),
+            "all rows must have equal dimension"
+        );
         let k = self.k.min(data.len());
         let mut best: Option<Clustering> = None;
         for r in 0..self.restarts {
             let c = self.run_once(data, k, self.seed + u64::from(r));
-            if best.as_ref().map_or(true, |b| c.inertia < b.inertia) {
+            if best.as_ref().is_none_or(|b| c.inertia < b.inertia) {
                 best = Some(c);
             }
         }
@@ -135,7 +155,7 @@ impl KMeans {
     }
 
     fn run_once(&self, data: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let d = data[0].len();
         let mut centroids = kmeanspp_init(data, k, &mut rng);
         let mut assignments = vec![0u32; data.len()];
@@ -180,7 +200,12 @@ impl KMeans {
             assignments[i] = best_c as u32;
             final_inertia += best_d;
         }
-        Clustering { assignments, centroids, inertia: final_inertia, dim: d }
+        Clustering {
+            assignments,
+            centroids,
+            inertia: final_inertia,
+            dim: d,
+        }
     }
 }
 
@@ -204,17 +229,17 @@ fn nearest(row: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
 /// k-means++ seeding: first centroid uniform, each further centroid drawn
 /// with probability proportional to squared distance from the nearest chosen
 /// centroid.
-fn kmeanspp_init(data: &[Vec<f64>], k: usize, rng: &mut SmallRng) -> Vec<Vec<f64>> {
+fn kmeanspp_init(data: &[Vec<f64>], k: usize, rng: &mut DetRng) -> Vec<Vec<f64>> {
     let mut centroids = Vec::with_capacity(k);
-    centroids.push(data[rng.gen_range(0..data.len())].clone());
+    centroids.push(data[rng.range_usize(data.len())].clone());
     let mut dists: Vec<f64> = data.iter().map(|r| sq_dist(r, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = dists.iter().sum();
         let next = if total <= 0.0 {
             // All points coincide with existing centroids; pick uniformly.
-            data[rng.gen_range(0..data.len())].clone()
+            data[rng.range_usize(data.len())].clone()
         } else {
-            let mut target = rng.gen_range(0.0..total);
+            let mut target = rng.range_f64(0.0, total);
             let mut pick = data.len() - 1;
             for (i, &d) in dists.iter().enumerate() {
                 if target < d {
@@ -271,7 +296,7 @@ impl Clustering {
         for (i, row) in data.iter().enumerate() {
             let c = self.assignments[i] as usize;
             let d = sq_dist(row, &self.centroids[c]);
-            if best[c].map_or(true, |(_, bd)| d < bd) {
+            if best[c].is_none_or(|(_, bd)| d < bd) {
                 best[c] = Some((i, d));
             }
         }
@@ -322,11 +347,14 @@ mod tests {
     use super::*;
 
     fn blobs(centers: &[(f64, f64)], per: usize) -> Vec<Vec<f64>> {
-        let mut rng = SmallRng::seed_from_u64(99);
+        let mut rng = DetRng::seed_from_u64(99);
         let mut out = Vec::new();
         for &(cx, cy) in centers {
             for _ in 0..per {
-                out.push(vec![cx + rng.gen_range(-0.1..0.1), cy + rng.gen_range(-0.1..0.1)]);
+                out.push(vec![
+                    cx + rng.range_f64(-0.1, 0.1),
+                    cy + rng.range_f64(-0.1, 0.1),
+                ]);
             }
         }
         out
@@ -348,9 +376,9 @@ mod tests {
             },
             3
         );
-        for b in 0..3 {
+        for (b, &id) in ids.iter().enumerate() {
             for i in 0..30 {
-                assert_eq!(c.assignments()[b * 30 + i], ids[b]);
+                assert_eq!(c.assignments()[b * 30 + i], id);
             }
         }
     }
@@ -408,8 +436,9 @@ mod tests {
     #[test]
     fn bic_prefers_true_k() {
         let data = blobs(&[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)], 40);
-        let scores: Vec<f64> =
-            (1..=6).map(|k| KMeans::new(k).with_seed(2).run(&data).bic(&data)).collect();
+        let scores: Vec<f64> = (1..=6)
+            .map(|k| KMeans::new(k).with_seed(2).run(&data).bic(&data))
+            .collect();
         let best_k = 1 + scores
             .iter()
             .enumerate()
@@ -435,7 +464,10 @@ mod tests {
         let p = project(&[a, b], 15, 42);
         assert_eq!(p[0].len(), 15);
         assert_eq!(p[1].len(), 15);
-        assert!(sq_dist(&p[0], &p[1]) > 1.0, "projection collapsed distinct points");
+        assert!(
+            sq_dist(&p[0], &p[1]) > 1.0,
+            "projection collapsed distinct points"
+        );
     }
 
     #[test]

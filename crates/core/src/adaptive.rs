@@ -15,11 +15,14 @@
 //! runs with the tuned threshold. The pilot's instructions are charged as
 //! functional simulation.
 
-use pgss_bbv::{BbvHash, HashedBbv, HashedBbvTracker};
+use pgss_bbv::HashedBbv;
 use pgss_cluster::KMeans;
 use pgss_cpu::{MachineConfig, Mode};
 use pgss_workloads::Workload;
 
+use crate::driver::{
+    Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track,
+};
 use crate::estimate::{Estimate, Technique};
 use crate::pgss_sim::PgssSim;
 
@@ -72,28 +75,25 @@ impl AdaptivePgss {
     /// no separable "change" mass), the base configuration's threshold is
     /// returned unchanged.
     pub fn tune(&self, workload: &Workload, config: &MachineConfig) -> (f64, u64) {
-        let mut machine = workload.machine_with(*config);
-        let mut tracker = HashedBbvTracker::new(BbvHash::from_seed(self.base.hash_seed));
-        let budget = (workload.nominal_ops() as f64 * self.pilot_fraction) as u64;
-        let mut angles = Vec::new();
-        let mut prev: Option<HashedBbv> = None;
-        let mut spent = 0u64;
-        while spent < budget {
-            let r = machine.run_with(Mode::Functional, self.base.ff_ops, &mut tracker);
-            spent += r.ops;
-            let bbv = tracker.take();
-            if r.ops == self.base.ff_ops {
-                if let Some(p) = &prev {
-                    angles.push(bbv.angle(p));
-                }
-                prev = Some(bbv);
-            }
-            if r.halted || r.ops == 0 {
-                break;
-            }
-        }
+        let (t, spent, _) = self.tune_traced(workload, config);
+        (t, spent)
+    }
+
+    fn tune_traced(&self, workload: &Workload, config: &MachineConfig) -> (f64, u64, RunTrace) {
+        let mut driver = SimDriver::new(workload, config, Track::Hashed(self.base.hash_seed));
+        let mut policy = PilotPolicy {
+            ff_ops: self.base.ff_ops,
+            budget: (workload.nominal_ops() as f64 * self.pilot_fraction) as u64,
+            spent: 0,
+            angles: Vec::new(),
+            prev: None,
+            done: false,
+        };
+        driver.run(&mut policy);
+        let PilotPolicy { angles, spent, .. } = policy;
+        let trace = *driver.trace();
         if angles.len() < 4 {
-            return (self.base.threshold_rad, spent);
+            return (self.base.threshold_rad, spent, trace);
         }
         // 1-D 2-means: jitter cluster vs change cluster.
         let rows: Vec<Vec<f64>> = angles.iter().map(|&a| vec![a]).collect();
@@ -110,7 +110,50 @@ impl AdaptivePgss {
             // tight.
             centroids[0] + 0.35 * (centroids[1] - centroids[0])
         };
-        (threshold.clamp(self.min_threshold, self.max_threshold), spent)
+        (
+            threshold.clamp(self.min_threshold, self.max_threshold),
+            spent,
+            trace,
+        )
+    }
+}
+
+/// The functional pilot: consume BBV intervals until the op budget is spent
+/// (or the program halts), collecting consecutive-interval angles.
+struct PilotPolicy {
+    ff_ops: u64,
+    budget: u64,
+    spent: u64,
+    angles: Vec<f64>,
+    prev: Option<HashedBbv>,
+    done: bool,
+}
+
+impl SamplingPolicy for PilotPolicy {
+    fn next(&mut self, _trace: &mut RunTrace) -> Directive {
+        if self.done || self.spent >= self.budget {
+            Directive::Finish
+        } else {
+            Directive::Run(Segment::with_bbv(Mode::Functional, self.ff_ops))
+        }
+    }
+
+    fn observe(&mut self, outcome: &SegmentOutcome, _trace: &mut RunTrace) {
+        self.spent += outcome.ops;
+        if outcome.complete() {
+            let bbv = outcome
+                .bbv
+                .as_ref()
+                .expect("pilot intervals close a BBV")
+                .hashed();
+            if let Some(p) = &self.prev {
+                self.angles.push(bbv.angle(p));
+            }
+            self.prev = Some(*bbv);
+        }
+        if outcome.halted || outcome.ops == 0 {
+            self.done = true;
+        }
     }
 }
 
@@ -120,11 +163,19 @@ impl Technique for AdaptivePgss {
     }
 
     fn run_with(&self, workload: &Workload, config: &MachineConfig) -> Estimate {
-        let (threshold_rad, pilot_ops) = self.tune(workload, config);
-        let tuned = PgssSim { threshold_rad, ..self.base };
-        let mut est = tuned.run_with(workload, config);
+        self.run_traced(workload, config).0
+    }
+
+    fn run_traced(&self, workload: &Workload, config: &MachineConfig) -> (Estimate, RunTrace) {
+        let (threshold_rad, pilot_ops, mut trace) = self.tune_traced(workload, config);
+        let tuned = PgssSim {
+            threshold_rad,
+            ..self.base
+        };
+        let (mut est, pgss_trace) = tuned.run_traced(workload, config);
+        trace.merge(&pgss_trace);
         est.mode_ops.functional += pilot_ops;
-        est
+        (est, trace)
     }
 }
 
@@ -137,11 +188,18 @@ mod tests {
     fn tunes_a_sane_threshold_on_phased_workload() {
         let w = pgss_workloads::wupwise(0.05);
         let a = AdaptivePgss {
-            base: PgssSim { ff_ops: 100_000, spacing_ops: 200_000, ..PgssSim::default() },
+            base: PgssSim {
+                ff_ops: 100_000,
+                spacing_ops: 200_000,
+                ..PgssSim::default()
+            },
             ..AdaptivePgss::default()
         };
         let (t, pilot_ops) = a.tune(&w, &MachineConfig::default());
-        assert!(t >= a.min_threshold && t <= a.max_threshold, "threshold {t}");
+        assert!(
+            t >= a.min_threshold && t <= a.max_threshold,
+            "threshold {t}"
+        );
         assert!(pilot_ops > 0);
     }
 
@@ -149,7 +207,11 @@ mod tests {
     fn pilot_cost_is_charged_as_functional() {
         let w = pgss_workloads::gzip(0.02);
         let a = AdaptivePgss {
-            base: PgssSim { ff_ops: 100_000, spacing_ops: 200_000, ..PgssSim::default() },
+            base: PgssSim {
+                ff_ops: 100_000,
+                spacing_ops: 200_000,
+                ..PgssSim::default()
+            },
             ..AdaptivePgss::default()
         };
         let plain = a.base.run(&w);
@@ -164,9 +226,17 @@ mod tests {
     fn accuracy_is_competitive_with_default_threshold() {
         let w = pgss_workloads::equake(0.05);
         let truth = FullDetailed::new().ground_truth(&w);
-        let base = PgssSim { ff_ops: 100_000, spacing_ops: 200_000, ..PgssSim::default() };
+        let base = PgssSim {
+            ff_ops: 100_000,
+            spacing_ops: 200_000,
+            ..PgssSim::default()
+        };
         let plain = base.run(&w);
-        let adaptive = AdaptivePgss { base, ..AdaptivePgss::default() }.run(&w);
+        let adaptive = AdaptivePgss {
+            base,
+            ..AdaptivePgss::default()
+        }
+        .run(&w);
         // Tuning must not be catastrophically worse than the paper default.
         assert!(
             adaptive.error_vs(&truth) < plain.error_vs(&truth) + 0.1,
@@ -186,13 +256,19 @@ mod tests {
         b.run(seg, 2_000_000);
         let w = b.finish();
         let a = AdaptivePgss {
-            base: PgssSim { ff_ops: 100_000, ..PgssSim::default() },
+            base: PgssSim {
+                ff_ops: 100_000,
+                ..PgssSim::default()
+            },
             ..AdaptivePgss::default()
         };
         let (t, _) = a.tune(&w, &MachineConfig::default());
         // Degenerate angle distribution: default threshold retained (up to
         // clamping).
         let expected = a.base.threshold_rad.clamp(a.min_threshold, a.max_threshold);
-        assert!((t - expected).abs() < 1e-9, "tuned {t} vs expected {expected}");
+        assert!(
+            (t - expected).abs() < 1e-9,
+            "tuned {t} vs expected {expected}"
+        );
     }
 }

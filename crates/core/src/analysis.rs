@@ -68,7 +68,11 @@ pub fn interval_profile(
         let r = machine.run_with(Mode::DetailedMeasured, period_ops, &mut tracker);
         let bbv = tracker.take();
         if r.ops == period_ops {
-            out.push(IntervalSample { ipc: r.ipc(), bbv, ops: r.ops });
+            out.push(IntervalSample {
+                ipc: r.ipc(),
+                bbv,
+                ops: r.ops,
+            });
         }
         if r.halted || r.ops == 0 {
             break;
@@ -97,7 +101,11 @@ pub fn deltas(profile: &[IntervalSample]) -> Vec<Delta> {
     if profile.len() < 2 {
         return Vec::new();
     }
-    let sigma = profile.iter().map(|s| s.ipc).collect::<Welford>().population_stddev();
+    let sigma = profile
+        .iter()
+        .map(|s| s.ipc)
+        .collect::<Welford>()
+        .population_stddev();
     if sigma == 0.0 {
         return Vec::new();
     }
@@ -116,11 +124,17 @@ pub fn deltas(profile: &[IntervalSample]) -> Vec<Delta> {
 ///
 /// `None` when there are no significant changes.
 pub fn detection_rate(deltas: &[Delta], threshold_rad: f64, sigma_level: f64) -> Option<f64> {
-    let significant: Vec<_> = deltas.iter().filter(|d| d.ipc_sigmas > sigma_level).collect();
+    let significant: Vec<_> = deltas
+        .iter()
+        .filter(|d| d.ipc_sigmas > sigma_level)
+        .collect();
     if significant.is_empty() {
         return None;
     }
-    let detected = significant.iter().filter(|d| d.bbv_angle > threshold_rad).count();
+    let detected = significant
+        .iter()
+        .filter(|d| d.bbv_angle > threshold_rad)
+        .count();
     Some(detected as f64 / significant.len() as f64)
 }
 
@@ -130,11 +144,17 @@ pub fn detection_rate(deltas: &[Delta], threshold_rad: f64, sigma_level: f64) ->
 ///
 /// `None` when nothing is detected.
 pub fn false_positive_rate(deltas: &[Delta], threshold_rad: f64, sigma_level: f64) -> Option<f64> {
-    let detected: Vec<_> = deltas.iter().filter(|d| d.bbv_angle > threshold_rad).collect();
+    let detected: Vec<_> = deltas
+        .iter()
+        .filter(|d| d.bbv_angle > threshold_rad)
+        .collect();
     if detected.is_empty() {
         return None;
     }
-    let false_pos = detected.iter().filter(|d| d.ipc_sigmas <= sigma_level).count();
+    let false_pos = detected
+        .iter()
+        .filter(|d| d.ipc_sigmas <= sigma_level)
+        .count();
     Some(false_pos as f64 / detected.len() as f64)
 }
 
@@ -152,7 +172,10 @@ pub fn density_grid(
     x_max: f64,
     y_max: f64,
 ) -> Vec<Vec<f64>> {
-    assert!(x_bins > 0 && y_bins > 0, "grid needs at least one bin per axis");
+    assert!(
+        x_bins > 0 && y_bins > 0,
+        "grid needs at least one bin per axis"
+    );
     let mut grid = vec![vec![0.0f64; x_bins]; y_bins];
     let mut contributing = 0usize;
     for deltas in per_benchmark {
@@ -200,7 +223,11 @@ pub fn phase_threshold_sweep(
     profile: &[IntervalSample],
     thresholds: &[f64],
 ) -> Vec<ThresholdSweepRow> {
-    let overall_sigma = profile.iter().map(|s| s.ipc).collect::<Welford>().population_stddev();
+    let overall_sigma = profile
+        .iter()
+        .map(|s| s.ipc)
+        .collect::<Welford>()
+        .population_stddev();
     thresholds
         .iter()
         .map(|&threshold_rad| {
@@ -230,7 +257,11 @@ pub fn phase_threshold_sweep(
                 num_phases: table.phases().len(),
                 num_changes: changes,
                 avg_interval_ops,
-                ipc_variation_sigmas: if overall_sigma > 0.0 { within / overall_sigma } else { 0.0 },
+                ipc_variation_sigmas: if overall_sigma > 0.0 {
+                    within / overall_sigma
+                } else {
+                    0.0
+                },
             }
         })
         .collect()
@@ -243,11 +274,23 @@ mod tests {
     fn sample(ipc: f64, bucket: usize) -> IntervalSample {
         let mut bbv = HashedBbv::new();
         bbv.record(bucket, 1000);
-        IntervalSample { ipc, bbv, ops: 1000 }
+        IntervalSample {
+            ipc,
+            bbv,
+            ops: 1000,
+        }
     }
 
     fn alternating_profile(n: usize) -> Vec<IntervalSample> {
-        (0..n).map(|i| if i % 2 == 0 { sample(2.0, 0) } else { sample(1.0, 9) }).collect()
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    sample(2.0, 0)
+                } else {
+                    sample(1.0, 9)
+                }
+            })
+            .collect()
     }
 
     #[test]
@@ -286,8 +329,9 @@ mod tests {
     fn false_positives_flag_noise_detections() {
         // BBVs alternate every interval but the IPC only moves once, at the
         // very end: all but one detection is a false positive.
-        let mut p: Vec<_> =
-            (0..19).map(|i| sample(1.0, if i % 2 == 0 { 0 } else { 9 })).collect();
+        let mut p: Vec<_> = (0..19)
+            .map(|i| sample(1.0, if i % 2 == 0 { 0 } else { 9 }))
+            .collect();
         p.push(sample(1.5, 9)); // index 18 has bucket 0, so this change is detected
 
         let d = deltas(&p);
@@ -300,8 +344,17 @@ mod tests {
     fn density_grid_weighs_benchmarks_equally() {
         // Benchmark A: 100 deltas in one cell; benchmark B: 1 delta in
         // another. Each contributes 0.5 to its cell.
-        let a = vec![Delta { bbv_angle: 0.01, ipc_sigmas: 0.01 }; 100];
-        let b = vec![Delta { bbv_angle: 1.5, ipc_sigmas: 0.9 }];
+        let a = vec![
+            Delta {
+                bbv_angle: 0.01,
+                ipc_sigmas: 0.01
+            };
+            100
+        ];
+        let b = vec![Delta {
+            bbv_angle: 1.5,
+            ipc_sigmas: 0.9,
+        }];
         let g = density_grid(&[a, b], 4, 4, 1.6, 1.0);
         assert!((g[0][0] - 0.5).abs() < 1e-9);
         assert!((g[3][3] - 0.5).abs() < 1e-9);
@@ -314,7 +367,11 @@ mod tests {
         let p = alternating_profile(40);
         let rows = phase_threshold_sweep(
             &p,
-            &[crate::threshold(0.05), crate::threshold(0.25), std::f64::consts::FRAC_PI_2 + 0.1],
+            &[
+                crate::threshold(0.05),
+                crate::threshold(0.25),
+                std::f64::consts::FRAC_PI_2 + 0.1,
+            ],
         );
         // Tight threshold: 2 phases, 39 changes, zero within-phase
         // variation.

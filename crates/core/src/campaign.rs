@@ -1,0 +1,241 @@
+//! Parallel campaign runner: fan a workload × technique matrix across
+//! threads.
+//!
+//! The paper's figures are all *campaigns* — every benchmark in the suite
+//! run under every technique under comparison. Because a technique run is
+//! "construct [`crate::driver::SimDriver`]s, run policies" with no shared
+//! mutable state, cells are embarrassingly parallel: workers claim jobs
+//! from an atomic counter and results are returned **in job order**
+//! regardless of thread count or scheduling, so campaign output is
+//! deterministic and directly comparable across runs.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pgss::{campaign, PgssSim, Smarts, Technique};
+//!
+//! let workloads = vec![pgss_workloads::gzip(0.05), pgss_workloads::mesa(0.05)];
+//! let smarts = Smarts::new();
+//! let pgss = PgssSim::new();
+//! let techniques: Vec<&(dyn Technique + Sync)> = vec![&smarts, &pgss];
+//! let jobs = campaign::grid(&workloads, &techniques, Default::default());
+//! for cell in campaign::run(&jobs) {
+//!     println!("{} × {}: {:.3} IPC", cell.workload, cell.technique, cell.estimate.ipc);
+//! }
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pgss_cpu::MachineConfig;
+use pgss_workloads::Workload;
+
+use crate::driver::RunTrace;
+use crate::estimate::{Estimate, Technique};
+
+/// One campaign cell: a technique applied to a workload on a machine
+/// configuration.
+///
+/// Jobs borrow their workload and technique, so a campaign over a big
+/// matrix shares one copy of each workload's program and memory image
+/// across every worker thread.
+#[derive(Clone, Copy)]
+pub struct Job<'a> {
+    /// The workload to simulate.
+    pub workload: &'a Workload,
+    /// The sampling technique to run. `Sync` because several workers may
+    /// read the (immutable) technique parameters concurrently.
+    pub technique: &'a (dyn Technique + Sync),
+    /// Machine configuration for this cell, enabling design-space sweeps
+    /// where the configuration varies per cell.
+    pub config: MachineConfig,
+}
+
+impl<'a> Job<'a> {
+    /// A job with the default machine configuration.
+    pub fn new(workload: &'a Workload, technique: &'a (dyn Technique + Sync)) -> Job<'a> {
+        Job {
+            workload,
+            technique,
+            config: MachineConfig::default(),
+        }
+    }
+}
+
+/// One completed campaign cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// [`Workload`] name.
+    pub workload: String,
+    /// [`Technique::name`] of the technique that ran.
+    pub technique: String,
+    /// The technique's estimate.
+    pub estimate: Estimate,
+    /// What the technique's driver passes executed.
+    pub trace: RunTrace,
+}
+
+/// Builds the full `workloads × techniques` matrix in workload-major order
+/// (all techniques of the first workload, then the second, …) with one
+/// shared machine configuration.
+pub fn grid<'a>(
+    workloads: &'a [Workload],
+    techniques: &'a [&'a (dyn Technique + Sync)],
+    config: MachineConfig,
+) -> Vec<Job<'a>> {
+    workloads
+        .iter()
+        .flat_map(|w| {
+            techniques.iter().map(move |&t| Job {
+                workload: w,
+                technique: t,
+                config,
+            })
+        })
+        .collect()
+}
+
+/// Runs `jobs` on as many threads as the host offers. See [`run_on`].
+pub fn run(jobs: &[Job<'_>]) -> Vec<CellResult> {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    run_on(jobs, threads)
+}
+
+/// Runs `jobs` on `threads` worker threads, returning one [`CellResult`]
+/// per job **in job order** — output is identical for any thread count.
+///
+/// Workers claim the next unclaimed job from an atomic cursor, so long
+/// cells (FullDetailed on the largest workload) never leave other workers
+/// idle behind a static partition.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, or if a technique panics (the panic is
+/// propagated once all workers have stopped).
+pub fn run_on(jobs: &[Job<'_>], threads: usize) -> Vec<CellResult> {
+    assert!(threads > 0, "campaign needs at least one worker thread");
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.min(jobs.len());
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, CellResult)> = Vec::with_capacity(jobs.len());
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        let (estimate, trace) = job.technique.run_traced(job.workload, &job.config);
+                        local.push((
+                            i,
+                            CellResult {
+                                workload: job.workload.name().to_string(),
+                                technique: job.technique.name(),
+                                estimate,
+                                trace,
+                            },
+                        ));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            indexed.extend(worker.join().expect("campaign worker panicked"));
+        }
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, cell)| cell).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PgssSim, Smarts, TurboSmarts};
+
+    fn suite() -> Vec<Workload> {
+        vec![
+            pgss_workloads::gzip(0.01),
+            pgss_workloads::mesa(0.01),
+            pgss_workloads::twolf(0.01),
+        ]
+    }
+
+    fn techniques() -> (Smarts, TurboSmarts, PgssSim) {
+        let smarts = Smarts {
+            period_ops: 50_000,
+            ..Smarts::default()
+        };
+        (
+            smarts,
+            TurboSmarts {
+                smarts,
+                ..TurboSmarts::default()
+            },
+            PgssSim {
+                ff_ops: 50_000,
+                spacing_ops: 50_000,
+                ..PgssSim::default()
+            },
+        )
+    }
+
+    #[test]
+    fn grid_is_workload_major() {
+        let workloads = suite();
+        let (smarts, turbo, pgss) = techniques();
+        let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &turbo, &pgss];
+        let jobs = grid(&workloads, &techs, MachineConfig::default());
+        assert_eq!(jobs.len(), 9);
+        assert_eq!(jobs[0].workload.name(), "164.gzip");
+        assert_eq!(jobs[2].workload.name(), "164.gzip");
+        assert_eq!(jobs[3].workload.name(), "177.mesa");
+        assert_eq!(jobs[1].technique.name(), turbo.name());
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let workloads = suite();
+        let (smarts, turbo, pgss) = techniques();
+        let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &turbo, &pgss];
+        let jobs = grid(&workloads, &techs, MachineConfig::default());
+        let serial = run_on(&jobs, 1);
+        let parallel = run_on(&jobs, 4);
+        assert_eq!(serial, parallel);
+        let names: Vec<_> = serial
+            .iter()
+            .map(|c| (c.workload.as_str(), c.technique.clone()))
+            .collect();
+        assert_eq!(names[0].0, "164.gzip");
+        assert_eq!(names[8].0, "300.twolf");
+    }
+
+    #[test]
+    fn cells_match_direct_runs() {
+        let w = pgss_workloads::gzip(0.01);
+        let (smarts, _, _) = techniques();
+        let jobs = vec![Job::new(&w, &smarts)];
+        let cells = run(&jobs);
+        let (estimate, trace) = smarts.run_traced(&w, &MachineConfig::default());
+        assert_eq!(cells[0].estimate, estimate);
+        assert_eq!(cells[0].trace, trace);
+        assert_eq!(cells[0].workload, "164.gzip");
+    }
+
+    #[test]
+    fn empty_campaign_is_empty() {
+        assert!(run_on(&[], 8).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let w = pgss_workloads::twolf(0.002);
+        let (smarts, _, _) = techniques();
+        let jobs = vec![Job::new(&w, &smarts)];
+        let _ = run_on(&jobs, 0);
+    }
+}

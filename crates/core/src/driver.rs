@@ -1,0 +1,521 @@
+//! The shared sampling engine: [`SimDriver`] owns the machine loop every
+//! technique used to hand-roll, and [`SamplingPolicy`] is the per-technique
+//! brain that decides which segment to execute next from what it has
+//! observed so far.
+//!
+//! The split mirrors live-sampling systems such as Pac-Sim: one engine
+//! executes a stream of *segments* (a [`pgss_cpu::Mode`] plus an op budget),
+//! handles halt and truncation uniformly, accumulates the per-mode retired
+//! counts and the retired-op position, and maintains a [`RunTrace`] of what
+//! happened; policies are small state machines that never touch the machine
+//! directly. A technique is then "construct driver(s), run policy(ies),
+//! compose an [`crate::Estimate`]" — and a campaign runner can fan many such
+//! runs across threads because the engine has no global state.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pgss::driver::{Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track};
+//! use pgss_cpu::Mode;
+//!
+//! /// Measure one 10k-op detailed sample and stop.
+//! struct OneSample(Option<SegmentOutcome>);
+//! impl SamplingPolicy for OneSample {
+//!     fn next(&mut self, _trace: &mut RunTrace) -> Directive {
+//!         if self.0.is_some() {
+//!             Directive::Finish
+//!         } else {
+//!             Directive::Run(Segment::new(Mode::DetailedMeasured, 10_000))
+//!         }
+//!     }
+//!     fn observe(&mut self, outcome: &SegmentOutcome, trace: &mut RunTrace) {
+//!         trace.samples_taken += 1;
+//!         self.0 = Some(outcome.clone());
+//!     }
+//! }
+//!
+//! let w = pgss_workloads::gzip(0.01);
+//! let mut driver = SimDriver::new(&w, &pgss_cpu::MachineConfig::default(), Track::None);
+//! let mut policy = OneSample(None);
+//! driver.run(&mut policy);
+//! println!("retired {} ops", driver.retired());
+//! ```
+
+use pgss_bbv::{BbvHash, FullBbvTracker, HashedBbv, HashedBbvTracker};
+use pgss_cpu::{Machine, MachineConfig, Mode, ModeOps};
+use pgss_workloads::Workload;
+
+/// What the driver's retire sink tracks alongside execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Track {
+    /// No BBV tracking; segments never yield vectors.
+    None,
+    /// The paper's hashed BBV (32 registers), hash chosen by this seed.
+    Hashed(u64),
+    /// SimPoint-style full per-static-block BBVs.
+    Full,
+}
+
+/// One unit of execution: run up to `max_ops` retired instructions in
+/// `mode`, optionally closing a BBV interval at the end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Simulation mode for this segment.
+    pub mode: Mode,
+    /// Retired-instruction budget; the segment ends early on halt.
+    pub max_ops: u64,
+    /// When `true`, the tracker's accumulated vector is taken at the end of
+    /// the segment and delivered in [`SegmentOutcome::bbv`] — tracking
+    /// itself runs continuously across segments, exactly like the paper's
+    /// hardware, so warming/measured ops between intervals still land in
+    /// the following interval's vector.
+    pub take_bbv: bool,
+}
+
+impl Segment {
+    /// A segment with no BBV interval boundary.
+    pub fn new(mode: Mode, max_ops: u64) -> Segment {
+        Segment {
+            mode,
+            max_ops,
+            take_bbv: false,
+        }
+    }
+
+    /// A segment that closes a BBV interval when it ends.
+    pub fn with_bbv(mode: Mode, max_ops: u64) -> Segment {
+        Segment {
+            mode,
+            max_ops,
+            take_bbv: true,
+        }
+    }
+}
+
+/// A basic-block vector taken at a segment boundary.
+// A `SegmentOutcome` is consumed immediately by the policy, never stored in
+// bulk, so the inline 264-byte `HashedBbv` beats a per-segment allocation.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Bbv {
+    /// A hashed 32-register vector ([`Track::Hashed`]).
+    Hashed(HashedBbv),
+    /// A full per-static-block vector, L2-normalised ([`Track::Full`]).
+    Full(Vec<f64>),
+}
+
+impl Bbv {
+    /// The hashed vector, panicking for other kinds (policy/driver
+    /// tracking-mode mismatch is a programming error).
+    pub fn hashed(&self) -> &HashedBbv {
+        match self {
+            Bbv::Hashed(v) => v,
+            Bbv::Full(_) => panic!("expected a hashed BBV, driver is tracking full BBVs"),
+        }
+    }
+
+    /// The normalised full vector, panicking for other kinds.
+    pub fn full(&self) -> &[f64] {
+        match self {
+            Bbv::Full(v) => v,
+            Bbv::Hashed(_) => panic!("expected a full BBV, driver is tracking hashed BBVs"),
+        }
+    }
+}
+
+/// What happened when a [`Segment`] executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentOutcome {
+    /// The segment as requested.
+    pub segment: Segment,
+    /// Instructions retired during the segment (< `max_ops` on halt).
+    pub ops: u64,
+    /// Cycles elapsed (zero in functional modes).
+    pub cycles: u64,
+    /// Whether the program halted during (or before) the segment.
+    pub halted: bool,
+    /// Cumulative retired instructions across the whole run, *after* this
+    /// segment — the retired-op position sampling rules key on.
+    pub retired: u64,
+    /// The BBV interval closed by this segment, if `take_bbv` was set.
+    pub bbv: Option<Bbv>,
+}
+
+impl SegmentOutcome {
+    /// CPI of this segment; panics in functional modes (no timing model).
+    pub fn cpi(&self) -> f64 {
+        assert!(self.ops > 0, "CPI of an empty segment");
+        self.cycles as f64 / self.ops as f64
+    }
+
+    /// `true` when the segment retired its full budget.
+    pub fn complete(&self) -> bool {
+        self.ops == self.segment.max_ops
+    }
+}
+
+/// What a policy wants next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Directive {
+    /// Execute this segment, then call
+    /// [`SamplingPolicy::observe`] with its outcome.
+    Run(Segment),
+    /// The run is over.
+    Finish,
+}
+
+/// Counters describing one run through the driver — which segments
+/// executed, which samples were taken or skipped and why, and what the
+/// phase table did. Cheap plain counters, always on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunTrace {
+    /// Segments executed per mode, indexed like [`Mode`]
+    /// (fast-forward, functional, detailed-warming, detailed-measured).
+    pub segments: [u64; 4],
+    /// Segments that ended before their op budget (halt), excluding
+    /// run-to-halt segments (`max_ops == u64::MAX`).
+    pub truncated_segments: u64,
+    /// Measured samples credited to the estimate (policy-maintained).
+    pub samples_taken: u64,
+    /// Samples skipped because the phase's confidence interval was met.
+    pub skipped_ci_met: u64,
+    /// Samples skipped by the sample-spacing rule.
+    pub skipped_spacing: u64,
+    /// Phases created in the phase table.
+    pub phases_created: u64,
+    /// Interval-to-interval phase transitions observed.
+    pub phase_changes: u64,
+}
+
+impl RunTrace {
+    /// Total segments executed across all modes.
+    pub fn total_segments(&self) -> u64 {
+        self.segments.iter().sum()
+    }
+
+    /// Samples skipped for any reason.
+    pub fn samples_skipped(&self) -> u64 {
+        self.skipped_ci_met + self.skipped_spacing
+    }
+
+    /// Accumulates another trace (for techniques that run several passes).
+    pub fn merge(&mut self, other: &RunTrace) {
+        for (a, b) in self.segments.iter_mut().zip(&other.segments) {
+            *a += b;
+        }
+        self.truncated_segments += other.truncated_segments;
+        self.samples_taken += other.samples_taken;
+        self.skipped_ci_met += other.skipped_ci_met;
+        self.skipped_spacing += other.skipped_spacing;
+        self.phases_created += other.phases_created;
+        self.phase_changes += other.phase_changes;
+    }
+}
+
+/// A sampling technique's decision procedure, driven by [`SimDriver::run`]:
+/// `next` picks the segment to execute (or finishes), `observe` digests the
+/// outcome. Both receive the run's [`RunTrace`] so policies can record
+/// sample/skip/phase events next to the driver's segment counters.
+pub trait SamplingPolicy {
+    /// The next segment to execute, or [`Directive::Finish`].
+    fn next(&mut self, trace: &mut RunTrace) -> Directive;
+
+    /// Digests the outcome of the segment most recently issued by
+    /// [`SamplingPolicy::next`]. Called for every executed segment,
+    /// including ones cut short by a halt.
+    fn observe(&mut self, outcome: &SegmentOutcome, trace: &mut RunTrace);
+}
+
+/// The tracking sink composed into every segment execution: both trackers
+/// optional, so one monomorphized `run_with` path covers all techniques.
+type TrackSink = (Option<HashedBbvTracker>, Option<FullBbvTracker>);
+
+/// The shared execution engine. Owns the machine, the (optional) BBV
+/// tracker, the cumulative retired-op position, and the [`RunTrace`].
+///
+/// A driver instance is one *pass* over a workload; techniques that make
+/// several passes (SimPoint's profile + replay, Online SimPoint's oracle +
+/// charged run) construct one driver per pass and merge the traces.
+pub struct SimDriver {
+    machine: Machine,
+    sink: TrackSink,
+    retired: u64,
+    trace: RunTrace,
+}
+
+impl SimDriver {
+    /// Builds a fresh machine for `workload` and a tracker per `track`.
+    pub fn new(workload: &Workload, config: &MachineConfig, track: Track) -> SimDriver {
+        let machine = workload.machine_with(*config);
+        let sink = match track {
+            Track::None => (None, None),
+            Track::Hashed(seed) => (Some(HashedBbvTracker::new(BbvHash::from_seed(seed))), None),
+            Track::Full => (None, Some(FullBbvTracker::new(workload.program()))),
+        };
+        SimDriver {
+            machine,
+            sink,
+            retired: 0,
+            trace: RunTrace::default(),
+        }
+    }
+
+    /// Runs `policy` to completion: alternately asks it for a segment and
+    /// hands back the outcome, until it answers [`Directive::Finish`].
+    pub fn run<P: SamplingPolicy + ?Sized>(&mut self, policy: &mut P) {
+        while let Directive::Run(segment) = policy.next(&mut self.trace) {
+            let outcome = self.execute(segment);
+            policy.observe(&outcome, &mut self.trace);
+        }
+    }
+
+    /// Executes a single segment: one `run_with` call with the composed
+    /// tracking sink, uniform halt/truncation handling, position and trace
+    /// accounting.
+    pub fn execute(&mut self, segment: Segment) -> SegmentOutcome {
+        let r = self
+            .machine
+            .run_with(segment.mode, segment.max_ops, &mut self.sink);
+        self.retired += r.ops;
+        self.trace.segments[segment.mode as usize] += 1;
+        if r.ops < segment.max_ops && segment.max_ops != u64::MAX {
+            self.trace.truncated_segments += 1;
+        }
+        let bbv = if segment.take_bbv {
+            match &mut self.sink {
+                (Some(hashed), _) => Some(Bbv::Hashed(hashed.take())),
+                (_, Some(full)) => Some(Bbv::Full(full.take().normalized())),
+                (None, None) => {
+                    panic!("segment requested a BBV but the driver tracks nothing")
+                }
+            }
+        } else {
+            None
+        };
+        SegmentOutcome {
+            segment,
+            ops: r.ops,
+            cycles: r.cycles,
+            halted: r.halted,
+            retired: self.retired,
+            bbv,
+        }
+    }
+
+    /// Per-mode retired instructions accumulated by this driver's machine.
+    pub fn mode_ops(&self) -> ModeOps {
+        self.machine.mode_ops()
+    }
+
+    /// Cumulative retired instructions across all segments so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// The run's trace counters.
+    pub fn trace(&self) -> &RunTrace {
+        &self.trace
+    }
+
+    /// Whether the underlying machine has halted.
+    pub fn halted(&self) -> bool {
+        self.machine.halted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_workload() -> Workload {
+        let mut b = pgss_workloads::WorkloadBuilder::new("tiny", 11);
+        let seg = b.add_segment(pgss_workloads::Kernel::ComputeInt {
+            chains: 4,
+            ops_per_chain: 3,
+        });
+        b.run(seg, 300_000);
+        b.finish()
+    }
+
+    /// Runs a fixed segment plan, recording outcomes.
+    struct Plan {
+        segments: Vec<Segment>,
+        next: usize,
+        outcomes: Vec<SegmentOutcome>,
+        stop_on_halt: bool,
+    }
+
+    impl Plan {
+        fn new(segments: Vec<Segment>) -> Plan {
+            Plan {
+                segments,
+                next: 0,
+                outcomes: Vec::new(),
+                stop_on_halt: false,
+            }
+        }
+    }
+
+    impl SamplingPolicy for Plan {
+        fn next(&mut self, _trace: &mut RunTrace) -> Directive {
+            if self.stop_on_halt && self.outcomes.last().is_some_and(|o| o.halted) {
+                return Directive::Finish;
+            }
+            match self.segments.get(self.next) {
+                Some(&s) => {
+                    self.next += 1;
+                    Directive::Run(s)
+                }
+                None => Directive::Finish,
+            }
+        }
+
+        fn observe(&mut self, outcome: &SegmentOutcome, _trace: &mut RunTrace) {
+            self.outcomes.push(outcome.clone());
+        }
+    }
+
+    #[test]
+    fn op_accounting_matches_machine() {
+        let w = tiny_workload();
+        let mut d = SimDriver::new(&w, &MachineConfig::default(), Track::None);
+        let mut p = Plan::new(vec![
+            Segment::new(Mode::Functional, 50_000),
+            Segment::new(Mode::DetailedWarming, 3_000),
+            Segment::new(Mode::DetailedMeasured, 1_000),
+            Segment::new(Mode::Functional, 50_000),
+        ]);
+        d.run(&mut p);
+        let ops = d.mode_ops();
+        assert_eq!(ops.functional, 100_000);
+        assert_eq!(ops.detailed_warming, 3_000);
+        assert_eq!(ops.detailed_measured, 1_000);
+        assert_eq!(d.retired(), ops.total());
+        // Outcomes carry the running position.
+        assert_eq!(p.outcomes[0].retired, 50_000);
+        assert_eq!(p.outcomes[2].retired, 54_000);
+        assert_eq!(p.outcomes[3].retired, 104_000);
+        assert_eq!(d.trace().segments, [0, 2, 1, 1]);
+        assert_eq!(d.trace().truncated_segments, 0);
+    }
+
+    #[test]
+    fn halt_mid_segment_truncates_uniformly() {
+        let w = tiny_workload();
+        let total = {
+            let mut m = w.machine();
+            m.run(Mode::Functional, u64::MAX).ops
+        };
+        let mut d = SimDriver::new(&w, &MachineConfig::default(), Track::None);
+        // Second segment's budget reaches past the halt.
+        let mut p = Plan::new(vec![
+            Segment::new(Mode::Functional, total - 1_000),
+            Segment::new(Mode::DetailedMeasured, 50_000),
+            Segment::new(Mode::DetailedMeasured, 50_000),
+        ]);
+        p.stop_on_halt = true;
+        d.run(&mut p);
+        assert_eq!(
+            p.outcomes.len(),
+            2,
+            "policy finishes after observing the halt"
+        );
+        let halted = &p.outcomes[1];
+        assert!(halted.halted);
+        assert!(!halted.complete());
+        assert_eq!(halted.ops, 1_000, "exactly the ops left before the halt");
+        assert_eq!(d.retired(), total);
+        assert_eq!(d.trace().truncated_segments, 1);
+    }
+
+    #[test]
+    fn segments_after_halt_are_empty_not_errors() {
+        let w = tiny_workload();
+        let mut d = SimDriver::new(&w, &MachineConfig::default(), Track::None);
+        let mut p = Plan::new(vec![
+            Segment::new(Mode::Functional, u64::MAX),
+            Segment::new(Mode::DetailedMeasured, 1_000),
+        ]);
+        d.run(&mut p);
+        assert!(p.outcomes[0].halted);
+        let after = &p.outcomes[1];
+        assert_eq!(after.ops, 0);
+        assert!(after.halted);
+        assert_eq!(after.retired, p.outcomes[0].retired);
+    }
+
+    #[test]
+    fn run_to_halt_budget_is_not_counted_truncated() {
+        let w = tiny_workload();
+        let mut d = SimDriver::new(&w, &MachineConfig::default(), Track::None);
+        d.run(&mut Plan::new(vec![Segment::new(
+            Mode::Functional,
+            u64::MAX,
+        )]));
+        assert_eq!(d.trace().truncated_segments, 0);
+    }
+
+    #[test]
+    fn hashed_tracking_spans_segments_until_taken() {
+        let w = pgss_workloads::gzip(0.01);
+        let mut d = SimDriver::new(&w, &MachineConfig::default(), Track::Hashed(7));
+        let mut p = Plan::new(vec![
+            // Tracking accumulates across both segments; only the second
+            // closes the interval.
+            Segment::new(Mode::Functional, 20_000),
+            Segment::with_bbv(Mode::Functional, 20_000),
+            Segment::with_bbv(Mode::Functional, 20_000),
+        ]);
+        d.run(&mut p);
+        assert!(p.outcomes[0].bbv.is_none());
+        let first = p.outcomes[1]
+            .bbv
+            .as_ref()
+            .expect("interval closed")
+            .hashed()
+            .total_ops();
+        let second = p.outcomes[2].bbv.as_ref().unwrap().hashed().total_ops();
+        // First vector covers ~two segments of ops, second only one.
+        assert!(first > second, "first {first} vs second {second}");
+    }
+
+    #[test]
+    fn full_tracking_yields_normalized_rows() {
+        let w = pgss_workloads::gzip(0.01);
+        let mut d = SimDriver::new(&w, &MachineConfig::default(), Track::Full);
+        let mut p = Plan::new(vec![Segment::with_bbv(Mode::Functional, 50_000)]);
+        d.run(&mut p);
+        let row = p.outcomes[0].bbv.as_ref().unwrap().full().to_vec();
+        // FullBbv::normalized is L1 (block-execution fractions), as SimPoint
+        // defines it.
+        let sum: f64 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    #[should_panic(expected = "tracks nothing")]
+    fn bbv_request_without_tracker_panics() {
+        let w = tiny_workload();
+        let mut d = SimDriver::new(&w, &MachineConfig::default(), Track::None);
+        d.execute(Segment::with_bbv(Mode::Functional, 1_000));
+    }
+
+    #[test]
+    fn trace_merge_accumulates() {
+        let mut a = RunTrace {
+            segments: [1, 2, 3, 4],
+            truncated_segments: 1,
+            samples_taken: 5,
+            skipped_ci_met: 2,
+            skipped_spacing: 1,
+            phases_created: 3,
+            phase_changes: 7,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.segments, [2, 4, 6, 8]);
+        assert_eq!(a.total_segments(), 20);
+        assert_eq!(a.samples_taken, 10);
+        assert_eq!(a.samples_skipped(), 6);
+        assert_eq!(a.phase_changes, 14);
+    }
+}

@@ -3,6 +3,8 @@
 use pgss_cpu::{MachineConfig, ModeOps};
 use pgss_workloads::Workload;
 
+use crate::driver::RunTrace;
+
 /// The exhaustively-simulated reference an [`Estimate`] is judged against.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GroundTruth {
@@ -64,7 +66,10 @@ impl Estimate {
 ///
 /// Panics if `truth` is not a positive, finite IPC.
 pub fn relative_error(estimate: f64, truth: f64) -> f64 {
-    assert!(truth.is_finite() && truth > 0.0, "ground-truth IPC must be positive, got {truth}");
+    assert!(
+        truth.is_finite() && truth > 0.0,
+        "ground-truth IPC must be positive, got {truth}"
+    );
     (estimate - truth).abs() / truth
 }
 
@@ -82,6 +87,16 @@ pub trait Technique {
     /// `config`.
     fn run_with(&self, workload: &Workload, config: &MachineConfig) -> Estimate;
 
+    /// Like [`Technique::run_with`], additionally returning the
+    /// [`RunTrace`] of what the underlying [`crate::driver::SimDriver`]
+    /// executed (segments per mode, samples taken vs. skipped and why,
+    /// phase-table events). Techniques running several driver passes merge
+    /// the passes' traces. The default implementation returns an empty
+    /// trace for implementations that predate the driver.
+    fn run_traced(&self, workload: &Workload, config: &MachineConfig) -> (Estimate, RunTrace) {
+        (self.run_with(workload, config), RunTrace::default())
+    }
+
     /// Runs with the paper's default machine configuration.
     fn run(&self, workload: &Workload) -> Estimate
     where
@@ -97,7 +112,7 @@ mod tests {
 
     #[test]
     fn relative_error_basics() {
-        assert_eq!(relative_error(1.1, 1.0), 0.100000000000000088817841970012523233890533447265625);
+        assert!((relative_error(1.1, 1.0) - 0.1).abs() < 1e-12);
         assert!((relative_error(0.9, 1.0) - 0.1).abs() < 1e-12);
         assert_eq!(relative_error(2.0, 2.0), 0.0);
     }

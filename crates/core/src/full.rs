@@ -3,6 +3,9 @@
 use pgss_cpu::{MachineConfig, Mode};
 use pgss_workloads::Workload;
 
+use crate::driver::{
+    Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track,
+};
 use crate::estimate::{Estimate, GroundTruth, Technique};
 
 /// Full cycle-level simulation of the entire workload.
@@ -36,20 +39,54 @@ impl FullDetailed {
 
     /// [`FullDetailed::ground_truth`] with a custom machine configuration.
     pub fn ground_truth_with(&self, workload: &Workload, config: &MachineConfig) -> GroundTruth {
-        let mut machine = workload.machine_with(*config);
-        let mut total_ops = 0u64;
-        let mut cycles = 0u64;
-        loop {
-            // Chunked so pathological schedules cannot hang the harness.
-            let r = machine.run(Mode::DetailedMeasured, 1 << 24);
-            total_ops += r.ops;
-            cycles += r.cycles;
-            if r.halted || r.ops == 0 {
-                break;
-            }
+        self.ground_truth_traced(workload, config).0
+    }
+
+    fn ground_truth_traced(
+        &self,
+        workload: &Workload,
+        config: &MachineConfig,
+    ) -> (GroundTruth, RunTrace) {
+        let mut driver = SimDriver::new(workload, config, Track::None);
+        let mut policy = ExhaustivePolicy {
+            total_ops: 0,
+            cycles: 0,
+            done: false,
+        };
+        driver.run(&mut policy);
+        assert!(policy.cycles > 0, "workload retired no instructions");
+        let truth = GroundTruth {
+            ipc: policy.total_ops as f64 / policy.cycles as f64,
+            total_ops: policy.total_ops,
+            cycles: policy.cycles,
+        };
+        (truth, *driver.trace())
+    }
+}
+
+/// Detailed simulation in bounded chunks until the program halts, so
+/// pathological schedules cannot hang the harness.
+struct ExhaustivePolicy {
+    total_ops: u64,
+    cycles: u64,
+    done: bool,
+}
+
+impl SamplingPolicy for ExhaustivePolicy {
+    fn next(&mut self, _trace: &mut RunTrace) -> Directive {
+        if self.done {
+            Directive::Finish
+        } else {
+            Directive::Run(Segment::new(Mode::DetailedMeasured, 1 << 24))
         }
-        assert!(cycles > 0, "workload retired no instructions");
-        GroundTruth { ipc: total_ops as f64 / cycles as f64, total_ops, cycles }
+    }
+
+    fn observe(&mut self, outcome: &SegmentOutcome, _trace: &mut RunTrace) {
+        self.total_ops += outcome.ops;
+        self.cycles += outcome.cycles;
+        if outcome.halted || outcome.ops == 0 {
+            self.done = true;
+        }
     }
 }
 
@@ -59,8 +96,13 @@ impl Technique for FullDetailed {
     }
 
     fn run_with(&self, workload: &Workload, config: &MachineConfig) -> Estimate {
-        let truth = self.ground_truth_with(workload, config);
-        Estimate {
+        self.run_traced(workload, config).0
+    }
+
+    fn run_traced(&self, workload: &Workload, config: &MachineConfig) -> (Estimate, RunTrace) {
+        let (truth, mut trace) = self.ground_truth_traced(workload, config);
+        trace.samples_taken = 1;
+        let estimate = Estimate {
             ipc: truth.ipc,
             mode_ops: pgss_cpu::ModeOps {
                 detailed_measured: truth.total_ops,
@@ -68,7 +110,8 @@ impl Technique for FullDetailed {
             },
             samples: 1,
             phases: None,
-        }
+        };
+        (estimate, trace)
     }
 }
 

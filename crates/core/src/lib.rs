@@ -54,8 +54,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod analysis;
 mod adaptive;
+pub mod analysis;
+pub mod campaign;
+pub mod driver;
 mod estimate;
 mod full;
 mod online_simpoint;
@@ -67,6 +69,9 @@ pub mod timing;
 mod turbo;
 
 pub use adaptive::AdaptivePgss;
+pub use driver::{
+    Bbv, Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track,
+};
 pub use estimate::{relative_error, Estimate, GroundTruth, PhaseSummary, Technique};
 pub use full::FullDetailed;
 pub use online_simpoint::OnlineSimPoint;

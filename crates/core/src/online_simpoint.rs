@@ -2,11 +2,13 @@
 //! paper: online phase detection with one large detailed sample at each
 //! phase's first occurrence, under a perfect phase predictor.
 
-use pgss_bbv::{BbvHash, HashedBbv, HashedBbvTracker};
 use pgss_cpu::{MachineConfig, Mode};
 use pgss_stats::weighted_mean;
 use pgss_workloads::Workload;
 
+use crate::driver::{
+    Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track,
+};
 use crate::estimate::{Estimate, PhaseSummary, Technique};
 use crate::phase::PhaseTable;
 
@@ -65,6 +67,82 @@ impl OnlineSimPoint {
     }
 }
 
+/// The oracle pass: classify every complete interval into a phase. Free
+/// under the paper's perfect-predictor assumption — its driver's mode ops
+/// are discarded.
+struct OraclePolicy {
+    interval_ops: u64,
+    table: PhaseTable,
+    interval_phases: Vec<usize>,
+    done: bool,
+}
+
+impl SamplingPolicy for OraclePolicy {
+    fn next(&mut self, _trace: &mut RunTrace) -> Directive {
+        if self.done {
+            Directive::Finish
+        } else {
+            Directive::Run(Segment::with_bbv(Mode::Functional, self.interval_ops))
+        }
+    }
+
+    fn observe(&mut self, outcome: &SegmentOutcome, trace: &mut RunTrace) {
+        if outcome.complete() {
+            let bbv = outcome.bbv.as_ref().expect("oracle intervals close a BBV");
+            let c = self.table.classify(bbv.hashed(), outcome.ops);
+            if c.created {
+                trace.phases_created += 1;
+            }
+            self.interval_phases.push(c.phase);
+        }
+        if outcome.halted || outcome.ops == 0 {
+            self.done = true;
+        }
+    }
+}
+
+/// The charged pass: detailed over each phase's first interval, functional
+/// (warming) elsewhere, then run functionally to the halt.
+struct ChargedPolicy {
+    interval_ops: u64,
+    /// Phase of each complete interval, from the oracle pass.
+    interval_phases: Vec<usize>,
+    /// First-occurrence interval index per phase.
+    first_of: Vec<usize>,
+    /// Current interval index; one past the end means the trailing
+    /// run-to-halt segment, two past means finish.
+    cursor: usize,
+    cpi_of_phase: Vec<f64>,
+    samples: u64,
+}
+
+impl SamplingPolicy for ChargedPolicy {
+    fn next(&mut self, _trace: &mut RunTrace) -> Directive {
+        match self.interval_phases.get(self.cursor) {
+            Some(&p) if self.first_of[p] == self.cursor => {
+                Directive::Run(Segment::new(Mode::DetailedMeasured, self.interval_ops))
+            }
+            Some(_) => Directive::Run(Segment::new(Mode::Functional, self.interval_ops)),
+            // Trailing partial interval (uncounted in the oracle) is
+            // skipped functionally.
+            None if self.cursor == self.interval_phases.len() => {
+                Directive::Run(Segment::new(Mode::Functional, u64::MAX))
+            }
+            None => Directive::Finish,
+        }
+    }
+
+    fn observe(&mut self, outcome: &SegmentOutcome, trace: &mut RunTrace) {
+        if outcome.segment.mode == Mode::DetailedMeasured && outcome.ops > 0 {
+            let p = self.interval_phases[self.cursor];
+            self.cpi_of_phase[p] = outcome.cpi();
+            self.samples += 1;
+            trace.samples_taken += 1;
+        }
+        self.cursor += 1;
+    }
+}
+
 impl Technique for OnlineSimPoint {
     fn name(&self) -> String {
         format!(
@@ -75,24 +153,32 @@ impl Technique for OnlineSimPoint {
     }
 
     fn run_with(&self, workload: &Workload, config: &MachineConfig) -> Estimate {
+        self.run_traced(workload, config).0
+    }
+
+    fn run_traced(&self, workload: &Workload, config: &MachineConfig) -> (Estimate, RunTrace) {
         assert!(self.interval_ops > 0, "interval_ops must be positive");
         // Oracle pass (free, per the paper's perfect-predictor assumption):
         // classify every interval.
-        let mut machine = workload.machine_with(*config);
-        let mut tracker = HashedBbvTracker::new(BbvHash::from_seed(self.hash_seed));
-        let mut table = PhaseTable::new(self.threshold_rad);
-        let mut interval_phases: Vec<usize> = Vec::new();
-        loop {
-            let r = machine.run_with(Mode::Functional, self.interval_ops, &mut tracker);
-            let bbv: HashedBbv = tracker.take();
-            if r.ops == self.interval_ops {
-                interval_phases.push(table.classify(&bbv, r.ops).phase);
-            }
-            if r.halted || r.ops == 0 {
-                break;
-            }
-        }
-        assert!(!interval_phases.is_empty(), "workload shorter than one interval");
+        let mut oracle = SimDriver::new(workload, config, Track::Hashed(self.hash_seed));
+        let mut oracle_policy = OraclePolicy {
+            interval_ops: self.interval_ops,
+            table: PhaseTable::new(self.threshold_rad),
+            interval_phases: Vec::new(),
+            done: false,
+        };
+        oracle.run(&mut oracle_policy);
+        let OraclePolicy {
+            table,
+            interval_phases,
+            ..
+        } = oracle_policy;
+        assert!(
+            !interval_phases.is_empty(),
+            "workload shorter than one interval"
+        );
+        let mut trace = *oracle.trace();
+        trace.phase_changes = table.changes();
 
         // First occurrence of each phase.
         let num_phases = table.phases().len();
@@ -103,28 +189,22 @@ impl Technique for OnlineSimPoint {
             }
         }
 
-        // Charged pass: detailed over each phase's first interval,
-        // functional (warming) elsewhere.
-        let mut machine = workload.machine_with(*config);
-        let mut cpi_of_phase = vec![f64::NAN; num_phases];
-        let mut samples = 0u64;
-        for (i, &p) in interval_phases.iter().enumerate() {
-            if first_of[p] == i {
-                let r = machine.run(Mode::DetailedMeasured, self.interval_ops);
-                if r.ops > 0 {
-                    cpi_of_phase[p] = r.cycles as f64 / r.ops as f64;
-                    samples += 1;
-                }
-            } else {
-                machine.run(Mode::Functional, self.interval_ops);
-            }
-        }
-        // Trailing partial interval (uncounted in the oracle) is skipped
-        // functionally.
-        machine.run(Mode::Functional, u64::MAX);
+        // Charged pass on a fresh machine; only its mode ops are billed.
+        let mut charged = SimDriver::new(workload, config, Track::None);
+        let mut policy = ChargedPolicy {
+            interval_ops: self.interval_ops,
+            interval_phases,
+            first_of,
+            cursor: 0,
+            cpi_of_phase: vec![f64::NAN; num_phases],
+            samples: 0,
+        };
+        charged.run(&mut policy);
+        trace.merge(charged.trace());
 
         let weights: Vec<f64> = table.weights();
-        let pairs: Vec<(f64, f64)> = cpi_of_phase
+        let pairs: Vec<(f64, f64)> = policy
+            .cpi_of_phase
             .iter()
             .zip(&weights)
             .filter(|(cpi, _)| cpi.is_finite())
@@ -132,18 +212,23 @@ impl Technique for OnlineSimPoint {
             .collect();
         let cpi = weighted_mean(&pairs).expect("at least one phase sampled");
 
-        let samples_per_phase = cpi_of_phase.iter().map(|c| u64::from(c.is_finite())).collect();
-        Estimate {
+        let samples_per_phase = policy
+            .cpi_of_phase
+            .iter()
+            .map(|c| u64::from(c.is_finite()))
+            .collect();
+        let estimate = Estimate {
             ipc: 1.0 / cpi,
-            mode_ops: machine.mode_ops(),
-            samples,
+            mode_ops: charged.mode_ops(),
+            samples: policy.samples,
             phases: Some(PhaseSummary {
                 phases: num_phases,
                 changes: table.changes(),
                 samples_per_phase,
                 weights,
             }),
-        }
+        };
+        (estimate, trace)
     }
 }
 
@@ -154,7 +239,10 @@ mod tests {
     use crate::FullDetailed;
 
     fn small() -> OnlineSimPoint {
-        OnlineSimPoint { interval_ops: 100_000, ..OnlineSimPoint::default() }
+        OnlineSimPoint {
+            interval_ops: 100_000,
+            ..OnlineSimPoint::default()
+        }
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Phase-Guided Small-Sample Simulation — the paper's contribution.
 
-use pgss_bbv::{BbvHash, HashedBbvTracker};
 use pgss_cpu::{MachineConfig, Mode};
 use pgss_stats::{weighted_mean, ConfidenceInterval, Welford, Z_997};
 use pgss_workloads::Workload;
 
+use crate::driver::{
+    Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track,
+};
 use crate::estimate::{Estimate, PhaseSummary, Technique};
 use crate::phase::PhaseTable;
 
@@ -102,7 +104,11 @@ impl PgssSim {
     /// Convenience constructor for the paper's parameter sweep (Fig. 11):
     /// `period` in ops and `threshold` as a fraction of π.
     pub fn with_params(ff_ops: u64, threshold_frac_pi: f64) -> PgssSim {
-        PgssSim { ff_ops, threshold_rad: crate::threshold(threshold_frac_pi), ..PgssSim::default() }
+        PgssSim {
+            ff_ops,
+            threshold_rad: crate::threshold(threshold_frac_pi),
+            ..PgssSim::default()
+        }
     }
 }
 
@@ -113,82 +119,165 @@ struct PhaseStats {
     last_sample_at: Option<u64>,
 }
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Fast-forward one BBV period, then classify.
+    Classify,
+    /// Detailed warm-up before a sample.
+    Warm,
+    /// The measured detailed sample itself.
+    Measure,
+    Done,
+}
+
+/// The Figure-5 flow chart as a [`SamplingPolicy`]. The driver's hashed
+/// tracker stays attached across warm/measured segments (their ops land in
+/// the next interval's vector, as the paper's always-on hardware would), so
+/// only the functional segments close BBV intervals.
+struct PgssPolicy {
+    params: PgssSim,
+    table: PhaseTable,
+    stats: Vec<PhaseStats>,
+    state: State,
+    /// Phase chosen by the most recent classification; the sample that
+    /// follows is credited to it.
+    current_phase: usize,
+    /// Detailed ops taken since the last classification, attributed to the
+    /// following interval (samples sit between intervals).
+    carry_ops: u64,
+    total_samples: u64,
+}
+
+impl PgssPolicy {
+    fn new(params: PgssSim) -> PgssPolicy {
+        PgssPolicy {
+            params,
+            table: PhaseTable::new(params.threshold_rad),
+            stats: Vec::new(),
+            state: State::Classify,
+            current_phase: 0,
+            carry_ops: 0,
+            total_samples: 0,
+        }
+    }
+}
+
+impl SamplingPolicy for PgssPolicy {
+    fn next(&mut self, _trace: &mut RunTrace) -> Directive {
+        let p = &self.params;
+        match self.state {
+            State::Classify => Directive::Run(Segment::with_bbv(Mode::Functional, p.ff_ops)),
+            State::Warm => Directive::Run(Segment::new(Mode::DetailedWarming, p.warm_ops)),
+            State::Measure => Directive::Run(Segment::new(Mode::DetailedMeasured, p.unit_ops)),
+            State::Done => Directive::Finish,
+        }
+    }
+
+    fn observe(&mut self, outcome: &SegmentOutcome, trace: &mut RunTrace) {
+        match self.state {
+            State::Classify => {
+                let bbv = outcome
+                    .bbv
+                    .as_ref()
+                    .expect("classify segments close an interval");
+                if outcome.ops == 0 {
+                    self.state = State::Done;
+                    return;
+                }
+                let c = self
+                    .table
+                    .classify(bbv.hashed(), outcome.ops + self.carry_ops);
+                self.carry_ops = 0;
+                if c.created {
+                    self.stats.push(PhaseStats::default());
+                    trace.phases_created += 1;
+                }
+                if outcome.halted {
+                    self.state = State::Done;
+                    return;
+                }
+                // Per Fig. 5: sample unless the phase's confidence interval
+                // is already met or the phase was sampled within the
+                // spacing window.
+                self.current_phase = c.phase;
+                let p = &self.params;
+                let phase = &self.stats[c.phase];
+                let ci_met = phase.cpi.count() >= p.min_samples
+                    && ConfidenceInterval::from_welford(&phase.cpi, p.z).meets_relative(p.ci_rel);
+                let recently_sampled = phase
+                    .last_sample_at
+                    .is_some_and(|at| outcome.retired.saturating_sub(at) < p.spacing_ops);
+                if ci_met {
+                    trace.skipped_ci_met += 1;
+                } else if recently_sampled {
+                    trace.skipped_spacing += 1;
+                }
+                self.state = if ci_met || recently_sampled {
+                    State::Classify
+                } else {
+                    State::Warm
+                };
+            }
+            State::Warm => {
+                self.carry_ops += outcome.ops;
+                self.state = if outcome.halted {
+                    State::Done
+                } else {
+                    State::Measure
+                };
+            }
+            State::Measure => {
+                self.carry_ops += outcome.ops;
+                if outcome.complete() {
+                    let phase = &mut self.stats[self.current_phase];
+                    phase.cpi.push(outcome.cpi());
+                    phase.last_sample_at = Some(outcome.retired);
+                    self.total_samples += 1;
+                    trace.samples_taken += 1;
+                }
+                self.state = if outcome.halted {
+                    State::Done
+                } else {
+                    State::Classify
+                };
+            }
+            State::Done => unreachable!("no segments are issued after Done"),
+        }
+    }
+}
+
 impl Technique for PgssSim {
     fn name(&self) -> String {
-        let period = if self.ff_ops % 1_000_000 == 0 {
+        let period = if self.ff_ops.is_multiple_of(1_000_000) {
             format!("{}M", self.ff_ops / 1_000_000)
         } else {
             format!("{}k", self.ff_ops / 1_000)
         };
-        format!("PGSS({}/.{:02.0})", period, self.threshold_rad / std::f64::consts::PI * 100.0)
+        format!(
+            "PGSS({}/.{:02.0})",
+            period,
+            self.threshold_rad / std::f64::consts::PI * 100.0
+        )
     }
 
     fn run_with(&self, workload: &Workload, config: &MachineConfig) -> Estimate {
-        assert!(self.unit_ops > 0 && self.ff_ops > 0, "unit_ops and ff_ops must be positive");
-        let mut machine = workload.machine_with(*config);
-        let mut tracker = HashedBbvTracker::new(BbvHash::from_seed(self.hash_seed));
-        let mut table = PhaseTable::new(self.threshold_rad);
-        let mut stats: Vec<PhaseStats> = Vec::new();
-        let mut total_samples = 0u64;
-        let mut retired = 0u64;
-        // Detailed ops taken since the last classification, attributed to
-        // the following interval (samples sit between intervals).
-        let mut carry_ops = 0u64;
+        self.run_traced(workload, config).0
+    }
 
-        loop {
-            // Fast-forward one BBV period, accumulating the hashed BBV.
-            let f = machine.run_with(Mode::Functional, self.ff_ops, &mut tracker);
-            retired += f.ops;
-            let bbv = tracker.take();
-            if f.ops == 0 {
-                break;
-            }
-
-            // Classify the interval into a phase.
-            let c = table.classify(&bbv, f.ops + carry_ops);
-            carry_ops = 0;
-            if c.created {
-                stats.push(PhaseStats::default());
-            }
-            if f.halted {
-                break;
-            }
-
-            // Per Fig. 5: sample (detailed warm-up + detailed simulation)
-            // unless the phase's confidence interval is already met or the
-            // phase was sampled within the spacing window. The sample
-            // executes immediately after the interval that chose it, on a
-            // machine the fast-forward kept warm, and is credited to that
-            // phase ("most likely no phase change occurred").
-            let phase = &mut stats[c.phase];
-            let ci_met = phase.cpi.count() >= self.min_samples
-                && ConfidenceInterval::from_welford(&phase.cpi, self.z)
-                    .meets_relative(self.ci_rel);
-            let recently_sampled = phase
-                .last_sample_at
-                .is_some_and(|at| retired.saturating_sub(at) < self.spacing_ops);
-            if ci_met || recently_sampled {
-                continue;
-            }
-            let w = machine.run_with(Mode::DetailedWarming, self.warm_ops, &mut tracker);
-            retired += w.ops;
-            carry_ops += w.ops;
-            if w.halted {
-                break;
-            }
-            let m = machine.run_with(Mode::DetailedMeasured, self.unit_ops, &mut tracker);
-            retired += m.ops;
-            carry_ops += m.ops;
-            if m.ops == self.unit_ops {
-                let phase = &mut stats[c.phase];
-                phase.cpi.push(m.cycles as f64 / m.ops as f64);
-                phase.last_sample_at = Some(retired);
-                total_samples += 1;
-            }
-            if m.halted {
-                break;
-            }
-        }
+    fn run_traced(&self, workload: &Workload, config: &MachineConfig) -> (Estimate, RunTrace) {
+        assert!(
+            self.unit_ops > 0 && self.ff_ops > 0,
+            "unit_ops and ff_ops must be positive"
+        );
+        let mut driver = SimDriver::new(workload, config, Track::Hashed(self.hash_seed));
+        let mut policy = PgssPolicy::new(*self);
+        driver.run(&mut policy);
+        let PgssPolicy {
+            table,
+            stats,
+            total_samples,
+            ..
+        } = policy;
 
         // Compose the estimate: per-phase mean CPI weighted by instruction
         // share; unsampled phases fall back to the global mean.
@@ -200,21 +289,30 @@ impl Technique for PgssSim {
             }
             all
         };
-        assert!(global.count() > 0, "PGSS took no samples; workload too short for ff_ops");
+        assert!(
+            global.count() > 0,
+            "PGSS took no samples; workload too short for ff_ops"
+        );
         let pairs: Vec<(f64, f64)> = stats
             .iter()
             .zip(&weights)
             .map(|(s, &w)| {
-                let cpi = if s.cpi.count() > 0 { s.cpi.mean() } else { global.mean() };
+                let cpi = if s.cpi.count() > 0 {
+                    s.cpi.mean()
+                } else {
+                    global.mean()
+                };
                 (cpi, w)
             })
             .collect();
         let cpi = weighted_mean(&pairs).unwrap_or_else(|| global.mean());
 
         let samples_per_phase = stats.iter().map(|s| s.cpi.count()).collect();
-        Estimate {
+        let mut trace = *driver.trace();
+        trace.phase_changes = table.changes();
+        let estimate = Estimate {
             ipc: 1.0 / cpi,
-            mode_ops: machine.mode_ops(),
+            mode_ops: driver.mode_ops(),
             samples: total_samples,
             phases: Some(PhaseSummary {
                 phases: table.phases().len(),
@@ -222,7 +320,8 @@ impl Technique for PgssSim {
                 samples_per_phase,
                 weights,
             }),
-        }
+        };
+        (estimate, trace)
     }
 }
 
@@ -234,7 +333,11 @@ mod tests {
 
     fn scaled() -> PgssSim {
         // Scaled-down spacing/period for the small test workloads.
-        PgssSim { ff_ops: 100_000, spacing_ops: 100_000, ..PgssSim::default() }
+        PgssSim {
+            ff_ops: 100_000,
+            spacing_ops: 100_000,
+            ..PgssSim::default()
+        }
     }
 
     #[test]
@@ -256,7 +359,11 @@ mod tests {
     #[test]
     fn uses_less_detailed_simulation_than_smarts() {
         let w = pgss_workloads::equake(0.02);
-        let smarts = Smarts { period_ops: 100_000, ..Smarts::default() }.run(&w);
+        let smarts = Smarts {
+            period_ops: 100_000,
+            ..Smarts::default()
+        }
+        .run(&w);
         let pgss = scaled().run(&w);
         assert!(
             pgss.detailed_ops() * 2 <= smarts.detailed_ops(),

@@ -138,14 +138,18 @@ impl PhaseTable {
         }
         self.last_bbv = Some(*bbv);
         self.last_phase = phase;
-        Classification { phase, changed, created }
+        Classification {
+            phase,
+            changed,
+            created,
+        }
     }
 
     fn find_matching_phase(&self, bbv: &HashedBbv) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
         for (i, p) in self.phases.iter().enumerate() {
             let a = bbv.angle(&p.signature);
-            if a < self.threshold && best.map_or(true, |(_, ba)| a < ba) {
+            if a < self.threshold && best.is_none_or(|(_, ba)| a < ba) {
                 best = Some((i, a));
             }
         }
@@ -153,7 +157,11 @@ impl PhaseTable {
     }
 
     fn create_phase(&mut self) -> usize {
-        self.phases.push(PhaseEntry { signature: HashedBbv::new(), intervals: 0, ops: 0 });
+        self.phases.push(PhaseEntry {
+            signature: HashedBbv::new(),
+            intervals: 0,
+            ops: 0,
+        });
         self.phases.len() - 1
     }
 
@@ -164,7 +172,10 @@ impl PhaseTable {
         if total == 0 {
             return vec![0.0; self.phases.len()];
         }
-        self.phases.iter().map(|p| p.ops as f64 / total as f64).collect()
+        self.phases
+            .iter()
+            .map(|p| p.ops as f64 / total as f64)
+            .collect()
     }
 }
 
@@ -197,7 +208,11 @@ mod tests {
     fn alternation_is_two_phases_with_changes() {
         let mut t = PhaseTable::new(crate::threshold(0.05));
         for i in 0..10 {
-            let v = if i % 2 == 0 { bbv(&[(0, 100)]) } else { bbv(&[(5, 100)]) };
+            let v = if i % 2 == 0 {
+                bbv(&[(0, 100)])
+            } else {
+                bbv(&[(5, 100)])
+            };
             t.classify(&v, 100);
         }
         assert_eq!(t.phases().len(), 2);

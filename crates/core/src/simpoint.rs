@@ -2,12 +2,14 @@
 //! large representative interval per phase (Sherwood et al., ASPLOS 2002;
 //! Hamerly et al., SimPoint 3.0).
 
-use pgss_bbv::FullBbvTracker;
 use pgss_cluster::{project, KMeans};
 use pgss_cpu::{MachineConfig, Mode, ModeOps};
 use pgss_stats::weighted_mean;
 use pgss_workloads::Workload;
 
+use crate::driver::{
+    Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track,
+};
 use crate::estimate::{Estimate, PhaseSummary, Technique};
 
 /// The SimPoint pipeline:
@@ -48,7 +50,12 @@ pub struct SimPointOffline {
 
 impl Default for SimPointOffline {
     fn default() -> SimPointOffline {
-        SimPointOffline { interval_ops: 1_000_000, k: 10, projected_dims: 15, seed: 0x5150 }
+        SimPointOffline {
+            interval_ops: 1_000_000,
+            k: 10,
+            projected_dims: 15,
+            seed: 0x5150,
+        }
     }
 }
 
@@ -61,22 +68,100 @@ impl SimPointOffline {
         workload: &Workload,
         config: &MachineConfig,
     ) -> (Vec<Vec<f64>>, ModeOps) {
+        let (rows, ops, _) = self.collect_bbvs_traced(workload, config);
+        (rows, ops)
+    }
+
+    fn collect_bbvs_traced(
+        &self,
+        workload: &Workload,
+        config: &MachineConfig,
+    ) -> (Vec<Vec<f64>>, ModeOps, RunTrace) {
         assert!(self.interval_ops > 0, "interval_ops must be positive");
-        let mut machine = workload.machine_with(*config);
-        let mut tracker = FullBbvTracker::new(workload.program());
-        let mut rows = Vec::new();
-        loop {
-            let r = machine.run_with(Mode::Functional, self.interval_ops, &mut tracker);
-            let bbv = tracker.take();
-            // Keep only complete intervals, as SimPoint does.
-            if r.ops == self.interval_ops {
-                rows.push(bbv.normalized());
+        let mut driver = SimDriver::new(workload, config, Track::Full);
+        let mut policy = ProfilePolicy {
+            interval_ops: self.interval_ops,
+            rows: Vec::new(),
+            done: false,
+        };
+        driver.run(&mut policy);
+        (policy.rows, driver.mode_ops(), *driver.trace())
+    }
+}
+
+/// The profiling pass: functional execution, one full BBV per interval.
+struct ProfilePolicy {
+    interval_ops: u64,
+    rows: Vec<Vec<f64>>,
+    done: bool,
+}
+
+impl SamplingPolicy for ProfilePolicy {
+    fn next(&mut self, _trace: &mut RunTrace) -> Directive {
+        if self.done {
+            Directive::Finish
+        } else {
+            Directive::Run(Segment::with_bbv(Mode::Functional, self.interval_ops))
+        }
+    }
+
+    fn observe(&mut self, outcome: &SegmentOutcome, _trace: &mut RunTrace) {
+        // Keep only complete intervals, as SimPoint does.
+        if outcome.complete() {
+            self.rows.push(
+                outcome
+                    .bbv
+                    .as_ref()
+                    .expect("profile intervals close a BBV")
+                    .full()
+                    .to_vec(),
+            );
+        }
+        if outcome.halted || outcome.ops == 0 {
+            self.done = true;
+        }
+    }
+}
+
+/// The replay pass: fast-forward to each chosen interval (in program
+/// order), detail-simulate through it, record its CPI.
+struct ReplayPolicy {
+    interval_ops: u64,
+    /// Representative interval indices, sorted ascending.
+    plan: Vec<usize>,
+    /// Index into `plan` of the representative being worked on.
+    idx: usize,
+    /// Current interval position of the machine.
+    cursor: usize,
+    cpi_of: Vec<f64>,
+    samples: u64,
+}
+
+impl SamplingPolicy for ReplayPolicy {
+    fn next(&mut self, _trace: &mut RunTrace) -> Directive {
+        match self.plan.get(self.idx) {
+            None => Directive::Finish,
+            Some(&interval) if interval > self.cursor => {
+                let skip = (interval - self.cursor) as u64 * self.interval_ops;
+                Directive::Run(Segment::new(Mode::Functional, skip))
             }
-            if r.halted || r.ops == 0 {
-                break;
+            Some(_) => Directive::Run(Segment::new(Mode::DetailedMeasured, self.interval_ops)),
+        }
+    }
+
+    fn observe(&mut self, outcome: &SegmentOutcome, trace: &mut RunTrace) {
+        match outcome.segment.mode {
+            Mode::Functional => self.cursor = self.plan[self.idx],
+            _ => {
+                if outcome.ops > 0 {
+                    self.cpi_of[self.plan[self.idx]] = outcome.cpi();
+                    self.samples += 1;
+                    trace.samples_taken += 1;
+                }
+                self.cursor += 1;
+                self.idx += 1;
             }
         }
-        (rows, machine.mode_ops())
     }
 }
 
@@ -86,8 +171,15 @@ impl Technique for SimPointOffline {
     }
 
     fn run_with(&self, workload: &Workload, config: &MachineConfig) -> Estimate {
-        let (rows, profile_ops) = self.collect_bbvs(workload, config);
-        assert!(!rows.is_empty(), "workload shorter than one SimPoint interval");
+        self.run_traced(workload, config).0
+    }
+
+    fn run_traced(&self, workload: &Workload, config: &MachineConfig) -> (Estimate, RunTrace) {
+        let (rows, profile_ops, mut trace) = self.collect_bbvs_traced(workload, config);
+        assert!(
+            !rows.is_empty(),
+            "workload shorter than one SimPoint interval"
+        );
         let projected = project(&rows, self.projected_dims, self.seed);
         let clustering = KMeans::new(self.k).with_seed(self.seed).run(&projected);
         let representatives = clustering.representatives(&projected);
@@ -96,49 +188,46 @@ impl Technique for SimPointOffline {
         // Second pass: detail-simulate exactly the representative intervals.
         let mut chosen: Vec<usize> = representatives.iter().flatten().copied().collect();
         chosen.sort_unstable();
-        let mut machine = workload.machine_with(*config);
-        let mut cpi_of = vec![f64::NAN; rows.len()];
-        let mut cursor = 0usize; // current interval index
-        let mut samples = 0u64;
-        for &interval in &chosen {
-            if interval > cursor {
-                let skip = (interval - cursor) as u64 * self.interval_ops;
-                machine.run(Mode::Functional, skip);
-                cursor = interval;
-            }
-            let r = machine.run(Mode::DetailedMeasured, self.interval_ops);
-            if r.ops > 0 {
-                cpi_of[interval] = r.cycles as f64 / r.ops as f64;
-                samples += 1;
-            }
-            cursor += 1;
-        }
+        let mut replay = SimDriver::new(workload, config, Track::None);
+        let mut policy = ReplayPolicy {
+            interval_ops: self.interval_ops,
+            plan: chosen,
+            idx: 0,
+            cursor: 0,
+            cpi_of: vec![f64::NAN; rows.len()],
+            samples: 0,
+        };
+        replay.run(&mut policy);
+        trace.merge(replay.trace());
 
         // Weighted CPI over clusters with a simulated representative.
         let pairs: Vec<(f64, f64)> = representatives
             .iter()
             .zip(&weights)
-            .filter_map(|(rep, &w)| rep.map(|r| (cpi_of[r], w)))
+            .filter_map(|(rep, &w)| rep.map(|r| (policy.cpi_of[r], w)))
             .filter(|(cpi, _)| cpi.is_finite())
             .collect();
         let cpi = weighted_mean(&pairs).expect("at least one simulated representative");
 
-        let mut mode_ops = machine.mode_ops();
+        let mut mode_ops = replay.mode_ops();
         // Charge the offline BBV-profiling pass as functional simulation.
         mode_ops.functional += profile_ops.functional;
-        let samples_per_phase: Vec<u64> =
-            representatives.iter().map(|r| u64::from(r.is_some())).collect();
-        Estimate {
+        let samples_per_phase: Vec<u64> = representatives
+            .iter()
+            .map(|r| u64::from(r.is_some()))
+            .collect();
+        let estimate = Estimate {
             ipc: 1.0 / cpi,
             mode_ops,
-            samples,
+            samples: policy.samples,
             phases: Some(PhaseSummary {
                 phases: clustering.k(),
                 changes: count_changes(clustering.assignments()),
                 samples_per_phase,
                 weights,
             }),
-        }
+        };
+        (estimate, trace)
     }
 }
 
@@ -153,7 +242,12 @@ mod tests {
     use crate::FullDetailed;
 
     fn small() -> SimPointOffline {
-        SimPointOffline { interval_ops: 100_000, k: 5, projected_dims: 15, seed: 1 }
+        SimPointOffline {
+            interval_ops: 100_000,
+            k: 5,
+            projected_dims: 15,
+            seed: 1,
+        }
     }
 
     #[test]

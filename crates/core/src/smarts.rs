@@ -5,6 +5,9 @@ use pgss_cpu::{MachineConfig, Mode};
 use pgss_stats::Welford;
 use pgss_workloads::Workload;
 
+use crate::driver::{
+    Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track,
+};
 use crate::estimate::{Estimate, Technique};
 
 /// Phase-blind periodic sampling: every `period_ops`, run `warm_ops` of
@@ -38,7 +41,11 @@ pub struct Smarts {
 
 impl Default for Smarts {
     fn default() -> Smarts {
-        Smarts { unit_ops: 1_000, warm_ops: 3_000, period_ops: 1_000_000 }
+        Smarts {
+            unit_ops: 1_000,
+            warm_ops: 3_000,
+            period_ops: 1_000_000,
+        }
     }
 }
 
@@ -56,7 +63,7 @@ impl Smarts {
         &self,
         workload: &Workload,
         config: &MachineConfig,
-    ) -> (Vec<f64>, pgss_cpu::ModeOps) {
+    ) -> (Vec<f64>, pgss_cpu::ModeOps, RunTrace) {
         assert!(self.unit_ops > 0, "unit_ops must be positive");
         assert!(
             self.period_ops > self.unit_ops + self.warm_ops,
@@ -64,27 +71,63 @@ impl Smarts {
             self.warm_ops,
             self.unit_ops
         );
-        let mut machine = workload.machine_with(*config);
-        let ff_ops = self.period_ops - self.unit_ops - self.warm_ops;
-        let mut cpis = Vec::new();
-        loop {
-            let w = machine.run(Mode::DetailedWarming, self.warm_ops);
-            if w.halted {
-                break;
-            }
-            let m = machine.run(Mode::DetailedMeasured, self.unit_ops);
-            if m.ops == self.unit_ops {
-                cpis.push(m.cycles as f64 / m.ops as f64);
-            }
-            if m.halted {
-                break;
-            }
-            let f = machine.run(Mode::Functional, ff_ops);
-            if f.halted {
-                break;
-            }
+        let mut driver = SimDriver::new(workload, config, Track::None);
+        let mut policy = SmartsPolicy {
+            unit_ops: self.unit_ops,
+            warm_ops: self.warm_ops,
+            ff_ops: self.period_ops - self.unit_ops - self.warm_ops,
+            state: State::Warm,
+            cpis: Vec::new(),
+        };
+        driver.run(&mut policy);
+        (policy.cpis, driver.mode_ops(), *driver.trace())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Warm,
+    Measure,
+    FastForward,
+    Done,
+}
+
+/// The SMARTS segment cycle as a [`SamplingPolicy`]: warm → measure →
+/// fast-forward, stopping at the first halted segment.
+struct SmartsPolicy {
+    unit_ops: u64,
+    warm_ops: u64,
+    ff_ops: u64,
+    state: State,
+    cpis: Vec<f64>,
+}
+
+impl SamplingPolicy for SmartsPolicy {
+    fn next(&mut self, _trace: &mut RunTrace) -> Directive {
+        match self.state {
+            State::Warm => Directive::Run(Segment::new(Mode::DetailedWarming, self.warm_ops)),
+            State::Measure => Directive::Run(Segment::new(Mode::DetailedMeasured, self.unit_ops)),
+            State::FastForward => Directive::Run(Segment::new(Mode::Functional, self.ff_ops)),
+            State::Done => Directive::Finish,
         }
-        (cpis, machine.mode_ops())
+    }
+
+    fn observe(&mut self, outcome: &SegmentOutcome, trace: &mut RunTrace) {
+        match self.state {
+            State::Warm => self.state = State::Measure,
+            State::Measure => {
+                if outcome.complete() {
+                    self.cpis.push(outcome.cpi());
+                    trace.samples_taken += 1;
+                }
+                self.state = State::FastForward;
+            }
+            State::FastForward => self.state = State::Warm,
+            State::Done => unreachable!("no segments are issued after Done"),
+        }
+        if outcome.halted {
+            self.state = State::Done;
+        }
     }
 }
 
@@ -94,10 +137,25 @@ impl Technique for Smarts {
     }
 
     fn run_with(&self, workload: &Workload, config: &MachineConfig) -> Estimate {
-        let (cpis, mode_ops) = self.collect_population(workload, config);
-        assert!(!cpis.is_empty(), "workload too short for even one SMARTS sample");
+        self.run_traced(workload, config).0
+    }
+
+    fn run_traced(&self, workload: &Workload, config: &MachineConfig) -> (Estimate, RunTrace) {
+        let (cpis, mode_ops, trace) = self.collect_population(workload, config);
+        assert!(
+            !cpis.is_empty(),
+            "workload too short for even one SMARTS sample"
+        );
         let w: Welford = cpis.iter().copied().collect();
-        Estimate { ipc: 1.0 / w.mean(), mode_ops, samples: w.count(), phases: None }
+        (
+            Estimate {
+                ipc: 1.0 / w.mean(),
+                mode_ops,
+                samples: w.count(),
+                phases: None,
+            },
+            trace,
+        )
     }
 }
 
@@ -110,7 +168,11 @@ mod tests {
     #[test]
     fn sample_count_matches_period() {
         let w = pgss_workloads::mesa(0.01);
-        let s = Smarts { unit_ops: 1_000, warm_ops: 3_000, period_ops: 100_000 };
+        let s = Smarts {
+            unit_ops: 1_000,
+            warm_ops: 3_000,
+            period_ops: 100_000,
+        };
         let est = s.run(&w);
         let expected = w.nominal_ops() / s.period_ops;
         assert!(
@@ -123,7 +185,11 @@ mod tests {
     #[test]
     fn detailed_ops_accounting() {
         let w = pgss_workloads::twolf(0.01);
-        let s = Smarts { unit_ops: 1_000, warm_ops: 3_000, period_ops: 200_000 };
+        let s = Smarts {
+            unit_ops: 1_000,
+            warm_ops: 3_000,
+            period_ops: 200_000,
+        };
         let est = s.run(&w);
         // Exactly (unit + warm) per sample, modulo the final truncated
         // sample.
@@ -137,7 +203,12 @@ mod tests {
         // twolf has tiny IPC variance, so even a short run samples it well.
         let w = pgss_workloads::twolf(0.02);
         let truth = FullDetailed::new().ground_truth(&w);
-        let est = Smarts { unit_ops: 1_000, warm_ops: 3_000, period_ops: 100_000 }.run(&w);
+        let est = Smarts {
+            unit_ops: 1_000,
+            warm_ops: 3_000,
+            period_ops: 50_000,
+        }
+        .run(&w);
         let err = relative_error(est.ipc, truth.ipc);
         assert!(err < 0.05, "SMARTS error {err:.4} on stable workload");
     }
@@ -146,6 +217,11 @@ mod tests {
     #[should_panic(expected = "period must exceed")]
     fn degenerate_period_panics() {
         let w = pgss_workloads::twolf(0.002);
-        let _ = Smarts { unit_ops: 1_000, warm_ops: 3_000, period_ops: 2_000 }.run(&w);
+        let _ = Smarts {
+            unit_ops: 1_000,
+            warm_ops: 3_000,
+            period_ops: 2_000,
+        }
+        .run(&w);
     }
 }

@@ -3,12 +3,10 @@
 //! 2006).
 
 use pgss_cpu::{MachineConfig, ModeOps};
-use pgss_stats::{ConfidenceInterval, Welford, Z_997};
+use pgss_stats::{ConfidenceInterval, DetRng, Welford, Z_997};
 use pgss_workloads::Workload;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
+use crate::driver::RunTrace;
 use crate::estimate::{Estimate, Technique};
 use crate::smarts::Smarts;
 
@@ -77,10 +75,17 @@ impl Technique for TurboSmarts {
     }
 
     fn run_with(&self, workload: &Workload, config: &MachineConfig) -> Estimate {
-        let (population, _) = self.smarts.collect_population(workload, config);
-        assert!(!population.is_empty(), "workload too short for even one sample");
+        self.run_traced(workload, config).0
+    }
+
+    fn run_traced(&self, workload: &Workload, config: &MachineConfig) -> (Estimate, RunTrace) {
+        let (population, _, mut trace) = self.smarts.collect_population(workload, config);
+        assert!(
+            !population.is_empty(),
+            "workload too short for even one sample"
+        );
         let mut order: Vec<usize> = (0..population.len()).collect();
-        order.shuffle(&mut SmallRng::seed_from_u64(self.seed));
+        DetRng::seed_from_u64(self.seed).shuffle(&mut order);
 
         let mut w = Welford::new();
         let mut consumed = 0u64;
@@ -104,7 +109,20 @@ impl Technique for TurboSmarts {
             detailed_measured: consumed * self.smarts.unit_ops,
             ..Default::default()
         };
-        Estimate { ipc: 1.0 / w.mean(), mode_ops, samples: consumed, phases: None }
+        // The trace mirrors the accounting: of the collected population,
+        // `consumed` samples were actually charged; the rest were skipped
+        // because the confidence bound closed first.
+        trace.samples_taken = consumed;
+        trace.skipped_ci_met = population.len() as u64 - consumed;
+        (
+            Estimate {
+                ipc: 1.0 / w.mean(),
+                mode_ops,
+                samples: consumed,
+                phases: None,
+            },
+            trace,
+        )
     }
 }
 
@@ -125,9 +143,16 @@ mod tests {
         });
         b.run(seg, 3_000_000);
         let w = b.finish();
-        let smarts = Smarts { period_ops: 20_000, ..Smarts::default() };
+        let smarts = Smarts {
+            period_ops: 20_000,
+            ..Smarts::default()
+        };
         let full = smarts.run(&w);
-        let turbo = TurboSmarts { smarts, ..TurboSmarts::default() }.run(&w);
+        let turbo = TurboSmarts {
+            smarts,
+            ..TurboSmarts::default()
+        }
+        .run(&w);
         assert!(
             turbo.samples < full.samples,
             "turbo consumed {} of {} samples",
@@ -141,8 +166,15 @@ mod tests {
     fn stable_workload_converges_fast_and_accurately() {
         let w = pgss_workloads::twolf(0.02);
         let truth = FullDetailed::new().ground_truth(&w);
-        let smarts = Smarts { period_ops: 50_000, ..Smarts::default() };
-        let est = TurboSmarts { smarts, ..TurboSmarts::default() }.run(&w);
+        let smarts = Smarts {
+            period_ops: 50_000,
+            ..Smarts::default()
+        };
+        let est = TurboSmarts {
+            smarts,
+            ..TurboSmarts::default()
+        }
+        .run(&w);
         // twolf's tiny variance means the bound is honest here.
         let err = relative_error(est.ipc, truth.ipc);
         assert!(err < 0.1, "error {err:.4}");
@@ -161,7 +193,11 @@ mod tests {
     fn different_seed_changes_consumption_order() {
         let w = pgss_workloads::gzip(0.01);
         let a = TurboSmarts::new().run(&w);
-        let b = TurboSmarts { seed: 999, ..TurboSmarts::new() }.run(&w);
+        let b = TurboSmarts {
+            seed: 999,
+            ..TurboSmarts::new()
+        }
+        .run(&w);
         // Same population, different order: sample counts usually differ on
         // a phased workload; at minimum the estimates must both be finite.
         assert!(a.ipc.is_finite() && b.ipc.is_finite());

@@ -118,8 +118,14 @@ impl Btb {
     ///
     /// Panics if `entries` is zero or not a power of two.
     pub fn new(entries: u32) -> Btb {
-        assert!(entries.is_power_of_two() && entries > 0, "BTB entries must be a power of two");
-        Btb { targets: vec![u32::MAX; entries as usize], mask: entries - 1 }
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "BTB entries must be a power of two"
+        );
+        Btb {
+            targets: vec![u32::MAX; entries as usize],
+            mask: entries - 1,
+        }
     }
 
     /// Predicts the target of the indirect jump at `pc`, then records the
@@ -143,7 +149,10 @@ mod tests {
     use super::*;
 
     fn bp() -> BranchPredictor {
-        BranchPredictor::new(BranchPredictorConfig { history_bits: 10, btb_entries: 16 })
+        BranchPredictor::new(BranchPredictorConfig {
+            history_bits: 10,
+            btb_entries: 16,
+        })
     }
 
     #[test]
@@ -177,7 +186,11 @@ mod tests {
             p.predict_and_update(32, outcome);
             outcome = !outcome;
         }
-        assert_eq!(p.mispredictions(), before, "alternating pattern should be learned");
+        assert_eq!(
+            p.mispredictions(),
+            before,
+            "alternating pattern should be learned"
+        );
     }
 
     #[test]
@@ -195,7 +208,10 @@ mod tests {
             }
         }
         // Should be near 50%; certainly above 35%.
-        assert!(wrong > 3_500, "only {wrong} mispredictions on random outcomes");
+        assert!(
+            wrong > 3_500,
+            "only {wrong} mispredictions on random outcomes"
+        );
     }
 
     #[test]
@@ -231,6 +247,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "history_bits")]
     fn zero_history_panics() {
-        let _ = BranchPredictor::new(BranchPredictorConfig { history_bits: 0, btb_entries: 2 });
+        let _ = BranchPredictor::new(BranchPredictorConfig {
+            history_bits: 0,
+            btb_entries: 2,
+        });
     }
 }

@@ -38,9 +38,18 @@ impl Cache {
     /// Panics if any geometry field is zero or not a power of two, or if the
     /// geometry implies zero sets.
     pub fn new(config: CacheConfig) -> Cache {
-        assert!(config.size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(config.associativity.is_power_of_two(), "associativity must be a power of two");
+        assert!(
+            config.size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            config.associativity.is_power_of_two(),
+            "associativity must be a power of two"
+        );
         let sets = config.num_sets();
         assert!(sets >= 1, "cache geometry implies zero sets");
         let assoc = config.associativity as usize;
@@ -224,7 +233,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets × 2 ways × 64 B lines.
-        Cache::new(CacheConfig { size_bytes: 256, line_bytes: 64, associativity: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            line_bytes: 64,
+            associativity: 2,
+        })
     }
 
     #[test]
@@ -292,9 +305,9 @@ mod tests {
         let lat = cfg.lat;
         assert_eq!(m.load_latency(0), lat.memory); // cold: full miss
         assert_eq!(m.load_latency(0), lat.l1_hit); // L1 hit
-        // Evict from L1 only: walk 5 lines mapping to L1 set 0 but distinct
-        // L2 sets is fiddly; instead verify L2 hit via a fresh line that was
-        // loaded into L2 by an instruction fetch.
+                                                   // Evict from L1 only: walk 5 lines mapping to L1 set 0 but distinct
+                                                   // L2 sets is fiddly; instead verify L2 hit via a fresh line that was
+                                                   // loaded into L2 by an instruction fetch.
         assert_eq!(m.fetch_latency(1 << 20), lat.memory);
         assert_eq!(m.load_latency(1 << 20), lat.l2_hit); // in L2 via fetch path
     }
@@ -311,6 +324,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_panics() {
-        let _ = Cache::new(CacheConfig { size_bytes: 300, line_bytes: 64, associativity: 2 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 300,
+            line_bytes: 64,
+            associativity: 2,
+        });
     }
 }

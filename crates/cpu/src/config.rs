@@ -17,12 +17,20 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The paper's split L1 configuration: 64 KB, 4-way, 64-byte lines.
     pub fn l1_default() -> CacheConfig {
-        CacheConfig { size_bytes: 64 * 1024, line_bytes: 64, associativity: 4 }
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            line_bytes: 64,
+            associativity: 4,
+        }
     }
 
     /// The paper's unified L2 configuration: 1 MB, 8-way, 64-byte lines.
     pub fn l2_default() -> CacheConfig {
-        CacheConfig { size_bytes: 1024 * 1024, line_bytes: 64, associativity: 8 }
+        CacheConfig {
+            size_bytes: 1024 * 1024,
+            line_bytes: 64,
+            associativity: 8,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -44,7 +52,10 @@ pub struct BranchPredictorConfig {
 
 impl Default for BranchPredictorConfig {
     fn default() -> BranchPredictorConfig {
-        BranchPredictorConfig { history_bits: 12, btb_entries: 512 }
+        BranchPredictorConfig {
+            history_bits: 12,
+            btb_entries: 512,
+        }
     }
 }
 

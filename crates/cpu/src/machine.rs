@@ -281,7 +281,11 @@ impl Machine {
     /// instructions are charged to.
     pub fn run_with<S: RetireSink>(&mut self, mode: Mode, max_ops: u64, sink: &mut S) -> RunResult {
         if self.halted || max_ops == 0 {
-            return RunResult { ops: 0, cycles: 0, halted: self.halted };
+            return RunResult {
+                ops: 0,
+                cycles: 0,
+                halted: self.halted,
+            };
         }
         let (ops, cycles) = match mode {
             Mode::FastForward => {
@@ -317,7 +321,11 @@ impl Machine {
             Mode::DetailedWarming => self.mode_ops.detailed_warming += ops,
             Mode::DetailedMeasured => self.mode_ops.detailed_measured += ops,
         }
-        RunResult { ops, cycles, halted: self.halted }
+        RunResult {
+            ops,
+            cycles,
+            halted: self.halted,
+        }
     }
 
     /// Picks the issue cycle for an instruction whose operands are ready at
@@ -439,8 +447,7 @@ impl Machine {
                     self.write_reg(rd.index(), value);
                     if DETAILED {
                         let l = self.memsys.load_latency(addr * 8);
-                        let done =
-                            self.issue_mem(self.reg_ready[base.index()], l, l > lat.l1_hit);
+                        let done = self.issue_mem(self.reg_ready[base.index()], l, l > lat.l1_hit);
                         self.reg_ready[rd.index()] = done;
                     } else if WARM {
                         self.memsys.warm_data(addr * 8);
@@ -462,8 +469,7 @@ impl Machine {
                     self.fregs[fd.index()] = f64::from_bits(self.mem[addr as usize] as u64);
                     if DETAILED {
                         let l = self.memsys.load_latency(addr * 8);
-                        let done =
-                            self.issue_mem(self.reg_ready[base.index()], l, l > lat.l1_hit);
+                        let done = self.issue_mem(self.reg_ready[base.index()], l, l > lat.l1_hit);
                         self.reg_ready[32 + fd.index()] = done;
                     } else if WARM {
                         self.memsys.warm_data(addr * 8);
@@ -481,7 +487,12 @@ impl Machine {
                         self.memsys.warm_data(addr * 8);
                     }
                 }
-                Instr::Branch { cond, rs, rt, target } => {
+                Instr::Branch {
+                    cond,
+                    rs,
+                    rt,
+                    target,
+                } => {
                     let a = self.regs[rs.index()];
                     let b = self.regs[rt.index()];
                     taken = cond.eval(a, b);
@@ -597,7 +608,10 @@ mod tests {
     use pgss_isa::{Assembler, Cond, Reg};
 
     fn small_config() -> MachineConfig {
-        MachineConfig { memory_words: 1 << 16, ..MachineConfig::default() }
+        MachineConfig {
+            memory_words: 1 << 16,
+            ..MachineConfig::default()
+        }
     }
 
     /// A loop of `body` independent single-cycle ALU ops per iteration,
@@ -643,7 +657,10 @@ mod tests {
         let r = m.run(Mode::DetailedMeasured, u64::MAX);
         assert!(r.halted);
         let ipc = r.ipc();
-        assert!(ipc > 3.5, "expected near-4 IPC for independent ALU ops, got {ipc}");
+        assert!(
+            ipc > 3.5,
+            "expected near-4 IPC for independent ALU ops, got {ipc}"
+        );
     }
 
     #[test]
@@ -652,8 +669,14 @@ mod tests {
         let mut m = Machine::new(small_config(), &p);
         let r = m.run(Mode::DetailedMeasured, u64::MAX);
         let ipc = r.ipc();
-        assert!(ipc < 1.2, "dependent chain should run near 1 IPC, got {ipc}");
-        assert!(ipc > 0.8, "dependent ALU chain should not be slower than 1/cycle, got {ipc}");
+        assert!(
+            ipc < 1.2,
+            "dependent chain should run near 1 IPC, got {ipc}"
+        );
+        assert!(
+            ipc > 0.8,
+            "dependent ALU chain should not be slower than 1/cycle, got {ipc}"
+        );
     }
 
     #[test]
@@ -691,7 +714,11 @@ mod tests {
         // b alternates modes every 777 ops.
         let mut flip = false;
         while !b.halted() {
-            let mode = if flip { Mode::DetailedMeasured } else { Mode::Functional };
+            let mode = if flip {
+                Mode::DetailedMeasured
+            } else {
+                Mode::Functional
+            };
             b.run(mode, 777);
             flip = !flip;
         }
@@ -723,7 +750,10 @@ mod tests {
             asm.halt();
             asm.finish().unwrap()
         };
-        let cfg = MachineConfig { memory_words: 1 << 20, ..MachineConfig::default() };
+        let cfg = MachineConfig {
+            memory_words: 1 << 20,
+            ..MachineConfig::default()
+        };
         // Hot: loops inside 512 words (fits L1), repeated many times.
         let hot = build(512, 1000);
         let mut m_hot = Machine::new(cfg, &hot);

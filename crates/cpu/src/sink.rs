@@ -44,6 +44,43 @@ impl<S: RetireSink + ?Sized> RetireSink for &mut S {
     }
 }
 
+/// Sinks compose: a pair delivers every event to both members, so BBV
+/// tracking and run-trace counters can stack on a single
+/// [`crate::Machine::run_with`] call instead of needing separate paths.
+/// Pairs nest — `(a, (b, c))` fans out to three sinks.
+impl<A: RetireSink, B: RetireSink> RetireSink for (A, B) {
+    #[inline]
+    fn retire(&mut self, pc: u32) {
+        self.0.retire(pc);
+        self.1.retire(pc);
+    }
+
+    #[inline]
+    fn taken_branch(&mut self, pc: u32, ops_since_last: u64) {
+        self.0.taken_branch(pc, ops_since_last);
+        self.1.taken_branch(pc, ops_since_last);
+    }
+}
+
+/// An absent sink is a no-op, so "maybe track BBVs" is `Option<Tracker>`
+/// rather than a second run path; after monomorphization the `None` branch
+/// is a predictable no-op.
+impl<S: RetireSink> RetireSink for Option<S> {
+    #[inline]
+    fn retire(&mut self, pc: u32) {
+        if let Some(s) = self {
+            s.retire(pc);
+        }
+    }
+
+    #[inline]
+    fn taken_branch(&mut self, pc: u32, ops_since_last: u64) {
+        if let Some(s) = self {
+            s.taken_branch(pc, ops_since_last);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +117,38 @@ mod tests {
         }
         assert_eq!(c.retired, 1);
         assert_eq!(c.takens, vec![(5, 10)]);
+    }
+
+    #[test]
+    fn pairs_deliver_to_both_members() {
+        let mut pair = (Counting::default(), Counting::default());
+        pair.retire(1);
+        pair.retire(2);
+        pair.taken_branch(7, 3);
+        assert_eq!(pair.0.retired, 2);
+        assert_eq!(pair.1.retired, 2);
+        assert_eq!(pair.0.takens, vec![(7, 3)]);
+        assert_eq!(pair.1.takens, vec![(7, 3)]);
+    }
+
+    #[test]
+    fn pairs_nest() {
+        let mut nested = (Counting::default(), (Counting::default(), NoopSink));
+        nested.taken_branch(9, 4);
+        assert_eq!(nested.0.takens, vec![(9, 4)]);
+        assert_eq!(nested.1 .0.takens, vec![(9, 4)]);
+    }
+
+    #[test]
+    fn optional_sinks_noop_when_absent() {
+        let mut none: Option<Counting> = None;
+        none.retire(1);
+        none.taken_branch(2, 3);
+        let mut some = Some(Counting::default());
+        some.retire(1);
+        some.taken_branch(2, 3);
+        let c = some.unwrap();
+        assert_eq!(c.retired, 1);
+        assert_eq!(c.takens, vec![(2, 3)]);
     }
 }

@@ -38,7 +38,11 @@ impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AsmError::UnboundLabel { label, first_use } => {
-                write!(f, "label {:?} referenced at address {} was never bound", label, first_use)
+                write!(
+                    f,
+                    "label {:?} referenced at address {} was never bound",
+                    label, first_use
+                )
             }
             AsmError::Empty => write!(f, "program contains no instructions"),
             AsmError::FallsOffEnd => {
@@ -231,7 +235,15 @@ impl Assembler {
 
     /// Emits a conditional branch to `label`.
     pub fn branch(&mut self, cond: Cond, rs: Reg, rt: Reg, label: Label) -> u32 {
-        self.emit_labeled(Instr::Branch { cond, rs, rt, target: 0 }, label)
+        self.emit_labeled(
+            Instr::Branch {
+                cond,
+                rs,
+                rt,
+                target: 0,
+            },
+            label,
+        )
     }
 
     /// Emits an unconditional jump to `label`.
@@ -277,10 +289,15 @@ impl Assembler {
         self.fixups.sort_by_key(|&(pc, _)| pc);
         for &(pc, label) in &self.fixups {
             let Some(addr) = self.bound[label.0 as usize] else {
-                return Err(AsmError::UnboundLabel { label, first_use: pc });
+                return Err(AsmError::UnboundLabel {
+                    label,
+                    first_use: pc,
+                });
             };
             match &mut self.instrs[pc as usize] {
-                Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Jal { target, .. } => {
+                Instr::Branch { target, .. }
+                | Instr::Jump { target }
+                | Instr::Jal { target, .. } => {
                     *target = addr;
                 }
                 Instr::Li { imm, .. } => *imm = i64::from(addr),
@@ -309,7 +326,15 @@ mod tests {
         asm.bind(fwd);
         asm.halt();
         let p = asm.finish().unwrap();
-        assert_eq!(p.instr(0), Instr::Branch { cond: Cond::Eq, rs: Reg::R1, rt: Reg::R0, target: 2 });
+        assert_eq!(
+            p.instr(0),
+            Instr::Branch {
+                cond: Cond::Eq,
+                rs: Reg::R1,
+                rt: Reg::R0,
+                target: 2
+            }
+        );
         assert_eq!(p.instr(1), Instr::Jump { target: 0 });
     }
 
@@ -322,7 +347,13 @@ mod tests {
         asm.bind(target);
         asm.halt();
         let p = asm.finish().unwrap();
-        assert_eq!(p.instr(0), Instr::Li { rd: Reg::R5, imm: 2 });
+        assert_eq!(
+            p.instr(0),
+            Instr::Li {
+                rd: Reg::R5,
+                imm: 2
+            }
+        );
     }
 
     #[test]
@@ -376,7 +407,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = AsmError::UnboundLabel { label: Label(3), first_use: 7 };
+        let e = AsmError::UnboundLabel {
+            label: Label(3),
+            first_use: 7,
+        };
         let s = e.to_string();
         assert!(s.contains('7'), "{s}");
         assert!(!AsmError::Empty.to_string().is_empty());

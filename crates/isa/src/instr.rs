@@ -425,12 +425,21 @@ impl fmt::Display for Instr {
             Instr::Alu { op, rd, rs, rt } => write!(f, "{op} {rd}, {rs}, {rt}"),
             Instr::AluImm { op, rd, rs, imm } => write!(f, "{op}i {rd}, {rs}, {imm}"),
             Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
-            Instr::Fpu { op, fd, fs, ft } => write!(f, "{op} f{}, f{}, f{}", fd.index(), fs.index(), ft.index()),
+            Instr::Fpu { op, fd, fs, ft } => {
+                write!(f, "{op} f{}, f{}, f{}", fd.index(), fs.index(), ft.index())
+            }
             Instr::Load { rd, base, offset } => write!(f, "ld {rd}, {offset}({base})"),
             Instr::Store { rs, base, offset } => write!(f, "st {rs}, {offset}({base})"),
             Instr::FLoad { fd, base, offset } => write!(f, "fld f{}, {offset}({base})", fd.index()),
-            Instr::FStore { fs, base, offset } => write!(f, "fst f{}, {offset}({base})", fs.index()),
-            Instr::Branch { cond, rs, rt, target } => write!(f, "{cond} {rs}, {rt}, @{target}"),
+            Instr::FStore { fs, base, offset } => {
+                write!(f, "fst f{}, {offset}({base})", fs.index())
+            }
+            Instr::Branch {
+                cond,
+                rs,
+                rt,
+                target,
+            } => write!(f, "{cond} {rs}, {rt}, @{target}"),
             Instr::Jump { target } => write!(f, "j @{target}"),
             Instr::Jal { target, link } => write!(f, "jal {link}, @{target}"),
             Instr::Jr { rs } => write!(f, "jr {rs}"),
@@ -502,29 +511,81 @@ mod tests {
 
     #[test]
     fn control_flow_classification() {
-        let b = Instr::Branch { cond: Cond::Eq, rs: Reg::R1, rt: Reg::R2, target: 7 };
+        let b = Instr::Branch {
+            cond: Cond::Eq,
+            rs: Reg::R1,
+            rt: Reg::R2,
+            target: 7,
+        };
         assert!(b.is_control_flow());
         assert_eq!(b.static_target(), Some(7));
         assert_eq!(Instr::Jr { rs: Reg::R31 }.static_target(), None);
         assert!(Instr::Halt.is_control_flow());
-        assert!(Instr::Load { rd: Reg::R1, base: Reg::R2, offset: 0 }.is_memory());
+        assert!(Instr::Load {
+            rd: Reg::R1,
+            base: Reg::R2,
+            offset: 0
+        }
+        .is_memory());
         assert!(!Instr::Halt.is_memory());
     }
 
     #[test]
     fn display_is_nonempty_and_stable() {
         let cases = [
-            Instr::Alu { op: AluOp::Add, rd: Reg::R1, rs: Reg::R2, rt: Reg::R3 },
-            Instr::AluImm { op: AluOp::Xor, rd: Reg::R1, rs: Reg::R2, imm: -9 },
-            Instr::Li { rd: Reg::R4, imm: 123 },
-            Instr::Fpu { op: FpuOp::Mul, fd: Reg::R0, fs: Reg::R1, ft: Reg::R2 },
-            Instr::Load { rd: Reg::R5, base: Reg::R6, offset: 8 },
-            Instr::Store { rs: Reg::R5, base: Reg::R6, offset: -8 },
-            Instr::FLoad { fd: Reg::R2, base: Reg::R6, offset: 1 },
-            Instr::FStore { fs: Reg::R2, base: Reg::R6, offset: 1 },
-            Instr::Branch { cond: Cond::Ne, rs: Reg::R1, rt: Reg::R0, target: 42 },
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::R1,
+                rs: Reg::R2,
+                rt: Reg::R3,
+            },
+            Instr::AluImm {
+                op: AluOp::Xor,
+                rd: Reg::R1,
+                rs: Reg::R2,
+                imm: -9,
+            },
+            Instr::Li {
+                rd: Reg::R4,
+                imm: 123,
+            },
+            Instr::Fpu {
+                op: FpuOp::Mul,
+                fd: Reg::R0,
+                fs: Reg::R1,
+                ft: Reg::R2,
+            },
+            Instr::Load {
+                rd: Reg::R5,
+                base: Reg::R6,
+                offset: 8,
+            },
+            Instr::Store {
+                rs: Reg::R5,
+                base: Reg::R6,
+                offset: -8,
+            },
+            Instr::FLoad {
+                fd: Reg::R2,
+                base: Reg::R6,
+                offset: 1,
+            },
+            Instr::FStore {
+                fs: Reg::R2,
+                base: Reg::R6,
+                offset: 1,
+            },
+            Instr::Branch {
+                cond: Cond::Ne,
+                rs: Reg::R1,
+                rt: Reg::R0,
+                target: 42,
+            },
             Instr::Jump { target: 3 },
-            Instr::Jal { target: 3, link: Reg::LINK },
+            Instr::Jal {
+                target: 3,
+                link: Reg::LINK,
+            },
             Instr::Jr { rs: Reg::LINK },
             Instr::Halt,
         ];

@@ -76,11 +76,17 @@ impl Program {
     /// Panics if `instrs` is empty or if any statically-known control-flow
     /// target is out of range — an assembled program must be self-contained.
     pub fn new(instrs: Vec<Instr>) -> Program {
-        assert!(!instrs.is_empty(), "a program must contain at least one instruction");
+        assert!(
+            !instrs.is_empty(),
+            "a program must contain at least one instruction"
+        );
         let n = instrs.len() as u32;
         for (pc, i) in instrs.iter().enumerate() {
             if let Some(t) = i.static_target() {
-                assert!(t < n, "instruction {pc} targets out-of-range address {t} (program length {n})");
+                assert!(
+                    t < n,
+                    "instruction {pc} targets out-of-range address {t} (program length {n})"
+                );
             }
         }
 
@@ -99,9 +105,12 @@ impl Program {
         let mut blocks = Vec::new();
         let mut block_of = vec![0u32; instrs.len()];
         let mut start = 0u32;
-        for pc in 1..instrs.len() {
-            if leader[pc] {
-                blocks.push(BasicBlock { start, end: pc as u32 });
+        for (pc, &lead) in leader.iter().enumerate().skip(1) {
+            if lead {
+                blocks.push(BasicBlock {
+                    start,
+                    end: pc as u32,
+                });
                 start = pc as u32;
             }
         }
@@ -112,7 +121,11 @@ impl Program {
             }
         }
 
-        Program { instrs, block_of, blocks }
+        Program {
+            instrs,
+            block_of,
+            blocks,
+        }
     }
 
     /// Number of instructions in the program.
@@ -185,7 +198,12 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Program({} instrs, {} blocks)", self.len(), self.num_blocks())
+        write!(
+            f,
+            "Program({} instrs, {} blocks)",
+            self.len(),
+            self.num_blocks()
+        )
     }
 }
 
@@ -195,7 +213,12 @@ mod tests {
     use crate::instr::{AluOp, Cond, Reg};
 
     fn nop() -> Instr {
-        Instr::Alu { op: AluOp::Add, rd: Reg::R0, rs: Reg::R0, rt: Reg::R0 }
+        Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::R0,
+            rs: Reg::R0,
+            rt: Reg::R0,
+        }
     }
 
     #[test]
@@ -217,7 +240,12 @@ mod tests {
         // 4: halt       (leader: branch target)
         let p = Program::new(vec![
             nop(),
-            Instr::Branch { cond: Cond::Eq, rs: Reg::R0, rt: Reg::R0, target: 4 },
+            Instr::Branch {
+                cond: Cond::Eq,
+                rs: Reg::R0,
+                rt: Reg::R0,
+                target: 4,
+            },
             nop(),
             nop(),
             Instr::Halt,
@@ -234,7 +262,12 @@ mod tests {
         // loop: 0: nop; 1: bne -> 0; 2: halt
         let p = Program::new(vec![
             nop(),
-            Instr::Branch { cond: Cond::Ne, rs: Reg::R1, rt: Reg::R0, target: 0 },
+            Instr::Branch {
+                cond: Cond::Ne,
+                rs: Reg::R1,
+                rt: Reg::R0,
+                target: 0,
+            },
             Instr::Halt,
         ]);
         assert_eq!(p.num_blocks(), 2);
@@ -247,7 +280,12 @@ mod tests {
             nop(),
             Instr::Jump { target: 3 },
             nop(),
-            Instr::Branch { cond: Cond::Lt, rs: Reg::R1, rt: Reg::R2, target: 0 },
+            Instr::Branch {
+                cond: Cond::Lt,
+                rs: Reg::R1,
+                rt: Reg::R2,
+                target: 0,
+            },
             Instr::Halt,
         ]);
         // Blocks must tile [0, len) without gaps or overlap.
@@ -277,7 +315,10 @@ mod tests {
         let p = Program::new(vec![nop(), Instr::Jump { target: 0 }, Instr::Halt]);
         let text = p.disassemble();
         for id in 0..p.num_blocks() {
-            assert!(text.contains(&format!("B{id}:")), "missing B{id} in:\n{text}");
+            assert!(
+                text.contains(&format!("B{id}:")),
+                "missing B{id} in:\n{text}"
+            );
         }
     }
 }

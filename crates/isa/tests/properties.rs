@@ -9,15 +9,29 @@ fn arb_reg() -> impl Strategy<Value = Reg> {
 
 /// Arbitrary instruction with control-flow targets inside `0..len`.
 fn arb_instr(len: u32) -> impl Strategy<Value = Instr> {
-    let alu = (arb_reg(), arb_reg(), arb_reg())
-        .prop_map(|(rd, rs, rt)| Instr::Alu { op: AluOp::Add, rd, rs, rt });
+    let alu = (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs, rt)| Instr::Alu {
+        op: AluOp::Add,
+        rd,
+        rs,
+        rt,
+    });
     let li = (arb_reg(), any::<i64>()).prop_map(|(rd, imm)| Instr::Li { rd, imm });
-    let ld = (arb_reg(), arb_reg(), -16i64..16)
-        .prop_map(|(rd, base, offset)| Instr::Load { rd, base, offset });
-    let st = (arb_reg(), arb_reg(), -16i64..16)
-        .prop_map(|(rs, base, offset)| Instr::Store { rs, base, offset });
-    let br = (arb_reg(), arb_reg(), 0u32..len)
-        .prop_map(|(rs, rt, target)| Instr::Branch { cond: Cond::Ne, rs, rt, target });
+    let ld = (arb_reg(), arb_reg(), -16i64..16).prop_map(|(rd, base, offset)| Instr::Load {
+        rd,
+        base,
+        offset,
+    });
+    let st = (arb_reg(), arb_reg(), -16i64..16).prop_map(|(rs, base, offset)| Instr::Store {
+        rs,
+        base,
+        offset,
+    });
+    let br = (arb_reg(), arb_reg(), 0u32..len).prop_map(|(rs, rt, target)| Instr::Branch {
+        cond: Cond::Ne,
+        rs,
+        rt,
+        target,
+    });
     let jmp = (0u32..len).prop_map(|target| Instr::Jump { target });
     prop_oneof![4 => alu, 2 => li, 2 => ld, 2 => st, 2 => br, 1 => jmp]
 }

@@ -47,7 +47,11 @@ impl ConfidenceInterval {
         } else {
             z * sample_stddev / (n as f64).sqrt()
         };
-        ConfidenceInterval { mean, half_width, n }
+        ConfidenceInterval {
+            mean,
+            half_width,
+            n,
+        }
     }
 
     /// Builds the interval from a [`Welford`] accumulator.
@@ -115,7 +119,7 @@ mod tests {
 
     #[test]
     fn identical_samples_collapse_immediately() {
-        let w: Welford = std::iter::repeat(2.5).take(3).collect();
+        let w: Welford = std::iter::repeat_n(2.5, 3).collect();
         let ci = ConfidenceInterval::from_welford(&w, Z_997);
         assert_eq!(ci.half_width, 0.0);
         assert!(ci.meets_relative(0.0001));

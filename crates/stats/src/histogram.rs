@@ -37,7 +37,12 @@ impl Histogram {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(min.is_finite() && max.is_finite(), "bounds must be finite");
         assert!(min < max, "min must be below max");
-        Histogram { min, max, counts: vec![0; bins], total: 0 }
+        Histogram {
+            min,
+            max,
+            counts: vec![0; bins],
+            total: 0,
+        }
     }
 
     /// Adds one observation (optionally weighted via [`Histogram::add_weighted`]).
@@ -51,7 +56,11 @@ impl Histogram {
         let bins = self.counts.len();
         let span = self.max - self.min;
         let raw = ((x - self.min) / span * bins as f64).floor();
-        let idx = if raw.is_nan() { 0 } else { (raw as i64).clamp(0, bins as i64 - 1) as usize };
+        let idx = if raw.is_nan() {
+            0
+        } else {
+            (raw as i64).clamp(0, bins as i64 - 1) as usize
+        };
         self.counts[idx] += w;
         self.total += w;
     }

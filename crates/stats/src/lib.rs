@@ -15,10 +15,12 @@
 
 mod ci;
 mod histogram;
+mod rng;
 mod welford;
 
 pub use ci::{ConfidenceInterval, Z_997};
 pub use histogram::Histogram;
+pub use rng::DetRng;
 pub use welford::Welford;
 
 /// Arithmetic mean of a slice; `None` when empty.

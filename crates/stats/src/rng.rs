@@ -1,0 +1,214 @@
+//! A small in-tree deterministic RNG, replacing the external `rand` crate
+//! so the workspace builds with no network access.
+//!
+//! The generator is xoshiro256++ (Blackman & Vigna), seeded from a single
+//! `u64` through SplitMix64 — the same construction `rand`'s `SmallRng`
+//! family uses. It is *not* cryptographic; it exists to give workload
+//! generation, random projection, k-means seeding, and sample-order
+//! shuffling a fast, reproducible stream. Equal seeds give bit-equal
+//! streams on every platform.
+//!
+//! # Example
+//!
+//! ```
+//! use pgss_stats::DetRng;
+//!
+//! let mut rng = DetRng::seed_from_u64(42);
+//! let a = rng.next_u64();
+//! assert_ne!(a, rng.next_u64());
+//! assert_eq!(DetRng::seed_from_u64(42).next_u64(), a); // reproducible
+//!
+//! let mut xs = [1, 2, 3, 4, 5];
+//! rng.shuffle(&mut xs);
+//! let mut sorted = xs;
+//! sorted.sort();
+//! assert_eq!(sorted, [1, 2, 3, 4, 5]); // a permutation
+//! ```
+/// A deterministic xoshiro256++ generator; see the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    state: [u64; 4],
+}
+
+/// Advances a SplitMix64 state and returns the next output.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Creates a generator whose 256-bit state is expanded from `seed` with
+    /// SplitMix64 (so nearby seeds still give unrelated streams).
+    pub fn seed_from_u64(seed: u64) -> DetRng {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { state }
+    }
+
+    /// The next 64 uniformly-distributed bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniformly-distributed signed 64-bit value.
+    pub fn next_i64(&mut self) -> i64 {
+        self.next_u64() as i64
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, n)` (Lemire's widening-multiply method,
+    /// without the rejection step — bias is < 2⁻⁶⁴·n, immaterial here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn range_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// A uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn range_usize(&mut self, n: usize) -> usize {
+        self.range_u64(n as u64) as usize
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite or `lo >= hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Shuffles `xs` in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.range_usize(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = DetRng::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = DetRng::seed_from_u64(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = DetRng::seed_from_u64(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = DetRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = DetRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(r.range_u64(13) < 13);
+            assert!(r.range_usize(1) == 0);
+            let x = r.range_f64(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = DetRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.range_usize(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        DetRng::seed_from_u64(0).range_u64(0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_moves_things() {
+        let mut r = DetRng::seed_from_u64(4);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "a 100-element shuffle left everything in place");
+    }
+
+    #[test]
+    fn shuffle_handles_degenerate_slices() {
+        let mut r = DetRng::seed_from_u64(5);
+        let mut empty: [u8; 0] = [];
+        r.shuffle(&mut empty);
+        let mut one = [42];
+        r.shuffle(&mut one);
+        assert_eq!(one, [42]);
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        // 64 buckets x 10k draws: every bucket within 3x of the expected
+        // count — a smoke test, not a statistical suite.
+        let mut r = DetRng::seed_from_u64(6);
+        let mut counts = [0u32; 64];
+        for _ in 0..10_000 {
+            counts[r.range_usize(64)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((50..470).contains(&c), "bucket {i}: {c}");
+        }
+    }
+}

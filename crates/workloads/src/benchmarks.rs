@@ -8,8 +8,7 @@
 //! granularities (40–50k-op micro-phases, 100k–10M-op sampling periods), so
 //! those are preserved at every scale.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use pgss_stats::DetRng;
 
 use crate::builder::{Kernel, WorkloadBuilder};
 use crate::Workload;
@@ -32,7 +31,10 @@ pub const SUITE_NAMES: [&str; 10] = [
 ///
 /// At `scale = 1.0` each benchmark retires roughly 45–60 M instructions.
 pub fn suite(scale: f64) -> Vec<Workload> {
-    SUITE_NAMES.iter().map(|n| by_name(n, scale).expect("suite name")).collect()
+    SUITE_NAMES
+        .iter()
+        .map(|n| by_name(n, scale).expect("suite name"))
+        .collect()
 }
 
 /// Builds a benchmark by name (any of [`SUITE_NAMES`] or `"168.wupwise"`);
@@ -63,8 +65,8 @@ fn reps(base: f64, scale: f64) -> usize {
 /// jitter, interval-synchronised samplers would systematically land on
 /// phase-transition transients, a measurement artifact no real benchmark
 /// exhibits.
-fn jit(rng: &mut SmallRng, ops: u64) -> u64 {
-    let f = 0.93 + rng.gen::<f64>() * 0.14;
+fn jit(rng: &mut DetRng, ops: u64) -> u64 {
+    let f = 0.93 + rng.next_f64() * 0.14;
     (ops as f64 * f) as u64
 }
 
@@ -77,8 +79,15 @@ const M: u64 = 1_000_000;
 /// averaged away at 10M (Fig. 2).
 pub fn gzip(scale: f64) -> Workload {
     let mut b = WorkloadBuilder::new("164.gzip", 0x67_7A_69_70);
-    let deflate = b.add_segment(Kernel::Branchy { table_words: 4096, bias: 96, work_per_side: 3 });
-    let huffman = b.add_segment(Kernel::ComputeInt { chains: 4, ops_per_chain: 3 });
+    let deflate = b.add_segment(Kernel::Branchy {
+        table_words: 4096,
+        bias: 96,
+        work_per_side: 3,
+    });
+    let huffman = b.add_segment(Kernel::ComputeInt {
+        chains: 4,
+        ops_per_chain: 3,
+    });
     let window = b.add_segment(Kernel::Stream {
         region_words: 512 * 1024, // 4 MiB: overflows the 1 MiB L2
         stride_words: 8,
@@ -101,7 +110,10 @@ pub fn gzip(scale: f64) -> Workload {
 /// and an L1-resident texture walk.
 pub fn mesa(scale: f64) -> Workload {
     let mut b = WorkloadBuilder::new("177.mesa", 0x6D_65_73_61);
-    let shader = b.add_segment(Kernel::ComputeFp { chains: 12, ops_per_chain: 2 });
+    let shader = b.add_segment(Kernel::ComputeFp {
+        chains: 12,
+        ops_per_chain: 2,
+    });
     let texture = b.add_segment(Kernel::Stream {
         region_words: 6 * 1024, // 48 KiB: L1-resident
         stride_words: 1,
@@ -126,7 +138,10 @@ pub fn art(scale: f64) -> Workload {
         chains: 2,
         compute_per_step: 4,
     });
-    let match_fp = b.add_segment(Kernel::ComputeFp { chains: 1, ops_per_chain: 6 });
+    let match_fp = b.add_segment(Kernel::ComputeFp {
+        chains: 1,
+        ops_per_chain: 6,
+    });
     let train = b.add_segment(Kernel::Chase {
         ring_words: 96 * 1024, // 768 KiB: mostly L2-resident
         chains: 2,
@@ -187,7 +202,10 @@ pub fn equake(scale: f64) -> Workload {
         stride_words: 8,
         compute_per_load: 3,
     });
-    let solve = b.add_segment(Kernel::ComputeFp { chains: 6, ops_per_chain: 3 });
+    let solve = b.add_segment(Kernel::ComputeFp {
+        chains: 6,
+        ops_per_chain: 3,
+    });
     let smooth = b.add_segment(Kernel::Stream {
         region_words: 16 * 1024, // 128 KiB
         stride_words: 1,
@@ -214,7 +232,10 @@ pub fn ammp(scale: f64) -> Workload {
         stride_words: 8,
         compute_per_load: 5,
     });
-    let update = b.add_segment(Kernel::ComputeFp { chains: 4, ops_per_chain: 4 });
+    let update = b.add_segment(Kernel::ComputeFp {
+        chains: 4,
+        ops_per_chain: 4,
+    });
     for _ in 0..reps(4.0, scale) {
         let f = jit(b.rng(), 10 * M);
         b.run(forces, f);
@@ -234,11 +255,18 @@ pub fn parser(scale: f64) -> Workload {
         chains: 2,
         compute_per_step: 3,
     });
-    let parse = b.add_segment(Kernel::Branchy { table_words: 2048, bias: 110, work_per_side: 2 });
-    let pack = b.add_segment(Kernel::ComputeInt { chains: 3, ops_per_chain: 3 });
+    let parse = b.add_segment(Kernel::Branchy {
+        table_words: 2048,
+        bias: 110,
+        work_per_side: 2,
+    });
+    let pack = b.add_segment(Kernel::ComputeInt {
+        chains: 3,
+        ops_per_chain: 3,
+    });
     let segs = [dict, parse, pack];
     for i in 0..reps(16.0, scale) {
-        let len = 2 * M + b.rng().gen_range(0..2 * M);
+        let len = 2 * M + b.rng().range_u64(2 * M);
         b.run(segs[i % 3], len);
     }
     b.finish()
@@ -249,8 +277,15 @@ pub fn parser(scale: f64) -> Workload {
 /// random walk of 200k-op steps — many phases, frequent transitions.
 pub fn perlbmk(scale: f64) -> Workload {
     let mut b = WorkloadBuilder::new("253.perlbmk", 0x70_65_72);
-    let interp = b.add_segment(Kernel::Branchy { table_words: 4096, bias: 128, work_per_side: 1 });
-    let hashes = b.add_segment(Kernel::ComputeInt { chains: 2, ops_per_chain: 5 });
+    let interp = b.add_segment(Kernel::Branchy {
+        table_words: 4096,
+        bias: 128,
+        work_per_side: 1,
+    });
+    let hashes = b.add_segment(Kernel::ComputeInt {
+        chains: 2,
+        ops_per_chain: 5,
+    });
     let regex = b.add_segment(Kernel::Stream {
         region_words: 32 * 1024,
         stride_words: 1,
@@ -261,15 +296,20 @@ pub fn perlbmk(scale: f64) -> Workload {
         chains: 2,
         compute_per_step: 2,
     });
-    let strings =
-        b.add_segment(Kernel::StoreStream { region_words: 64 * 1024, stride_words: 1 });
-    let numeric = b.add_segment(Kernel::ComputeFp { chains: 5, ops_per_chain: 2 });
+    let strings = b.add_segment(Kernel::StoreStream {
+        region_words: 64 * 1024,
+        stride_words: 1,
+    });
+    let numeric = b.add_segment(Kernel::ComputeFp {
+        chains: 5,
+        ops_per_chain: 2,
+    });
     let segs = [interp, hashes, regex, gc, strings, numeric];
     // Dispatch is the home phase; others are excursions.
     let weights = [4usize, 2, 2, 2, 1, 2];
     let total: usize = weights.iter().sum();
     for _ in 0..reps(260.0, scale) {
-        let mut pick = b.rng().gen_range(0..total);
+        let mut pick = b.rng().range_usize(total);
         let mut chosen = segs[0];
         for (s, &w) in segs.iter().zip(&weights) {
             if pick < w {
@@ -288,14 +328,21 @@ pub fn perlbmk(scale: f64) -> Workload {
 /// run-length streaming — a crisp block-phase structure with fine detail
 /// inside the sort phase.
 pub fn bzip2(scale: f64) -> Workload {
-    let mut b = WorkloadBuilder::new("256.bzip2", 0x62_7A_32);
-    let sort_cmp = b.add_segment(Kernel::Branchy { table_words: 8192, bias: 128, work_per_side: 2 });
+    let mut b = WorkloadBuilder::new("256.bzip2", 0x0062_7A32);
+    let sort_cmp = b.add_segment(Kernel::Branchy {
+        table_words: 8192,
+        bias: 128,
+        work_per_side: 2,
+    });
     let sort_move = b.add_segment(Kernel::Chase {
         ring_words: 512 * 1024, // 4 MiB
         chains: 2,
         compute_per_step: 2,
     });
-    let huff = b.add_segment(Kernel::ComputeInt { chains: 4, ops_per_chain: 4 });
+    let huff = b.add_segment(Kernel::ComputeInt {
+        chains: 4,
+        ops_per_chain: 4,
+    });
     let rle = b.add_segment(Kernel::Stream {
         region_words: 128 * 1024,
         stride_words: 1,
@@ -322,13 +369,24 @@ pub fn bzip2(scale: f64) -> Workload {
 /// performance at fine granularity — the paper's Fig. 10 case study.
 pub fn twolf(scale: f64) -> Workload {
     let mut b = WorkloadBuilder::new("300.twolf", 0x74_77_66);
-    let place_a = b.add_segment(Kernel::Branchy { table_words: 1024, bias: 64, work_per_side: 3 });
-    let place_b = b.add_segment(Kernel::Branchy { table_words: 1024, bias: 72, work_per_side: 3 });
+    let place_a = b.add_segment(Kernel::Branchy {
+        table_words: 1024,
+        bias: 64,
+        work_per_side: 3,
+    });
+    let place_b = b.add_segment(Kernel::Branchy {
+        table_words: 1024,
+        bias: 72,
+        work_per_side: 3,
+    });
     let spike_lo = b.add_segment(Kernel::StoreStream {
         region_words: 512 * 1024, // 4 MiB: misses everywhere
         stride_words: 8,
     });
-    let spike_hi = b.add_segment(Kernel::ComputeInt { chains: 6, ops_per_chain: 4 });
+    let spike_hi = b.add_segment(Kernel::ComputeInt {
+        chains: 6,
+        ops_per_chain: 4,
+    });
     for r in 0..reps(22.0, scale) {
         let pa = jit(b.rng(), M);
         b.run(place_a, pa);
@@ -349,7 +407,10 @@ pub fn twolf(scale: f64) -> Workload {
 /// streaming — the polymodal IPC distribution of Fig. 3.
 pub fn wupwise(scale: f64) -> Workload {
     let mut b = WorkloadBuilder::new("168.wupwise", 0x77_75_70);
-    let zgemm = b.add_segment(Kernel::ComputeFp { chains: 10, ops_per_chain: 2 });
+    let zgemm = b.add_segment(Kernel::ComputeFp {
+        chains: 10,
+        ops_per_chain: 2,
+    });
     let zaxpy = b.add_segment(Kernel::Stream {
         region_words: 512 * 1024, // 4 MiB
         stride_words: 8,

@@ -11,9 +11,7 @@
 
 use pgss_cpu::{Machine, MachineConfig};
 use pgss_isa::{Assembler, Cond, FpuOp, Label, Program, Reg};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use pgss_stats::DetRng;
 
 /// Scratch/data registers reserved by the dispatch loop; kernels may use
 /// `R1..=R23` freely.
@@ -166,7 +164,7 @@ struct Segment {
 /// ```
 pub struct WorkloadBuilder {
     name: String,
-    rng: SmallRng,
+    rng: DetRng,
     segments: Vec<Segment>,
     /// `(segment, target_ops)` schedule entries.
     schedule: Vec<(SegmentId, u64)>,
@@ -199,7 +197,7 @@ impl WorkloadBuilder {
         asm.jump(driver_init);
         WorkloadBuilder {
             name: name.into(),
-            rng: SmallRng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
             segments: Vec::new(),
             schedule: Vec::new(),
             asm,
@@ -227,7 +225,11 @@ impl WorkloadBuilder {
         self.asm.bind(entry);
         let (ops_per_iter, overhead_ops) = self.emit_kernel(&kernel);
         let id = SegmentId(self.segments.len());
-        self.segments.push(Segment { ops_per_iter, overhead_ops, entry });
+        self.segments.push(Segment {
+            ops_per_iter,
+            overhead_ops,
+            entry,
+        });
         id
     }
 
@@ -238,7 +240,10 @@ impl WorkloadBuilder {
     ///
     /// Panics if `segment` was not created by this builder.
     pub fn run(&mut self, segment: SegmentId, target_ops: u64) {
-        assert!(segment.0 < self.segments.len(), "unknown segment {segment:?}");
+        assert!(
+            segment.0 < self.segments.len(),
+            "unknown segment {segment:?}"
+        );
         self.schedule.push((segment, target_ops));
     }
 
@@ -254,7 +259,7 @@ impl WorkloadBuilder {
 
     /// The builder's RNG (for benchmark definitions that need extra
     /// deterministic randomness, e.g. irregular phase lengths).
-    pub fn rng(&mut self) -> &mut SmallRng {
+    pub fn rng(&mut self) -> &mut DetRng {
         &mut self.rng
     }
 
@@ -265,7 +270,10 @@ impl WorkloadBuilder {
     ///
     /// Panics if no segments were added or the schedule is empty.
     pub fn finish(mut self) -> crate::Workload {
-        assert!(!self.segments.is_empty(), "workload needs at least one segment");
+        assert!(
+            !self.segments.is_empty(),
+            "workload needs at least one segment"
+        );
         assert!(!self.schedule.is_empty(), "workload needs a schedule");
         assert!(!self.emitted_driver, "finish called twice");
         self.emitted_driver = true;
@@ -327,24 +335,33 @@ impl WorkloadBuilder {
     /// `(ops_per_iter, overhead_ops)`.
     fn emit_kernel(&mut self, kernel: &Kernel) -> (u64, u64) {
         match *kernel {
-            Kernel::Stream { region_words, stride_words, compute_per_load } => {
-                self.emit_stream(region_words, stride_words, compute_per_load, false)
-            }
-            Kernel::StoreStream { region_words, stride_words } => {
-                self.emit_stream(region_words, stride_words, 0, true)
-            }
-            Kernel::Chase { ring_words, chains, compute_per_step } => {
-                self.emit_chase(ring_words, chains, compute_per_step)
-            }
-            Kernel::ComputeInt { chains, ops_per_chain } => {
-                self.emit_compute_int(chains, ops_per_chain)
-            }
-            Kernel::ComputeFp { chains, ops_per_chain } => {
-                self.emit_compute_fp(chains, ops_per_chain)
-            }
-            Kernel::Branchy { table_words, bias, work_per_side } => {
-                self.emit_branchy(table_words, bias, work_per_side)
-            }
+            Kernel::Stream {
+                region_words,
+                stride_words,
+                compute_per_load,
+            } => self.emit_stream(region_words, stride_words, compute_per_load, false),
+            Kernel::StoreStream {
+                region_words,
+                stride_words,
+            } => self.emit_stream(region_words, stride_words, 0, true),
+            Kernel::Chase {
+                ring_words,
+                chains,
+                compute_per_step,
+            } => self.emit_chase(ring_words, chains, compute_per_step),
+            Kernel::ComputeInt {
+                chains,
+                ops_per_chain,
+            } => self.emit_compute_int(chains, ops_per_chain),
+            Kernel::ComputeFp {
+                chains,
+                ops_per_chain,
+            } => self.emit_compute_fp(chains, ops_per_chain),
+            Kernel::Branchy {
+                table_words,
+                bias,
+                work_per_side,
+            } => self.emit_branchy(table_words, bias, work_per_side),
         }
     }
 
@@ -360,7 +377,10 @@ impl WorkloadBuilder {
         compute: u32,
         store: bool,
     ) -> (u64, u64) {
-        assert!(region_words > 0 && stride_words > 0, "stream kernel needs a non-empty region");
+        assert!(
+            region_words > 0 && stride_words > 0,
+            "stream kernel needs a non-empty region"
+        );
         // Unroll factor: 8 independent loads issue before the first value is
         // consumed, exposing memory-level parallelism the way a scheduling
         // compiler (the paper's IMPACT) unrolls streaming loops. One
@@ -377,8 +397,16 @@ impl WorkloadBuilder {
         let asm = &mut self.asm;
         let (ptr, limit, acc, work) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
         let counter = Reg::R5;
-        let lanes =
-            [Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14, Reg::R15];
+        let lanes = [
+            Reg::R8,
+            Reg::R9,
+            Reg::R10,
+            Reg::R11,
+            Reg::R12,
+            Reg::R13,
+            Reg::R14,
+            Reg::R15,
+        ];
         // Preamble: 4 ops (+1 for the return jump).
         asm.li(ptr, base as i64);
         // The wrap limit keeps every lane of the final group inside the
@@ -429,15 +457,16 @@ impl WorkloadBuilder {
         // A single random cycle through all nodes, stored as absolute word
         // addresses.
         let mut order: Vec<usize> = (0..ring_words).collect();
-        order.shuffle(&mut self.rng);
+        self.rng.shuffle(&mut order);
         let mut ring = vec![0i64; ring_words];
         for i in 0..ring_words {
             let from = order[i];
             let to = order[(i + 1) % ring_words];
             ring[from] = (base + to) as i64;
         }
-        let starts: Vec<usize> =
-            (0..chains).map(|c| base + order[c * ring_words / chains]).collect();
+        let starts: Vec<usize> = (0..chains)
+            .map(|c| base + order[c * ring_words / chains])
+            .collect();
         self.memory.push(base, ring);
 
         let asm = &mut self.asm;
@@ -485,8 +514,13 @@ impl WorkloadBuilder {
         // Constant pool: multiplier just above 1 and its reciprocal, so the
         // chains neither collapse to zero nor overflow.
         let pool = self.alloc(2);
-        self.memory
-            .push(pool, vec![1.000_000_1f64.to_bits() as i64, (1.0 / 1.000_000_1f64).to_bits() as i64]);
+        self.memory.push(
+            pool,
+            vec![
+                1.000_000_1f64.to_bits() as i64,
+                (1.0 / 1.000_000_1f64).to_bits() as i64,
+            ],
+        );
         let asm = &mut self.asm;
         let counter = Reg::R20;
         let addr = Reg::R21;
@@ -513,7 +547,9 @@ impl WorkloadBuilder {
     fn emit_branchy(&mut self, table_words: usize, bias: u8, work: u32) -> (u64, u64) {
         assert!(table_words > 0, "branchy kernel needs an entropy table");
         let base = self.alloc(table_words);
-        let table: Vec<i64> = (0..table_words).map(|_| self.rng.gen::<i64>() & 0x7FFF_FFFF).collect();
+        let table: Vec<i64> = (0..table_words)
+            .map(|_| self.rng.next_i64() & 0x7FFF_FFFF)
+            .collect();
         self.memory.push(base, table);
         let asm = &mut self.asm;
         let (ptr, limit, v, low, acc, counter) =

@@ -47,7 +47,7 @@ mod benchmarks;
 mod builder;
 
 pub use benchmarks::{
-    ammp, art, bzip2, by_name, equake, gzip, mcf, mesa, parser, perlbmk, suite, twolf, wupwise,
+    ammp, art, by_name, bzip2, equake, gzip, mcf, mesa, parser, perlbmk, suite, twolf, wupwise,
     SUITE_NAMES,
 };
 pub use builder::{Kernel, MemoryImage, SegmentId, WorkloadBuilder};
@@ -76,7 +76,13 @@ impl Workload {
         nominal_ops: u64,
         required_words: usize,
     ) -> Workload {
-        Workload { name, program, memory, nominal_ops, required_words }
+        Workload {
+            name,
+            program,
+            memory,
+            nominal_ops,
+            required_words,
+        }
     }
 
     /// The workload's name (e.g. `"164.gzip"`).

@@ -11,16 +11,57 @@
 //! exhaustively and with PGSS-Sim, and shows that PGSS preserves the
 //! *design ordering* (which cache wins, and roughly by how much) at a small
 //! fraction of the detailed-simulation cost.
+//!
+//! Every (workload × L2 size × technique) cell is one [`pgss::campaign`]
+//! job with its own [`MachineConfig`], so the whole sweep — including the
+//! expensive exhaustive baselines — runs in parallel with deterministic
+//! output ordering.
 
-use pgss::{FullDetailed, PgssSim, Technique};
+use pgss::{campaign, FullDetailed, PgssSim};
 use pgss_cpu::{CacheConfig, MachineConfig};
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
     let l2_sizes: [u64; 4] = [256 << 10, 512 << 10, 1 << 20, 4 << 20];
     let workloads = [pgss_workloads::art(scale), pgss_workloads::equake(scale)];
 
+    // One job per (workload, L2 size, technique); per-cell machine config.
+    let full = FullDetailed::new();
+    let pgss = PgssSim::new();
+    let mut jobs: Vec<campaign::Job> = Vec::new();
     for workload in &workloads {
+        for &l2 in &l2_sizes {
+            let config = MachineConfig {
+                l2: CacheConfig {
+                    size_bytes: l2,
+                    ..CacheConfig::l2_default()
+                },
+                ..MachineConfig::default()
+            };
+            jobs.push(campaign::Job {
+                workload,
+                technique: &full,
+                config,
+            });
+            jobs.push(campaign::Job {
+                workload,
+                technique: &pgss,
+                config,
+            });
+        }
+    }
+    println!(
+        "running {} design-space cells as a parallel campaign ...",
+        jobs.len()
+    );
+    let cells = campaign::run(&jobs);
+
+    // Cells arrive in job order: workload-major, then L2 size, then
+    // (FullDetailed, PgssSim) pairs.
+    for (wi, workload) in workloads.iter().enumerate() {
         println!("\n=== {} ===", workload.name());
         println!(
             "{:<10} {:>10} {:>10} {:>8} {:>14}",
@@ -28,19 +69,16 @@ fn main() {
         );
         let mut true_ipcs = Vec::new();
         let mut pgss_ipcs = Vec::new();
-        for &l2 in &l2_sizes {
-            let config = MachineConfig {
-                l2: CacheConfig { size_bytes: l2, ..CacheConfig::l2_default() },
-                ..MachineConfig::default()
-            };
-            let truth = FullDetailed::new().ground_truth_with(workload, &config);
-            let est = PgssSim::new().run_with(workload, &config);
+        for (li, &l2) in l2_sizes.iter().enumerate() {
+            let base = wi * l2_sizes.len() * 2 + li * 2;
+            let truth = &cells[base].estimate;
+            let est = &cells[base + 1].estimate;
             println!(
                 "{:<10} {:>10.4} {:>10.4} {:>7.2}% {:>14}",
                 format!("{} KiB", l2 >> 10),
                 truth.ipc,
                 est.ipc,
-                est.error_vs(&truth) * 100.0,
+                pgss::relative_error(est.ipc, truth.ipc) * 100.0,
                 est.detailed_ops(),
             );
             true_ipcs.push(truth.ipc);
@@ -50,15 +88,17 @@ fn main() {
         let pgss_order = order(&pgss_ipcs);
         println!(
             "design ordering preserved: {} ({:?} vs {:?})",
-            if true_order == pgss_order { "YES" } else { "NO" },
+            if true_order == pgss_order {
+                "YES"
+            } else {
+                "NO"
+            },
             true_order,
             pgss_order
         );
         let true_gain = true_ipcs.last().unwrap() / true_ipcs.first().unwrap();
         let pgss_gain = pgss_ipcs.last().unwrap() / pgss_ipcs.first().unwrap();
-        println!(
-            "speedup of largest vs smallest L2: true {true_gain:.2}x, PGSS {pgss_gain:.2}x"
-        );
+        println!("speedup of largest vs smallest L2: true {true_gain:.2}x, PGSS {pgss_gain:.2}x");
     }
 }
 

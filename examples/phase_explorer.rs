@@ -14,10 +14,18 @@ use pgss_cpu::MachineConfig;
 use pgss_stats::Welford;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "256.bzip2".to_string());
-    let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "256.bzip2".to_string());
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
     let Some(workload) = pgss_workloads::by_name(&name, scale) else {
-        eprintln!("unknown benchmark {name}; try one of {:?}", pgss_workloads::SUITE_NAMES);
+        eprintln!(
+            "unknown benchmark {name}; try one of {:?}",
+            pgss_workloads::SUITE_NAMES
+        );
         std::process::exit(1);
     };
 

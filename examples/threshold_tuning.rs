@@ -15,10 +15,18 @@ use pgss::analysis::{deltas, detection_rate, false_positive_rate, interval_profi
 use pgss_cpu::MachineConfig;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "164.gzip".to_string());
-    let scale: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "164.gzip".to_string());
+    let scale: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
     let Some(workload) = pgss_workloads::by_name(&name, scale) else {
-        eprintln!("unknown benchmark {name}; try one of {:?}", pgss_workloads::SUITE_NAMES);
+        eprintln!(
+            "unknown benchmark {name}; try one of {:?}",
+            pgss_workloads::SUITE_NAMES
+        );
         std::process::exit(1);
     };
 
@@ -28,7 +36,10 @@ fn main() {
     println!("{} consecutive-interval changes\n", d.len());
 
     const SIGMA: f64 = 0.3; // "significant" = IPC moved by ≥ 0.3 benchmark σ
-    println!("{:>13} {:>11} {:>16}", "threshold(π)", "caught", "false positives");
+    println!(
+        "{:>13} {:>11} {:>16}",
+        "threshold(π)", "caught", "false positives"
+    );
     let mut recommended: Option<(f64, f64)> = None;
     for i in 1..=10 {
         let frac = i as f64 * 0.025;
@@ -42,7 +53,7 @@ fn main() {
             fp.unwrap_or(f64::NAN) * 100.0
         );
         if let (Some(c), Some(f)) = (caught, fp) {
-            if c >= 0.9 && recommended.map_or(true, |(_, best_fp)| f < best_fp) {
+            if c >= 0.9 && recommended.is_none_or(|(_, best_fp)| f < best_fp) {
                 recommended = Some((frac, f));
             }
         }

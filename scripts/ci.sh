@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, release build, tests.
+# Everything runs offline — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI gate passed."

@@ -9,8 +9,15 @@ use pgss_workloads::{Kernel, WorkloadBuilder};
 /// Two strongly-contrasting segments alternating every 500k ops.
 fn two_planted_phases() -> pgss_workloads::Workload {
     let mut b = WorkloadBuilder::new("planted-2", 11);
-    let fast = b.add_segment(Kernel::ComputeInt { chains: 6, ops_per_chain: 3 });
-    let slow = b.add_segment(Kernel::Chase { ring_words: 1 << 18, chains: 1, compute_per_step: 2 });
+    let fast = b.add_segment(Kernel::ComputeInt {
+        chains: 6,
+        ops_per_chain: 3,
+    });
+    let slow = b.add_segment(Kernel::Chase {
+        ring_words: 1 << 18,
+        chains: 1,
+        compute_per_step: 2,
+    });
     b.alternate(&[(fast, 500_000), (slow, 500_000)], 10);
     b.finish()
 }
@@ -18,10 +25,24 @@ fn two_planted_phases() -> pgss_workloads::Workload {
 /// Three segments in a repeating A-B-A-C pattern.
 fn three_planted_phases() -> pgss_workloads::Workload {
     let mut b = WorkloadBuilder::new("planted-3", 12);
-    let a = b.add_segment(Kernel::ComputeInt { chains: 4, ops_per_chain: 3 });
-    let bb = b.add_segment(Kernel::Branchy { table_words: 2048, bias: 128, work_per_side: 2 });
-    let c = b.add_segment(Kernel::Stream { region_words: 1 << 15, stride_words: 1, compute_per_load: 2 });
-    b.alternate(&[(a, 400_000), (bb, 400_000), (a, 400_000), (c, 400_000)], 4);
+    let a = b.add_segment(Kernel::ComputeInt {
+        chains: 4,
+        ops_per_chain: 3,
+    });
+    let bb = b.add_segment(Kernel::Branchy {
+        table_words: 2048,
+        bias: 128,
+        work_per_side: 2,
+    });
+    let c = b.add_segment(Kernel::Stream {
+        region_words: 1 << 15,
+        stride_words: 1,
+        compute_per_load: 2,
+    });
+    b.alternate(
+        &[(a, 400_000), (bb, 400_000), (a, 400_000), (c, 400_000)],
+        4,
+    );
     b.finish()
 }
 
@@ -37,7 +58,11 @@ fn profile_shows_exactly_two_phases() {
         rows[0].num_phases
     );
     // The alternation is every 5 intervals; changes must be frequent.
-    assert!(rows[0].num_changes >= 8, "only {} changes", rows[0].num_changes);
+    assert!(
+        rows[0].num_changes >= 8,
+        "only {} changes",
+        rows[0].num_changes
+    );
 }
 
 #[test]
@@ -55,7 +80,11 @@ fn every_planted_transition_is_detected() {
 #[test]
 fn online_simpoint_matches_planted_phase_count() {
     let w = three_planted_phases();
-    let est = OnlineSimPoint { interval_ops: 400_000, ..OnlineSimPoint::default() }.run(&w);
+    let est = OnlineSimPoint {
+        interval_ops: 400_000,
+        ..OnlineSimPoint::default()
+    }
+    .run(&w);
     let p = est.phases.unwrap();
     // 3 planted behaviours (A appears twice per round but is one phase).
     assert!(
@@ -69,12 +98,21 @@ fn online_simpoint_matches_planted_phase_count() {
 fn pgss_weights_match_planted_proportions() {
     // fast:slow planted 50:50 by ops.
     let w = two_planted_phases();
-    let est = PgssSim { ff_ops: 100_000, spacing_ops: 200_000, ..PgssSim::default() }.run(&w);
+    let est = PgssSim {
+        ff_ops: 100_000,
+        spacing_ops: 200_000,
+        ..PgssSim::default()
+    }
+    .run(&w);
     let p = est.phases.unwrap();
     // The two dominant phases must each hold roughly half the weight.
     let mut weights = p.weights.clone();
     weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    assert!(weights[0] > 0.3 && weights[0] < 0.7, "weights {:?}", p.weights);
+    assert!(
+        weights[0] > 0.3 && weights[0] < 0.7,
+        "weights {:?}",
+        p.weights
+    );
     assert!(weights[1] > 0.2, "weights {:?}", p.weights);
 }
 
@@ -82,7 +120,12 @@ fn pgss_weights_match_planted_proportions() {
 fn pgss_estimate_is_accurate_on_planted_phases() {
     let w = two_planted_phases();
     let truth = pgss::FullDetailed::new().ground_truth(&w);
-    let est = PgssSim { ff_ops: 100_000, spacing_ops: 200_000, ..PgssSim::default() }.run(&w);
+    let est = PgssSim {
+        ff_ops: 100_000,
+        spacing_ops: 200_000,
+        ..PgssSim::default()
+    }
+    .run(&w);
     let err = est.error_vs(&truth);
     assert!(err < 0.12, "error {err:.4} on a clean two-phase workload");
 }

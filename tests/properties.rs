@@ -19,8 +19,14 @@ fn arb_kernel() -> impl Strategy<Value = Kernel> {
             chains: ch,
             compute_per_step: c,
         }),
-        (1u32..8, 1u32..6).prop_map(|(ch, o)| Kernel::ComputeInt { chains: ch, ops_per_chain: o }),
-        (1u32..8, 1u32..5).prop_map(|(ch, o)| Kernel::ComputeFp { chains: ch, ops_per_chain: o }),
+        (1u32..8, 1u32..6).prop_map(|(ch, o)| Kernel::ComputeInt {
+            chains: ch,
+            ops_per_chain: o
+        }),
+        (1u32..8, 1u32..5).prop_map(|(ch, o)| Kernel::ComputeFp {
+            chains: ch,
+            ops_per_chain: o
+        }),
         (64usize..4096, any::<u8>(), 0u32..4).prop_map(|(t, bias, w)| Kernel::Branchy {
             table_words: t,
             bias,

@@ -38,7 +38,10 @@ fn functional_and_detailed_retire_identical_streams() {
     ma.run_with(Mode::Functional, u64::MAX, &mut a);
     mb.run_with(Mode::DetailedMeasured, u64::MAX, &mut b);
     assert_eq!(a.retired, b.retired);
-    assert_eq!(a.checksum, b.checksum, "retired pc streams differ between modes");
+    assert_eq!(
+        a.checksum, b.checksum,
+        "retired pc streams differ between modes"
+    );
     assert_eq!(a.taken, b.taken);
     assert_eq!(a.taken_ops, b.taken_ops);
 }
@@ -55,7 +58,12 @@ fn mode_interleaving_preserves_stream() {
     let mut interleaved = Recorder::default();
     let mut m = w.machine();
     let mut chunk = 997u64;
-    let modes = [Mode::Functional, Mode::DetailedWarming, Mode::FastForward, Mode::DetailedMeasured];
+    let modes = [
+        Mode::Functional,
+        Mode::DetailedWarming,
+        Mode::FastForward,
+        Mode::DetailedMeasured,
+    ];
     let mut i = 0;
     while !m.halted() {
         m.run_with(modes[i % modes.len()], chunk, &mut interleaved);
@@ -79,7 +87,11 @@ fn taken_branch_ops_partition_the_stream() {
     assert!(r.taken_ops <= r.retired);
     // The tail after the last taken branch is at most the longest
     // straight-line stretch, which is tiny compared to the program.
-    assert!(r.retired - r.taken_ops < 1000, "tail {} too large", r.retired - r.taken_ops);
+    assert!(
+        r.retired - r.taken_ops < 1000,
+        "tail {} too large",
+        r.retired - r.taken_ops
+    );
 }
 
 /// The hashed-BBV tracker accounts every retired op to some bucket.
@@ -119,7 +131,12 @@ fn cycle_level_determinism_across_runs() {
                 break;
             }
         }
-        (ops, cycles, m.memsys().l1d().misses(), m.bpred().mispredictions())
+        (
+            ops,
+            cycles,
+            m.memsys().l1d().misses(),
+            m.bpred().mispredictions(),
+        )
     };
     assert_eq!(run(), run());
 }
@@ -130,7 +147,11 @@ fn workload_generation_is_reproducible() {
     for name in pgss_workloads::SUITE_NAMES {
         let a = pgss_workloads::by_name(name, 0.01).unwrap();
         let b = pgss_workloads::by_name(name, 0.01).unwrap();
-        assert_eq!(a.program().instrs(), b.program().instrs(), "{name} programs differ");
+        assert_eq!(
+            a.program().instrs(),
+            b.program().instrs(),
+            "{name} programs differ"
+        );
         assert_eq!(a.memory(), b.memory(), "{name} memory images differ");
         assert_eq!(a.nominal_ops(), b.nominal_ops());
     }
@@ -152,7 +173,10 @@ fn configuration_changes_timing_not_architecture() {
         b.finish()
     };
     let small_cache = MachineConfig {
-        l2: pgss_cpu::CacheConfig { size_bytes: 64 * 1024, ..pgss_cpu::CacheConfig::l2_default() },
+        l2: pgss_cpu::CacheConfig {
+            size_bytes: 64 * 1024,
+            ..pgss_cpu::CacheConfig::l2_default()
+        },
         ..MachineConfig::default()
     };
     let mut r1 = Recorder::default();

@@ -12,14 +12,31 @@ fn workload() -> pgss_workloads::Workload {
 
 fn all_techniques() -> Vec<Box<dyn Technique>> {
     vec![
-        Box::new(Smarts { period_ops: 100_000, ..Smarts::default() }),
+        Box::new(Smarts {
+            period_ops: 100_000,
+            ..Smarts::default()
+        }),
         Box::new(TurboSmarts {
-            smarts: Smarts { period_ops: 100_000, ..Smarts::default() },
+            smarts: Smarts {
+                period_ops: 100_000,
+                ..Smarts::default()
+            },
             ..TurboSmarts::default()
         }),
-        Box::new(SimPointOffline { interval_ops: 200_000, k: 5, ..Default::default() }),
-        Box::new(OnlineSimPoint { interval_ops: 200_000, ..OnlineSimPoint::default() }),
-        Box::new(PgssSim { ff_ops: 100_000, spacing_ops: 200_000, ..PgssSim::default() }),
+        Box::new(SimPointOffline {
+            interval_ops: 200_000,
+            k: 5,
+            ..Default::default()
+        }),
+        Box::new(OnlineSimPoint {
+            interval_ops: 200_000,
+            ..OnlineSimPoint::default()
+        }),
+        Box::new(PgssSim {
+            ff_ops: 100_000,
+            spacing_ops: 200_000,
+            ..PgssSim::default()
+        }),
     ]
 }
 
@@ -30,7 +47,12 @@ fn every_technique_yields_a_finite_plausible_estimate() {
     let config = pgss_cpu::MachineConfig::default();
     for t in all_techniques() {
         let est = t.run_with(&w, &config);
-        assert!(est.ipc.is_finite() && est.ipc > 0.0, "{}: ipc {}", t.name(), est.ipc);
+        assert!(
+            est.ipc.is_finite() && est.ipc > 0.0,
+            "{}: ipc {}",
+            t.name(),
+            est.ipc
+        );
         assert!(
             est.ipc <= f64::from(config.issue_width),
             "{}: ipc {} exceeds machine width",
@@ -40,7 +62,12 @@ fn every_technique_yields_a_finite_plausible_estimate() {
         assert!(est.samples > 0, "{}: no samples", t.name());
         // Nobody should be *wildly* wrong on this well-structured workload.
         let err = est.error_vs(&truth);
-        assert!(err < 0.6, "{}: error {err:.3} vs truth {:.3}", t.name(), truth.ipc);
+        assert!(
+            err < 0.6,
+            "{}: error {err:.3} vs truth {:.3}",
+            t.name(),
+            truth.ipc
+        );
     }
 }
 
@@ -50,10 +77,27 @@ fn cost_ordering_matches_the_paper() {
     // simulation, SMARTS roughly an order of magnitude more, SimPoint-style
     // one-large-sample-per-phase techniques the most.
     let w = workload();
-    let smarts = Smarts { period_ops: 100_000, ..Smarts::default() }.run(&w);
-    let pgss = PgssSim { ff_ops: 1_000_000, ..PgssSim::default() }.run(&w);
-    let simpoint = SimPointOffline { interval_ops: 200_000, k: 5, ..Default::default() }.run(&w);
-    let online = OnlineSimPoint { interval_ops: 200_000, ..OnlineSimPoint::default() }.run(&w);
+    let smarts = Smarts {
+        period_ops: 100_000,
+        ..Smarts::default()
+    }
+    .run(&w);
+    let pgss = PgssSim {
+        ff_ops: 1_000_000,
+        ..PgssSim::default()
+    }
+    .run(&w);
+    let simpoint = SimPointOffline {
+        interval_ops: 200_000,
+        k: 5,
+        ..Default::default()
+    }
+    .run(&w);
+    let online = OnlineSimPoint {
+        interval_ops: 200_000,
+        ..OnlineSimPoint::default()
+    }
+    .run(&w);
 
     assert!(
         pgss.detailed_ops() * 4 <= smarts.detailed_ops(),
@@ -94,7 +138,11 @@ fn techniques_are_deterministic() {
 #[test]
 fn mode_accounting_is_exact_for_smarts() {
     let w = workload();
-    let s = Smarts { unit_ops: 1_000, warm_ops: 3_000, period_ops: 100_000 };
+    let s = Smarts {
+        unit_ops: 1_000,
+        warm_ops: 3_000,
+        period_ops: 100_000,
+    };
     let est = s.run(&w);
     // Warming:measured ratio is exactly 3:1 modulo the final truncated
     // sample.
@@ -115,9 +163,16 @@ fn turbosmarts_bound_is_unsound_on_polymodal_workloads() {
     // SMARTS run achieves.
     let w = workload();
     let truth = FullDetailed::new().ground_truth(&w);
-    let smarts = Smarts { period_ops: 100_000, ..Smarts::default() };
+    let smarts = Smarts {
+        period_ops: 100_000,
+        ..Smarts::default()
+    };
     let full = smarts.run(&w);
-    let turbo = TurboSmarts { smarts, ..TurboSmarts::default() }.run(&w);
+    let turbo = TurboSmarts {
+        smarts,
+        ..TurboSmarts::default()
+    }
+    .run(&w);
     if turbo.samples < full.samples {
         // It stopped early: the claimed ±3% should be checked against
         // reality — on bimodal wupwise the error typically exceeds the
@@ -136,9 +191,18 @@ fn pgss_adapts_samples_to_phase_stability() {
     // gzip mixes stable and unstable phases; PGSS must not spread samples
     // uniformly.
     let w = pgss_workloads::gzip(0.05);
-    let est = PgssSim { ff_ops: 100_000, spacing_ops: 200_000, ..PgssSim::default() }.run(&w);
+    let est = PgssSim {
+        ff_ops: 100_000,
+        spacing_ops: 200_000,
+        ..PgssSim::default()
+    }
+    .run(&w);
     let p = est.phases.expect("PGSS reports phases");
     let max = p.samples_per_phase.iter().max().copied().unwrap_or(0);
     let min = p.samples_per_phase.iter().min().copied().unwrap_or(0);
-    assert!(max > min, "uniform samples per phase: {:?}", p.samples_per_phase);
+    assert!(
+        max > min,
+        "uniform samples per phase: {:?}",
+        p.samples_per_phase
+    );
 }
