@@ -52,6 +52,51 @@ impl FullBbv {
         let b: Vec<f64> = other.counts.iter().map(|&c| c as f64).collect();
         crate::manhattan(&a, &b)
     }
+
+    /// Rebuilds a vector from raw per-block counts (e.g. decoded from a
+    /// checkpoint); the total is recomputed from the counts.
+    pub fn from_counts(counts: Vec<u64>) -> FullBbv {
+        let total = counts.iter().sum();
+        FullBbv { counts, total }
+    }
+
+    /// Accumulates `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn merge(&mut self, other: &FullBbv) {
+        assert_eq!(self.dim(), other.dim(), "BBV dimension mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Component-wise difference of two *cumulative* vectors — see
+    /// [`crate::HashedBbv::diff`] for the checkpoint-restore use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ or `earlier` is not
+    /// component-wise `<= self`.
+    pub fn diff(&self, earlier: &FullBbv) -> FullBbv {
+        assert_eq!(self.dim(), earlier.dim(), "BBV dimension mismatch");
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .zip(&earlier.counts)
+            .map(|(&a, &b)| {
+                a.checked_sub(b)
+                    .expect("diff of non-monotone cumulative BBVs")
+            })
+            .collect();
+        let total = self
+            .total
+            .checked_sub(earlier.total)
+            .expect("diff of non-monotone cumulative BBVs");
+        FullBbv { counts, total }
+    }
 }
 
 /// A [`RetireSink`] that counts retired instructions per static basic block,
@@ -88,6 +133,17 @@ impl FullBbvTracker {
     pub fn take(&mut self) -> FullBbv {
         let dim = self.current.dim();
         std::mem::replace(&mut self.current, FullBbv::zeroed(dim))
+    }
+
+    /// Overwrites the in-flight vector — used when a checkpoint restore
+    /// repositions the run mid-interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bbv`'s dimension does not match the tracked program.
+    pub fn set_current(&mut self, bbv: FullBbv) {
+        assert_eq!(bbv.dim(), self.current.dim(), "BBV dimension mismatch");
+        self.current = bbv;
     }
 }
 
@@ -158,6 +214,35 @@ mod tests {
         let second = t.take();
         assert_eq!(second.counts()[1], 1);
         assert_eq!(second.counts()[0], 0);
+    }
+
+    #[test]
+    fn merge_diff_and_from_counts_are_consistent() {
+        let mut early = FullBbv::from_counts(vec![3, 0, 7]);
+        let interval = FullBbv::from_counts(vec![1, 4, 0]);
+        let mut late = early.clone();
+        late.merge(&interval);
+        assert_eq!(late.total_ops(), 15);
+        assert_eq!(late.diff(&early), interval);
+        early.merge(&FullBbv::zeroed(3));
+        assert_eq!(early.total_ops(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        let a = FullBbv::zeroed(2);
+        let b = FullBbv::zeroed(3);
+        let _ = a.diff(&b);
+    }
+
+    #[test]
+    fn tracker_set_current_overwrites() {
+        let p = looped_program();
+        let mut t = FullBbvTracker::new(&p);
+        t.retire(0);
+        t.set_current(FullBbv::from_counts(vec![0, 9, 0]));
+        assert_eq!(t.current().total_ops(), 9);
     }
 
     #[test]

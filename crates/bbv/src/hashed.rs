@@ -170,6 +170,15 @@ impl HashedBbv {
         crate::angle(&a, &b)
     }
 
+    /// Rebuilds a vector from raw accumulator values (e.g. decoded from a
+    /// checkpoint); the total is recomputed from the counts.
+    pub fn from_counts(counts: [u64; HASHED_BBV_DIM]) -> HashedBbv {
+        HashedBbv {
+            counts,
+            total: counts.iter().sum(),
+        }
+    }
+
     /// Accumulates `other` into `self` (used to maintain per-phase centroid
     /// signatures).
     pub fn merge(&mut self, other: &HashedBbv) {
@@ -177,6 +186,34 @@ impl HashedBbv {
             *a += b;
         }
         self.total += other.total;
+    }
+
+    /// Component-wise difference of two *cumulative* vectors: the activity
+    /// between the two points `earlier` and `self` were captured at. This
+    /// is how a checkpoint restore reconstructs an in-flight interval
+    /// vector from cumulative-since-op-0 checkpoint state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is not component-wise `<= self` (i.e. the
+    /// vectors are not two cumulative observations of the same run).
+    pub fn diff(&self, earlier: &HashedBbv) -> HashedBbv {
+        let mut counts = [0u64; HASHED_BBV_DIM];
+        for (o, (&a, &b)) in counts
+            .iter_mut()
+            .zip(self.counts.iter().zip(&earlier.counts))
+        {
+            *o = a
+                .checked_sub(b)
+                .expect("diff of non-monotone cumulative BBVs");
+        }
+        HashedBbv {
+            counts,
+            total: self
+                .total
+                .checked_sub(earlier.total)
+                .expect("diff of non-monotone cumulative BBVs"),
+        }
     }
 
     /// Resets all accumulators to zero.
@@ -220,6 +257,13 @@ impl HashedBbvTracker {
     /// Returns the accumulated vector and starts a fresh interval.
     pub fn take(&mut self) -> HashedBbv {
         std::mem::take(&mut self.current)
+    }
+
+    /// Overwrites the in-flight vector — used when a checkpoint restore
+    /// repositions the run mid-interval and the tracker state must match
+    /// what an uninterrupted run would hold.
+    pub fn set_current(&mut self, bbv: HashedBbv) {
+        self.current = bbv;
     }
 }
 
@@ -318,6 +362,43 @@ mod tests {
         assert_eq!(a.counts()[3], 15);
         assert_eq!(a.counts()[7], 5);
         assert_eq!(a.total_ops(), 20);
+    }
+
+    #[test]
+    fn from_counts_and_diff_reconstruct_intervals() {
+        let mut cum_early = HashedBbv::new();
+        cum_early.record(2, 100);
+        cum_early.record(9, 50);
+        let mut cum_late = cum_early;
+        cum_late.record(2, 25);
+        cum_late.record(31, 5);
+        let interval = cum_late.diff(&cum_early);
+        assert_eq!(interval.counts()[2], 25);
+        assert_eq!(interval.counts()[31], 5);
+        assert_eq!(interval.total_ops(), 30);
+        let rebuilt = HashedBbv::from_counts(*interval.counts());
+        assert_eq!(rebuilt, interval);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotone")]
+    fn diff_of_unrelated_vectors_panics() {
+        let mut a = HashedBbv::new();
+        a.record(0, 1);
+        let mut b = HashedBbv::new();
+        b.record(1, 1);
+        let _ = a.diff(&b);
+    }
+
+    #[test]
+    fn tracker_set_current_overwrites() {
+        let mut t = HashedBbvTracker::new(BbvHash::from_seed(1));
+        t.taken_branch(4, 12);
+        let mut replacement = HashedBbv::new();
+        replacement.record(7, 99);
+        t.set_current(replacement);
+        assert_eq!(t.current().total_ops(), 99);
+        assert_eq!(t.current().counts()[7], 99);
     }
 
     #[test]

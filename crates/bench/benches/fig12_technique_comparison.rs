@@ -138,12 +138,26 @@ fn main() {
     let truths: Vec<_> = workloads.iter().map(cached_ground_truth).collect();
 
     eprintln!(
-        "running {} campaign cells ...",
+        "running {} campaign cells (checkpoint-accelerated) ...",
         workloads.len() * techs.len()
     );
     let jobs = campaign::grid(&workloads, &techs, cfg);
-    let cells = campaign::run(&jobs);
+    // Checkpoint-accelerated: each benchmark's functional fast-forward
+    // prefix is captured once (or restored from the on-disk store) and
+    // every cell jumps through it instead of re-executing it.
+    let store = pgss_bench::checkpoint_store();
+    let (cells, report) = campaign::run_checkpointed(&jobs, 1_000_000, store.as_ref());
     let cell = |w: usize, t: usize| &cells[w * techs.len() + t];
+    eprintln!(
+        "checkpointing: {} jumps skipped {} ops; executed {} of {} baseline \
+         ops (ratio {:.3}, capture {} ops)",
+        report.jumps,
+        ops_fmt(report.skipped_ops),
+        ops_fmt(report.total_executed()),
+        ops_fmt(report.baseline_ops()),
+        report.executed_ratio(),
+        ops_fmt(report.capture_ops),
+    );
 
     // results[column][benchmark]
     let mut errors: Vec<Vec<f64>> = vec![Vec::new(); columns.len()];

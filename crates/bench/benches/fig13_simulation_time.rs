@@ -75,11 +75,20 @@ fn main() {
 
     let workloads = suite();
     eprintln!(
-        "running {} campaign cells ...",
+        "running {} campaign cells (checkpoint-accelerated) ...",
         workloads.len() * techs.len()
     );
     let jobs = campaign::grid(&workloads, &techs, cfg);
-    let cells = campaign::run(&jobs);
+    // Acceleration changes only the physical work done by this harness,
+    // never the *charged* mode ops the figure models, so the modelled
+    // times below are still the paper's no-checkpoint times.
+    let store = pgss_bench::checkpoint_store();
+    let (cells, report) = campaign::run_checkpointed(&jobs, 1_000_000, store.as_ref());
+    eprintln!(
+        "checkpointing: executed {:.1}% of baseline ops ({} jumps)",
+        report.executed_ratio() * 100.0,
+        report.jumps
+    );
 
     let mut table = Table::new(&[
         "technique",

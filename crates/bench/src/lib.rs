@@ -24,10 +24,10 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
-use std::fs;
 use std::path::PathBuf;
 
 use pgss::{FullDetailed, GroundTruth};
+use pgss_ckpt::{fnv1a64, Decoder, Encoder, Store};
 use pgss_workloads::Workload;
 
 /// The global scale factor (`PGSS_SCALE`, default 1.0).
@@ -40,52 +40,71 @@ pub fn suite() -> Vec<Workload> {
     pgss_workloads::suite(scale())
 }
 
-/// Ground truth for `workload`, memoised in
-/// `target/pgss_truth_cache.txt` so repeated bench targets skip the full
-/// detailed pass. The cache key includes the workload's name, nominal
+/// Ground truth for `workload`, memoised in the checksummed record store
+/// at `target/pgss_truth_cache/` (the same [`pgss_ckpt::Store`] format the
+/// checkpoint subsystem uses) so repeated bench targets skip the full
+/// detailed pass. The cache key hashes the workload's name, nominal
 /// length, and the scale, so regenerating workloads invalidates stale
 /// entries.
 ///
-/// Concurrency-safe for parallel campaigns: entries are *appended* (never
-/// read-modify-written, which used to lose entries when two harnesses
-/// raced), unparseable lines — e.g. a line torn by an interrupted writer —
-/// are skipped, and duplicate keys are deduplicated on read. Simulation is
-/// deterministic, so duplicate entries for a key always carry the same
-/// values and the first valid one wins.
+/// Concurrency-safe for parallel campaigns: each entry is one record,
+/// written atomically (write-then-rename); torn, corrupt, or
+/// stale-version records read as absent and are recomputed, never served.
+/// Simulation is deterministic, so racing writers always store identical
+/// payloads and any complete record wins.
 pub fn cached_ground_truth(workload: &Workload) -> GroundTruth {
-    let key = format!("{} {} {}", workload.name(), workload.nominal_ops(), scale());
-    let path = cache_path();
-    if let Some(truth) = read_cache(&path, &key) {
+    let key = truth_key(workload);
+    let store = truth_store();
+    if let Some(truth) = store
+        .as_ref()
+        .ok()
+        .and_then(|s| s.get(key))
+        .and_then(|payload| decode_truth(&payload))
+    {
         return truth;
     }
     let truth = FullDetailed::new().ground_truth(workload);
-    let _ = fs::create_dir_all(path.parent().expect("cache path has a parent"));
-    if let Ok(mut file) = fs::OpenOptions::new().create(true).append(true).open(&path) {
-        use std::io::Write as _;
-        let _ = writeln!(
-            file,
-            "{key}|{}|{}|{}",
-            truth.ipc, truth.total_ops, truth.cycles
-        );
+    if let Ok(store) = store {
+        let _ = store.put(key, &encode_truth(&truth));
     }
     truth
 }
 
-/// First valid entry for `key`, skipping unparseable or foreign lines.
-fn read_cache(path: &std::path::Path, key: &str) -> Option<GroundTruth> {
-    let text = fs::read_to_string(path).ok()?;
-    text.lines().find_map(|line| {
-        let mut parts = line.split('|');
-        let (k, ipc, ops, cycles) = (parts.next()?, parts.next()?, parts.next()?, parts.next()?);
-        if k != key {
-            return None;
-        }
-        Some(GroundTruth {
-            ipc: ipc.parse().ok()?,
-            total_ops: ops.parse().ok()?,
-            cycles: cycles.parse().ok()?,
-        })
-    })
+/// Opens the ground-truth record store (shared format with the checkpoint
+/// store).
+fn truth_store() -> std::io::Result<Store> {
+    Store::open(cache_path())
+}
+
+/// The cache key for a workload: a hash of its identity and the scale.
+fn truth_key(workload: &Workload) -> u64 {
+    let mut e = Encoder::new();
+    e.put_str("pgss-truth-v1");
+    e.put_str(workload.name());
+    e.put_u64(workload.nominal_ops());
+    e.put_f64(scale());
+    fnv1a64(&e.into_bytes())
+}
+
+fn encode_truth(truth: &GroundTruth) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_f64(truth.ipc);
+    e.put_u64(truth.total_ops);
+    e.put_u64(truth.cycles);
+    e.into_bytes()
+}
+
+/// Decodes a cached ground-truth payload; malformed payloads (e.g. from
+/// an older encoding) read as absent.
+fn decode_truth(payload: &[u8]) -> Option<GroundTruth> {
+    let mut d = Decoder::new(payload);
+    let truth = GroundTruth {
+        ipc: d.get_f64().ok()?,
+        total_ops: d.get_u64().ok()?,
+        cycles: d.get_u64().ok()?,
+    };
+    d.finish().ok()?;
+    Some(truth)
 }
 
 /// Collects the consecutive-interval (ΔBBV, ΔIPC) sets behind Figures 7–9:
@@ -102,12 +121,23 @@ pub fn suite_deltas(period_ops: u64) -> Vec<(String, Vec<pgss::analysis::Delta>)
         .collect()
 }
 
-fn cache_path() -> PathBuf {
+fn target_dir() -> PathBuf {
     // CARGO_TARGET_DIR is not set by default; fall back to ./target.
-    let target = std::env::var_os("CARGO_TARGET_DIR")
+    std::env::var_os("CARGO_TARGET_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target"));
-    target.join("pgss_truth_cache.txt")
+        .unwrap_or_else(|| PathBuf::from("target"))
+}
+
+fn cache_path() -> PathBuf {
+    target_dir().join("pgss_truth_cache")
+}
+
+/// The shared on-disk checkpoint store (`target/pgss_ckpt_store/`), so
+/// repeated checkpoint-accelerated campaigns reuse captured ladders
+/// across bench invocations. `None` when the directory cannot be created
+/// — campaigns then fall back to in-memory capture.
+pub fn checkpoint_store() -> Option<Store> {
+    Store::open(target_dir().join("pgss_ckpt_store")).ok()
 }
 
 /// A fixed-width plain-text table printer for figure output.
@@ -235,34 +265,42 @@ mod tests {
     #[test]
     fn truth_cache_roundtrip() {
         let w = pgss_workloads::twolf(0.002);
-        // Note: uses the real cache file; the second call must hit it and
+        // Note: uses the real cache store; the second call must hit it and
         // agree exactly.
         let a = cached_ground_truth(&w);
         let b = cached_ground_truth(&w);
         assert_eq!(a.total_ops, b.total_ops);
         assert_eq!(a.ipc, b.ipc);
+        // The record really is in the shared store format.
+        let stored = truth_store().unwrap().get(truth_key(&w)).unwrap();
+        assert_eq!(decode_truth(&stored), Some(a));
     }
 
     #[test]
-    fn truth_cache_tolerates_garbage_lines() {
-        let path = cache_path();
-        let _ = fs::create_dir_all(path.parent().unwrap());
-        {
-            use std::io::Write as _;
-            let mut f = fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&path)
-                .unwrap();
-            // A torn line from an interrupted writer, and outright garbage.
-            writeln!(f, "half|an|entry").unwrap();
-            writeln!(f, "not a cache line at all").unwrap();
-            writeln!(f, "bad parse|x|y|z").unwrap();
-        }
+    fn truth_cache_recovers_from_injected_corruption() {
+        use std::fs;
         let w = pgss_workloads::mesa(0.002);
-        let a = cached_ground_truth(&w);
-        let b = cached_ground_truth(&w);
-        assert_eq!(a, b);
+        let truth = cached_ground_truth(&w);
+        let store = truth_store().unwrap();
+        let path = store.path_for(truth_key(&w));
+        let good = fs::read(&path).unwrap();
+
+        // Torn write: record cut mid-payload.
+        fs::write(&path, &good[..good.len() - 4]).unwrap();
+        assert_eq!(store.get(truth_key(&w)), None);
+        assert_eq!(cached_ground_truth(&w), truth);
+
+        // Outright garbage where the record should be.
+        fs::write(&path, b"this is not a record").unwrap();
+        assert_eq!(cached_ground_truth(&w), truth);
+
+        // Stale format version: reads as absent, then self-heals.
+        let mut stale = fs::read(&path).unwrap();
+        stale[8] = stale[8].wrapping_add(1);
+        fs::write(&path, &stale).unwrap();
+        assert_eq!(store.get(truth_key(&w)), None);
+        assert_eq!(cached_ground_truth(&w), truth);
+        assert!(store.get(truth_key(&w)).is_some(), "record did not heal");
     }
 
     #[test]
@@ -277,11 +315,18 @@ mod tests {
         for r in &results[1..] {
             assert_eq!(*r, results[0]);
         }
-        // And the file still parses cleanly afterwards.
-        assert_eq!(Some(results[0]), read_cache(&cache_path(), &cache_key(&w)));
+        // And the stored record still parses cleanly afterwards.
+        let stored = truth_store().unwrap().get(truth_key(&w)).unwrap();
+        assert_eq!(decode_truth(&stored), Some(results[0]));
     }
 
-    fn cache_key(w: &Workload) -> String {
-        format!("{} {} {}", w.name(), w.nominal_ops(), scale())
+    #[test]
+    fn truth_key_separates_workloads() {
+        let a = truth_key(&pgss_workloads::gzip(0.1));
+        let b = truth_key(&pgss_workloads::mesa(0.1));
+        // Tiny scales clamp to the same repetition count; these differ.
+        let c = truth_key(&pgss_workloads::gzip(0.3));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
     }
 }

@@ -1,0 +1,24 @@
+//! Checkpoint codec and content-addressed store.
+//!
+//! This crate is the bottom layer of the checkpoint subsystem: a
+//! hand-rolled, dependency-free binary codec ([`codec::Encoder`] /
+//! [`codec::Decoder`] with zero-run compression for sparse word arrays)
+//! and a crash-safe content-addressed on-disk [`store::Store`] of
+//! versioned, checksummed records (atomic write-then-rename, tolerant
+//! reads that skip torn / corrupt / version-mismatched records).
+//!
+//! The crate is deliberately payload-agnostic — it moves bytes, not
+//! machine state. The typed snapshot encoding (what goes *inside* a
+//! record) lives in `pgss::ckpt`, which layers machine/driver snapshots
+//! and checkpoint ladders on top of this store. Keeping this layer free
+//! of `pgss-cpu` types lets `pgss-bench` reuse the exact same record
+//! format for its ground-truth cache.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod store;
+
+pub use codec::{fnv1a64, CodecError, Decoder, Encoder};
+pub use store::{Store, STORE_FORMAT_VERSION};

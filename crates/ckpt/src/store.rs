@@ -1,0 +1,245 @@
+//! Content-addressed on-disk record store.
+//!
+//! Each record is one file named by its 64-bit key. Writes build the
+//! full record in memory, write it to a unique temp file in the same
+//! directory, and `rename` it into place — readers therefore only ever
+//! observe complete rename targets, and a crash mid-write leaves at
+//! worst a stale `.tmp` file that is ignored. Reads are *tolerant*: a
+//! missing, torn, corrupt, or version-mismatched record simply reads as
+//! absent (`None`), never as bad state and never as a panic — callers
+//! fall back to recomputing and overwriting.
+//!
+//! Record layout (all integers little-endian):
+//!
+//! ```text
+//! magic  [8]  b"PGSSCKPT"
+//! version u32 STORE_FORMAT_VERSION
+//! key     u64 must equal the key the file is named by
+//! len     u64 payload length in bytes
+//! check   u64 FNV-1a of the payload
+//! payload [len]
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::codec::{fnv1a64, Decoder, Encoder};
+
+/// Version stamped into every record; bumped whenever the record layout
+/// (not the payload semantics) changes. Records with any other version
+/// read as absent.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// Leading magic of every record file.
+pub const MAGIC: &[u8; 8] = b"PGSSCKPT";
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory of content-addressed records. Cheap to clone paths from;
+/// safe for concurrent writers (last complete write wins atomically).
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a record with `key` lives at (whether or not it exists).
+    pub fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.rec"))
+    }
+
+    /// Atomically writes `payload` under `key`, replacing any previous
+    /// record.
+    pub fn put(&self, key: u64, payload: &[u8]) -> io::Result<()> {
+        let mut e = Encoder::new();
+        // Header fields are written manually (not length-prefixed) so the
+        // record layout is exactly the documented fixed header + payload.
+        let mut record = Vec::with_capacity(36 + payload.len());
+        record.extend_from_slice(MAGIC);
+        e.put_u32(STORE_FORMAT_VERSION);
+        e.put_u64(key);
+        e.put_u64(payload.len() as u64);
+        e.put_u64(fnv1a64(payload));
+        record.extend_from_slice(&e.into_bytes());
+        record.extend_from_slice(payload);
+
+        let tmp = self.dir.join(format!(
+            ".{key:016x}.{}.{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, &record)?;
+        let renamed = fs::rename(&tmp, self.path_for(key));
+        if renamed.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        renamed
+    }
+
+    /// Reads the payload stored under `key`. Returns `None` when the
+    /// record is missing or fails any validation (magic, version, key,
+    /// length, checksum) — corrupt records are never served.
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        let bytes = fs::read(self.path_for(key)).ok()?;
+        parse_record(&bytes, key)
+    }
+
+    /// Removes the record under `key` if present.
+    pub fn remove(&self, key: u64) -> io::Result<()> {
+        match fs::remove_file(self.path_for(key)) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+}
+
+fn parse_record(bytes: &[u8], key: u64) -> Option<Vec<u8>> {
+    if bytes.len() < 36 || &bytes[..8] != MAGIC {
+        return None;
+    }
+    let mut d = Decoder::new(&bytes[8..]);
+    let version = d.get_u32().ok()?;
+    let rec_key = d.get_u64().ok()?;
+    let len = d.get_u64().ok()?;
+    let check = d.get_u64().ok()?;
+    if version != STORE_FORMAT_VERSION || rec_key != key {
+        return None;
+    }
+    let payload = &bytes[36..];
+    if payload.len() as u64 != len || fnv1a64(payload) != check {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pgss-ckpt-{name}-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_overwrite() {
+        let dir = scratch("roundtrip");
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.get(7), None);
+        s.put(7, b"hello").unwrap();
+        assert_eq!(s.get(7).as_deref(), Some(&b"hello"[..]));
+        s.put(7, b"world").unwrap();
+        assert_eq!(s.get(7).as_deref(), Some(&b"world"[..]));
+        s.remove(7).unwrap();
+        assert_eq!(s.get(7), None);
+        s.remove(7).unwrap(); // idempotent
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_payload_is_a_valid_record() {
+        let dir = scratch("empty");
+        let s = Store::open(&dir).unwrap();
+        s.put(1, b"").unwrap();
+        assert_eq!(s.get(1).as_deref(), Some(&b""[..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_records_read_as_absent() {
+        let dir = scratch("torn");
+        let s = Store::open(&dir).unwrap();
+        s.put(9, b"some payload that matters").unwrap();
+        let path = s.path_for(9);
+        let full = fs::read(&path).unwrap();
+        for cut in [0, 3, 8, 20, 35, full.len() - 1] {
+            fs::write(&path, &full[..cut]).unwrap();
+            assert_eq!(s.get(9), None, "torn at {cut} bytes served data");
+        }
+        // Restoring the full record serves again.
+        fs::write(&path, &full).unwrap();
+        assert!(s.get(9).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_payload_and_garbage_read_as_absent() {
+        let dir = scratch("corrupt");
+        let s = Store::open(&dir).unwrap();
+        s.put(3, b"checksummed payload").unwrap();
+        let path = s.path_for(3);
+        let mut bytes = fs::read(&path).unwrap();
+        *bytes.last_mut().unwrap() ^= 0x40; // flip one payload bit
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(s.get(3), None);
+        // Outright garbage in place of a record.
+        fs::write(&path, b"not a checkpoint record at all").unwrap();
+        assert_eq!(s.get(3), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_and_key_mismatches_read_as_absent() {
+        let dir = scratch("version");
+        let s = Store::open(&dir).unwrap();
+        s.put(5, b"payload").unwrap();
+        let path = s.path_for(5);
+        let good = fs::read(&path).unwrap();
+
+        let mut stale = good.clone();
+        stale[8] = stale[8].wrapping_add(1); // bump the version field
+        fs::write(&path, &stale).unwrap();
+        assert_eq!(s.get(5), None, "stale-version record served");
+
+        let mut wrong_key = good.clone();
+        wrong_key[12] ^= 0xff; // record claims a different key
+        fs::write(&path, &wrong_key).unwrap();
+        assert_eq!(s.get(5), None, "key-mismatched record served");
+
+        fs::write(&path, &good).unwrap();
+        assert!(s.get(5).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_agree() {
+        let dir = scratch("concurrent");
+        let s = Store::open(&dir).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        s.put(11, b"identical payload").unwrap();
+                        // Reads racing the writers must see either absence
+                        // or the complete payload, never a torn one.
+                        if let Some(p) = s.get(11) {
+                            assert_eq!(p, b"identical payload");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(s.get(11).as_deref(), Some(&b"identical payload"[..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -15,11 +15,14 @@
 //! runs with the tuned threshold. The pilot's instructions are charged as
 //! functional simulation.
 
+use std::sync::Arc;
+
 use pgss_bbv::HashedBbv;
 use pgss_cluster::KMeans;
 use pgss_cpu::{MachineConfig, Mode};
 use pgss_workloads::Workload;
 
+use crate::ckpt::SimContext;
 use crate::driver::{
     Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track,
 };
@@ -75,12 +78,20 @@ impl AdaptivePgss {
     /// no separable "change" mass), the base configuration's threshold is
     /// returned unchanged.
     pub fn tune(&self, workload: &Workload, config: &MachineConfig) -> (f64, u64) {
-        let (t, spent, _) = self.tune_traced(workload, config);
+        let (t, spent, _) = self.tune_traced(workload, config, &SimContext::none());
         (t, spent)
     }
 
-    fn tune_traced(&self, workload: &Workload, config: &MachineConfig) -> (f64, u64, RunTrace) {
+    fn tune_traced(
+        &self,
+        workload: &Workload,
+        config: &MachineConfig,
+        ctx: &SimContext,
+    ) -> (f64, u64, RunTrace) {
         let mut driver = SimDriver::new(workload, config, Track::Hashed(self.base.hash_seed));
+        if let Some(ladder) = &ctx.ladder {
+            driver.attach_ladder(Arc::clone(ladder));
+        }
         let mut policy = PilotPolicy {
             ff_ops: self.base.ff_ops,
             budget: (workload.nominal_ops() as f64 * self.pilot_fraction) as u64,
@@ -167,12 +178,25 @@ impl Technique for AdaptivePgss {
     }
 
     fn run_traced(&self, workload: &Workload, config: &MachineConfig) -> (Estimate, RunTrace) {
-        let (threshold_rad, pilot_ops, mut trace) = self.tune_traced(workload, config);
+        self.run_traced_ctx(workload, config, &SimContext::none())
+    }
+
+    fn tracks(&self) -> Vec<Track> {
+        vec![Track::Hashed(self.base.hash_seed)]
+    }
+
+    fn run_traced_ctx(
+        &self,
+        workload: &Workload,
+        config: &MachineConfig,
+        ctx: &SimContext,
+    ) -> (Estimate, RunTrace) {
+        let (threshold_rad, pilot_ops, mut trace) = self.tune_traced(workload, config, ctx);
         let tuned = PgssSim {
             threshold_rad,
             ..self.base
         };
-        let (mut est, pgss_trace) = tuned.run_traced(workload, config);
+        let (mut est, pgss_trace) = tuned.run_traced_ctx(workload, config, ctx);
         trace.merge(&pgss_trace);
         est.mode_ops.functional += pilot_ops;
         (est, trace)

@@ -25,11 +25,14 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
+use pgss_ckpt::Store;
 use pgss_cpu::MachineConfig;
 use pgss_workloads::Workload;
 
-use crate::driver::RunTrace;
+use crate::ckpt::{CheckpointLadder, LadderReport, LadderSpec, SimContext};
+use crate::driver::{RunTrace, Track};
 use crate::estimate::{Estimate, Technique};
 
 /// One campaign cell: a technique applied to a workload on a machine
@@ -94,10 +97,23 @@ pub fn grid<'a>(
         .collect()
 }
 
-/// Runs `jobs` on as many threads as the host offers. See [`run_on`].
+/// Worker-thread count for [`run`] and [`run_checkpointed`]: the
+/// `PGSS_WORKERS` environment variable when it parses as a positive
+/// integer, otherwise the host's available parallelism.
+pub fn worker_threads() -> usize {
+    if let Some(n) = std::env::var("PGSS_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `jobs` on [`worker_threads`] threads. See [`run_on`].
 pub fn run(jobs: &[Job<'_>]) -> Vec<CellResult> {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    run_on(jobs, threads)
+    run_on(jobs, worker_threads())
 }
 
 /// Runs `jobs` on `threads` worker threads, returning one [`CellResult`]
@@ -149,6 +165,113 @@ pub fn run_on(jobs: &[Job<'_>], threads: usize) -> Vec<CellResult> {
     });
     indexed.sort_by_key(|&(i, _)| i);
     indexed.into_iter().map(|(_, cell)| cell).collect()
+}
+
+/// Runs `jobs` with checkpoint acceleration: each distinct
+/// (workload, config) group's shared functional fast-forward prefix is
+/// captured **once** into a [`CheckpointLadder`] (rungs every `stride`
+/// retired ops, carrying every BBV track the group's techniques declare
+/// via [`Technique::tracks`]) and fanned out to all of the group's cells,
+/// whose drivers then restore instead of re-executing functional
+/// stretches.
+///
+/// Results are **identical** to [`run`] on the same jobs — estimates,
+/// traces, ordering — because driver jumps are bit-exact and logically
+/// charged; only the physical work changes, summarised in the returned
+/// [`LadderReport`] (capture cost, jumps, skipped vs. executed ops, and
+/// [`LadderReport::executed_ratio`]).
+///
+/// With a [`Store`], ladders are read from / written back to disk, so a
+/// re-run of the same campaign (same workloads, configs, stride, tracks,
+/// snapshot format) skips capture entirely; corrupt or stale records
+/// silently fall back to capture. Groups are processed sequentially so at
+/// most one workload's ladder is resident; cells within a group run on
+/// [`worker_threads`] threads.
+///
+/// # Panics
+///
+/// Panics if `stride` is zero or a technique panics.
+pub fn run_checkpointed(
+    jobs: &[Job<'_>],
+    stride: u64,
+    store: Option<&Store>,
+) -> (Vec<CellResult>, LadderReport) {
+    let mut report = LadderReport::default();
+    if jobs.is_empty() {
+        return (Vec::new(), report);
+    }
+    let threads = worker_threads();
+    // Group cells sharing a workload and configuration; each group shares
+    // one ladder.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        match groups.iter_mut().find(|g| {
+            let j = &jobs[g[0]];
+            std::ptr::eq(j.workload, job.workload) && j.config == job.config
+        }) {
+            Some(g) => g.push(i),
+            None => groups.push(vec![i]),
+        }
+    }
+    let mut indexed: Vec<(usize, CellResult)> = Vec::with_capacity(jobs.len());
+    for group in &groups {
+        let first = &jobs[group[0]];
+        let mut hashed_seeds: Vec<u64> = Vec::new();
+        let mut with_full = false;
+        for &i in group {
+            for t in jobs[i].technique.tracks() {
+                match t {
+                    Track::Hashed(s) if !hashed_seeds.contains(&s) => hashed_seeds.push(s),
+                    Track::Full => with_full = true,
+                    _ => {}
+                }
+            }
+        }
+        let spec = LadderSpec {
+            stride,
+            hashed_seeds,
+            with_full,
+        };
+        let ladder = Arc::new(match store {
+            Some(st) => CheckpointLadder::load_or_capture(st, first.workload, &first.config, &spec),
+            None => CheckpointLadder::capture(first.workload, &first.config, &spec),
+        });
+        let ctx = SimContext::with_ladder(Arc::clone(&ladder));
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let workers: Vec<_> = (0..threads.min(group.len()))
+                .map(|_| {
+                    let (cursor, ctx) = (&cursor, &ctx);
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let k = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&i) = group.get(k) else { break };
+                            let job = &jobs[i];
+                            let (estimate, trace) =
+                                job.technique.run_traced_ctx(job.workload, &job.config, ctx);
+                            local.push((
+                                i,
+                                CellResult {
+                                    workload: job.workload.name().to_string(),
+                                    technique: job.technique.name(),
+                                    estimate,
+                                    trace,
+                                },
+                            ));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for worker in workers {
+                indexed.extend(worker.join().expect("campaign worker panicked"));
+            }
+        });
+        report.merge(&ladder.report());
+    }
+    indexed.sort_by_key(|&(i, _)| i);
+    (indexed.into_iter().map(|(_, cell)| cell).collect(), report)
 }
 
 #[cfg(test)]
@@ -228,6 +351,43 @@ mod tests {
     #[test]
     fn empty_campaign_is_empty() {
         assert!(run_on(&[], 8).is_empty());
+        let (cells, report) = run_checkpointed(&[], 100_000, None);
+        assert!(cells.is_empty());
+        assert_eq!(report, crate::ckpt::LadderReport::default());
+    }
+
+    #[test]
+    fn checkpointed_campaign_matches_plain_with_fewer_executed_ops() {
+        let workloads = vec![pgss_workloads::gzip(0.01), pgss_workloads::twolf(0.01)];
+        let (smarts, turbo, pgss) = techniques();
+        let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &turbo, &pgss];
+        let jobs = grid(&workloads, &techs, MachineConfig::default());
+        let plain = run(&jobs);
+        let (fast, report) = run_checkpointed(&jobs, 25_000, None);
+        assert_eq!(plain, fast, "acceleration must not change any cell");
+        assert!(report.jumps > 0);
+        assert!(report.skipped_ops > 0);
+        assert!(
+            report.total_executed() < report.baseline_ops(),
+            "executed {} must beat baseline {}",
+            report.total_executed(),
+            report.baseline_ops()
+        );
+        assert!(report.executed_ratio() < 1.0);
+    }
+
+    #[test]
+    fn worker_threads_env_override() {
+        // Env mutation is process-global; keep set/restore in one test.
+        std::env::set_var("PGSS_WORKERS", "3");
+        assert_eq!(worker_threads(), 3);
+        std::env::set_var("PGSS_WORKERS", "not-a-number");
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(worker_threads(), host);
+        std::env::set_var("PGSS_WORKERS", "0");
+        assert_eq!(worker_threads(), host);
+        std::env::remove_var("PGSS_WORKERS");
+        assert_eq!(worker_threads(), host);
     }
 
     #[test]

@@ -41,9 +41,13 @@
 //! println!("retired {} ops", driver.retired());
 //! ```
 
-use pgss_bbv::{BbvHash, FullBbvTracker, HashedBbv, HashedBbvTracker};
-use pgss_cpu::{Machine, MachineConfig, Mode, ModeOps};
+use std::sync::Arc;
+
+use pgss_bbv::{BbvHash, FullBbv, FullBbvTracker, HashedBbv, HashedBbvTracker};
+use pgss_cpu::{Machine, MachineConfig, MachineSnapshot, Mode, ModeOps};
 use pgss_workloads::Workload;
+
+use crate::ckpt::{decode_machine_snapshot, CheckpointLadder};
 
 /// What the driver's retire sink tracks alongside execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -230,6 +234,29 @@ pub trait SamplingPolicy {
 /// optional, so one monomorphized `run_with` path covers all techniques.
 type TrackSink = (Option<HashedBbvTracker>, Option<FullBbvTracker>);
 
+/// Everything needed to resume a driver pass exactly where another left
+/// off: the machine's architectural and warm state, the retired-op
+/// position, and the in-flight (untaken) BBV tracker state.
+///
+/// Produced by [`SimDriver::snapshot`], consumed by
+/// [`SimDriver::from_snapshot`]; serialised by
+/// [`crate::ckpt::encode_driver_snapshot`]. The restore-then-run
+/// guarantee is bit-exactness: a driver restored at position X observes
+/// segment outcomes identical to one that executed to X uninterrupted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverSnapshot {
+    /// Complete machine state (architectural + warm microarchitectural).
+    pub machine: MachineSnapshot,
+    /// Cumulative retired instructions at the capture point.
+    pub retired: u64,
+    /// The hashed tracker's accumulated-but-untaken interval vector, when
+    /// the capturing driver tracked [`Track::Hashed`].
+    pub hashed_current: Option<HashedBbv>,
+    /// The full tracker's accumulated-but-untaken interval vector, when
+    /// the capturing driver tracked [`Track::Full`].
+    pub full_current: Option<FullBbv>,
+}
+
 /// The shared execution engine. Owns the machine, the (optional) BBV
 /// tracker, the cumulative retired-op position, and the [`RunTrace`].
 ///
@@ -239,8 +266,24 @@ type TrackSink = (Option<HashedBbvTracker>, Option<FullBbvTracker>);
 pub struct SimDriver {
     machine: Machine,
     sink: TrackSink,
+    track: Track,
     retired: u64,
     trace: RunTrace,
+    /// Checkpoint ladder to jump with / charge executed ops to, if any.
+    ladder: Option<Arc<CheckpointLadder>>,
+    /// Whether functional segments may be replaced by ladder restores:
+    /// requires the ladder to cover this driver's track, and (for tracked
+    /// drivers) attachment before any execution so the taken-interval
+    /// cumulative below is complete.
+    jumps_ok: bool,
+    /// Index of this driver's hash seed in the ladder's carried tracks.
+    seed_idx: Option<usize>,
+    /// Sum of every hashed interval vector taken so far; a rung's
+    /// cumulative minus this is exactly the tracker state a continuous
+    /// run would hold at the rung.
+    hashed_taken: HashedBbv,
+    /// Full-BBV counterpart of `hashed_taken`.
+    full_taken: Option<FullBbv>,
 }
 
 impl SimDriver {
@@ -255,9 +298,93 @@ impl SimDriver {
         SimDriver {
             machine,
             sink,
+            track,
             retired: 0,
             trace: RunTrace::default(),
+            ladder: None,
+            jumps_ok: false,
+            seed_idx: None,
+            hashed_taken: HashedBbv::new(),
+            full_taken: None,
         }
+    }
+
+    /// Builds a driver resuming from `snap` instead of from op 0: machine
+    /// state is restored, the position is `snap.retired`, and tracker
+    /// state is re-seeded from the snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `track` requires tracker state the snapshot does not
+    /// carry (it was captured by a driver with a different track).
+    pub fn from_snapshot(
+        workload: &Workload,
+        config: &MachineConfig,
+        track: Track,
+        snap: &DriverSnapshot,
+    ) -> SimDriver {
+        let mut d = SimDriver::new(workload, config, track);
+        d.machine.restore(&snap.machine);
+        d.retired = snap.retired;
+        if let (Some(t), _) = &mut d.sink {
+            let cur = snap
+                .hashed_current
+                .as_ref()
+                .expect("snapshot lacks the hashed tracker state this track requires");
+            t.set_current(*cur);
+        }
+        if let (_, Some(t)) = &mut d.sink {
+            let cur = snap
+                .full_current
+                .clone()
+                .expect("snapshot lacks the full tracker state this track requires");
+            t.set_current(cur);
+        }
+        d
+    }
+
+    /// Captures the driver's complete resumable state; see
+    /// [`DriverSnapshot`].
+    pub fn snapshot(&self) -> DriverSnapshot {
+        DriverSnapshot {
+            machine: self.machine.snapshot(),
+            retired: self.retired,
+            hashed_current: self.sink.0.as_ref().map(|t| *t.current()),
+            full_current: self.sink.1.as_ref().map(|t| t.current().clone()),
+        }
+    }
+
+    /// Attaches a checkpoint ladder. From here on, every op this driver
+    /// executes is charged to the ladder's counters, and — when the
+    /// ladder covers this driver's track — functional segments are
+    /// *jumped*: instead of executing up to a rung inside the segment,
+    /// the rung is restored, the skipped ops are charged as functional
+    /// (so [`crate::Estimate`]s stay byte-identical), and only the
+    /// remainder executes.
+    ///
+    /// Tracked drivers ([`Track::Hashed`] / [`Track::Full`]) must attach
+    /// before executing anything; attached later they still charge
+    /// executed ops but never jump, because the taken-interval cumulative
+    /// needed to reconstruct tracker state is unknown.
+    pub fn attach_ladder(&mut self, ladder: Arc<CheckpointLadder>) {
+        let covers = match self.track {
+            Track::None => true,
+            Track::Hashed(seed) => {
+                self.seed_idx = ladder.seed_index(seed);
+                self.seed_idx.is_some()
+            }
+            Track::Full => ladder.has_full(),
+        };
+        self.jumps_ok = covers && (self.retired == 0 || matches!(self.track, Track::None));
+        if self.jumps_ok {
+            self.hashed_taken = HashedBbv::new();
+            self.full_taken = self
+                .sink
+                .1
+                .as_ref()
+                .map(|t| FullBbv::zeroed(t.current().dim()));
+        }
+        self.ladder = Some(ladder);
     }
 
     /// Runs `policy` to completion: alternately asks it for a segment and
@@ -272,19 +399,79 @@ impl SimDriver {
     /// Executes a single segment: one `run_with` call with the composed
     /// tracking sink, uniform halt/truncation handling, position and trace
     /// accounting.
+    ///
+    /// With a covering [`CheckpointLadder`] attached, a functional
+    /// segment that spans a rung restores the highest such rung and
+    /// executes only the remainder. The outcome — ops, halt flag,
+    /// truncation, position, any taken BBV — and the machine's logical
+    /// [`ModeOps`] are identical to full execution; only the physical
+    /// work differs, which the ladder's counters record.
     pub fn execute(&mut self, segment: Segment) -> SegmentOutcome {
+        let mut skipped = 0u64;
+        if segment.mode == Mode::Functional && self.jumps_ok && !self.machine.halted() {
+            if let Some(ladder) = &self.ladder {
+                let upto = self.retired.saturating_add(segment.max_ops);
+                if let Some(rung) = ladder.best_rung_in(self.retired, upto) {
+                    skipped = rung.retired - self.retired;
+                    let snap = decode_machine_snapshot(&rung.machine)
+                        .expect("ladder rungs are validated at construction");
+                    let pre = self.machine.mode_ops();
+                    self.machine.restore(&snap);
+                    // The restored machine carries the capture pass's op
+                    // accounting; charge this run's instead, with the
+                    // skipped distance as the functional ops it stands for.
+                    self.machine.set_mode_ops(ModeOps {
+                        functional: pre.functional + skipped,
+                        ..pre
+                    });
+                    if let (Some(tr), _) = &mut self.sink {
+                        let idx = self.seed_idx.expect("jumps_ok implies seed coverage");
+                        tr.set_current(rung.hashed_cum[idx].diff(&self.hashed_taken));
+                    }
+                    if let (_, Some(tr)) = &mut self.sink {
+                        let cum = rung
+                            .full_cum
+                            .as_ref()
+                            .expect("jumps_ok implies full-BBV coverage");
+                        let taken = self
+                            .full_taken
+                            .as_ref()
+                            .expect("full taken cumulative initialised at attach");
+                        tr.set_current(cum.diff(taken));
+                    }
+                    self.retired = rung.retired;
+                    ladder.record_jump(skipped);
+                }
+            }
+        }
         let r = self
             .machine
-            .run_with(segment.mode, segment.max_ops, &mut self.sink);
+            .run_with(segment.mode, segment.max_ops - skipped, &mut self.sink);
+        if let Some(ladder) = &self.ladder {
+            ladder.record_executed(r.ops);
+        }
+        let ops = skipped + r.ops;
         self.retired += r.ops;
         self.trace.segments[segment.mode as usize] += 1;
-        if r.ops < segment.max_ops && segment.max_ops != u64::MAX {
+        if ops < segment.max_ops && segment.max_ops != u64::MAX {
             self.trace.truncated_segments += 1;
         }
         let bbv = if segment.take_bbv {
             match &mut self.sink {
-                (Some(hashed), _) => Some(Bbv::Hashed(hashed.take())),
-                (_, Some(full)) => Some(Bbv::Full(full.take().normalized())),
+                (Some(hashed), _) => {
+                    let v = hashed.take();
+                    if self.jumps_ok {
+                        self.hashed_taken.merge(&v);
+                    }
+                    Some(Bbv::Hashed(v))
+                }
+                (_, Some(full)) => {
+                    let v = full.take();
+                    if let Some(taken) = &mut self.full_taken {
+                        taken.merge(&v);
+                    }
+                    Some(Bbv::Full(v.normalized()))
+                }
                 (None, None) => {
                     panic!("segment requested a BBV but the driver tracks nothing")
                 }
@@ -294,7 +481,7 @@ impl SimDriver {
         };
         SegmentOutcome {
             segment,
-            ops: r.ops,
+            ops,
             cycles: r.cycles,
             halted: r.halted,
             retired: self.retired,
@@ -498,6 +685,131 @@ mod tests {
         let w = tiny_workload();
         let mut d = SimDriver::new(&w, &MachineConfig::default(), Track::None);
         d.execute(Segment::with_bbv(Mode::Functional, 1_000));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_bit_exact() {
+        let w = pgss_workloads::gzip(0.01);
+        let cfg = MachineConfig::default();
+        let plan_tail = || {
+            vec![
+                Segment::with_bbv(Mode::Functional, 30_000),
+                Segment::new(Mode::DetailedWarming, 3_000),
+                Segment::new(Mode::DetailedMeasured, 1_000),
+                Segment::with_bbv(Mode::Functional, 30_000),
+            ]
+        };
+        // Continuous run: prefix then tail.
+        let mut cont = SimDriver::new(&w, &cfg, Track::Hashed(7));
+        cont.execute(Segment::new(Mode::Functional, 25_000));
+        cont.execute(Segment::with_bbv(Mode::Functional, 25_000));
+        cont.execute(Segment::new(Mode::Functional, 10_000));
+        let snap = cont.snapshot();
+        assert_eq!(snap.retired, 60_000);
+        let mut p_cont = Plan::new(plan_tail());
+        cont.run(&mut p_cont);
+        // Resumed run: restore at 60k, then the same tail.
+        let mut resumed = SimDriver::from_snapshot(&w, &cfg, Track::Hashed(7), &snap);
+        assert_eq!(resumed.retired(), 60_000);
+        let mut p_res = Plan::new(plan_tail());
+        resumed.run(&mut p_res);
+        assert_eq!(p_cont.outcomes, p_res.outcomes);
+        assert_eq!(cont.mode_ops().detailed_measured, 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks the hashed tracker state")]
+    fn restoring_untracked_snapshot_into_tracked_driver_panics() {
+        let w = tiny_workload();
+        let cfg = MachineConfig::default();
+        let snap = SimDriver::new(&w, &cfg, Track::None).snapshot();
+        let _ = SimDriver::from_snapshot(&w, &cfg, Track::Hashed(1), &snap);
+    }
+
+    #[test]
+    fn ladder_jumps_preserve_outcomes_and_mode_ops() {
+        use crate::ckpt::{CheckpointLadder, LadderSpec};
+        let w = pgss_workloads::gzip(0.01);
+        let cfg = MachineConfig::default();
+        let plan = || {
+            Plan::new(vec![
+                Segment::with_bbv(Mode::Functional, 40_000),
+                Segment::new(Mode::DetailedWarming, 3_000),
+                Segment::new(Mode::DetailedMeasured, 1_000),
+                Segment::with_bbv(Mode::Functional, 40_000),
+                Segment::with_bbv(Mode::Functional, 40_000),
+            ])
+        };
+        let mut plain = SimDriver::new(&w, &cfg, Track::Hashed(7));
+        let mut p_plain = plan();
+        plain.run(&mut p_plain);
+
+        let spec = LadderSpec {
+            stride: 25_000,
+            hashed_seeds: vec![7],
+            with_full: false,
+        };
+        let ladder = Arc::new(CheckpointLadder::capture(&w, &cfg, &spec));
+        let mut fast = SimDriver::new(&w, &cfg, Track::Hashed(7));
+        fast.attach_ladder(Arc::clone(&ladder));
+        let mut p_fast = plan();
+        fast.run(&mut p_fast);
+
+        assert_eq!(p_plain.outcomes, p_fast.outcomes);
+        assert_eq!(plain.mode_ops(), fast.mode_ops());
+        assert_eq!(plain.trace(), fast.trace());
+        let report = ladder.report();
+        assert!(report.jumps > 0, "functional segments should jump");
+        assert!(report.skipped_ops > 0);
+        assert!(
+            report.executed_ops < plain.mode_ops().total(),
+            "jumping must execute strictly fewer ops"
+        );
+        assert_eq!(report.executed_ops + report.skipped_ops, fast.retired());
+    }
+
+    #[test]
+    fn ladder_attached_midrun_charges_but_never_jumps_tracked_drivers() {
+        use crate::ckpt::{CheckpointLadder, LadderSpec};
+        let w = pgss_workloads::gzip(0.01);
+        let cfg = MachineConfig::default();
+        let spec = LadderSpec {
+            stride: 20_000,
+            hashed_seeds: vec![7],
+            with_full: false,
+        };
+        let ladder = Arc::new(CheckpointLadder::capture(&w, &cfg, &spec));
+        let mut d = SimDriver::new(&w, &cfg, Track::Hashed(7));
+        d.execute(Segment::new(Mode::Functional, 5_000));
+        d.attach_ladder(Arc::clone(&ladder));
+        d.execute(Segment::new(Mode::Functional, 50_000));
+        let report = ladder.report();
+        assert_eq!(report.jumps, 0, "tracker state would be wrong; no jumps");
+        assert_eq!(report.executed_ops, 50_000, "post-attach ops still charged");
+    }
+
+    #[test]
+    fn ladder_jump_covers_run_to_halt_segments() {
+        use crate::ckpt::{CheckpointLadder, LadderSpec};
+        let w = tiny_workload();
+        let cfg = MachineConfig::default();
+        let total = {
+            let mut m = w.machine();
+            m.run(Mode::Functional, u64::MAX).ops
+        };
+        let ladder = Arc::new(CheckpointLadder::capture(
+            &w,
+            &cfg,
+            &LadderSpec::machine_only(50_000),
+        ));
+        let mut d = SimDriver::new(&w, &cfg, Track::None);
+        d.attach_ladder(Arc::clone(&ladder));
+        let out = d.execute(Segment::new(Mode::Functional, u64::MAX));
+        assert!(out.halted);
+        assert_eq!(out.ops, total);
+        assert_eq!(d.retired(), total);
+        assert!(ladder.report().jumps > 0);
+        assert!(ladder.report().executed_ops < total);
     }
 
     #[test]

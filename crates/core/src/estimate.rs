@@ -3,7 +3,8 @@
 use pgss_cpu::{MachineConfig, ModeOps};
 use pgss_workloads::Workload;
 
-use crate::driver::RunTrace;
+use crate::ckpt::SimContext;
+use crate::driver::{RunTrace, Track};
 
 /// The exhaustively-simulated reference an [`Estimate`] is judged against.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,6 +96,31 @@ pub trait Technique {
     /// trace for implementations that predate the driver.
     fn run_traced(&self, workload: &Workload, config: &MachineConfig) -> (Estimate, RunTrace) {
         (self.run_with(workload, config), RunTrace::default())
+    }
+
+    /// Like [`Technique::run_traced`], threading a [`SimContext`] to the
+    /// technique's driver passes. With a checkpoint ladder in the context,
+    /// techniques that override this attach it to every pass, so
+    /// functional fast-forwarding is replaced by snapshot restores — the
+    /// returned estimate and trace are guaranteed identical to
+    /// [`Technique::run_traced`]; only physical work (tracked by the
+    /// ladder) shrinks. The default ignores the context.
+    fn run_traced_ctx(
+        &self,
+        workload: &Workload,
+        config: &MachineConfig,
+        ctx: &SimContext,
+    ) -> (Estimate, RunTrace) {
+        let _ = ctx;
+        self.run_traced(workload, config)
+    }
+
+    /// The BBV tracks this technique's driver passes use — the union a
+    /// checkpoint ladder must carry (see [`crate::ckpt::LadderSpec`]) for
+    /// every pass to be jump-eligible. Techniques that track nothing
+    /// report `[Track::None]`.
+    fn tracks(&self) -> Vec<Track> {
+        vec![Track::None]
     }
 
     /// Runs with the paper's default machine configuration.

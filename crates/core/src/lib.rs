@@ -57,6 +57,7 @@
 mod adaptive;
 pub mod analysis;
 pub mod campaign;
+pub mod ckpt;
 pub mod driver;
 mod estimate;
 mod full;
@@ -69,8 +70,12 @@ pub mod timing;
 mod turbo;
 
 pub use adaptive::AdaptivePgss;
+pub use ckpt::{
+    CheckpointKey, CheckpointLadder, LadderReport, LadderSpec, SimContext, SNAPSHOT_FORMAT_VERSION,
+};
 pub use driver::{
-    Bbv, Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track,
+    Bbv, Directive, DriverSnapshot, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver,
+    Track,
 };
 pub use estimate::{relative_error, Estimate, GroundTruth, PhaseSummary, Technique};
 pub use full::FullDetailed;

@@ -2,10 +2,13 @@
 //! paper: online phase detection with one large detailed sample at each
 //! phase's first occurrence, under a perfect phase predictor.
 
+use std::sync::Arc;
+
 use pgss_cpu::{MachineConfig, Mode};
 use pgss_stats::weighted_mean;
 use pgss_workloads::Workload;
 
+use crate::ckpt::SimContext;
 use crate::driver::{
     Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track,
 };
@@ -157,10 +160,29 @@ impl Technique for OnlineSimPoint {
     }
 
     fn run_traced(&self, workload: &Workload, config: &MachineConfig) -> (Estimate, RunTrace) {
+        self.run_traced_ctx(workload, config, &SimContext::none())
+    }
+
+    fn tracks(&self) -> Vec<Track> {
+        vec![Track::Hashed(self.hash_seed), Track::None]
+    }
+
+    fn run_traced_ctx(
+        &self,
+        workload: &Workload,
+        config: &MachineConfig,
+        ctx: &SimContext,
+    ) -> (Estimate, RunTrace) {
         assert!(self.interval_ops > 0, "interval_ops must be positive");
+        let attach = |d: &mut SimDriver| {
+            if let Some(ladder) = &ctx.ladder {
+                d.attach_ladder(Arc::clone(ladder));
+            }
+        };
         // Oracle pass (free, per the paper's perfect-predictor assumption):
         // classify every interval.
         let mut oracle = SimDriver::new(workload, config, Track::Hashed(self.hash_seed));
+        attach(&mut oracle);
         let mut oracle_policy = OraclePolicy {
             interval_ops: self.interval_ops,
             table: PhaseTable::new(self.threshold_rad),
@@ -191,6 +213,7 @@ impl Technique for OnlineSimPoint {
 
         // Charged pass on a fresh machine; only its mode ops are billed.
         let mut charged = SimDriver::new(workload, config, Track::None);
+        attach(&mut charged);
         let mut policy = ChargedPolicy {
             interval_ops: self.interval_ops,
             interval_phases,

@@ -1,9 +1,12 @@
 //! Phase-Guided Small-Sample Simulation — the paper's contribution.
 
+use std::sync::Arc;
+
 use pgss_cpu::{MachineConfig, Mode};
 use pgss_stats::{weighted_mean, ConfidenceInterval, Welford, Z_997};
 use pgss_workloads::Workload;
 
+use crate::ckpt::SimContext;
 use crate::driver::{
     Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track,
 };
@@ -265,11 +268,27 @@ impl Technique for PgssSim {
     }
 
     fn run_traced(&self, workload: &Workload, config: &MachineConfig) -> (Estimate, RunTrace) {
+        self.run_traced_ctx(workload, config, &SimContext::none())
+    }
+
+    fn tracks(&self) -> Vec<Track> {
+        vec![Track::Hashed(self.hash_seed)]
+    }
+
+    fn run_traced_ctx(
+        &self,
+        workload: &Workload,
+        config: &MachineConfig,
+        ctx: &SimContext,
+    ) -> (Estimate, RunTrace) {
         assert!(
             self.unit_ops > 0 && self.ff_ops > 0,
             "unit_ops and ff_ops must be positive"
         );
         let mut driver = SimDriver::new(workload, config, Track::Hashed(self.hash_seed));
+        if let Some(ladder) = &ctx.ladder {
+            driver.attach_ladder(Arc::clone(ladder));
+        }
         let mut policy = PgssPolicy::new(*self);
         driver.run(&mut policy);
         let PgssPolicy {

@@ -2,11 +2,14 @@
 //! large representative interval per phase (Sherwood et al., ASPLOS 2002;
 //! Hamerly et al., SimPoint 3.0).
 
+use std::sync::Arc;
+
 use pgss_cluster::{project, KMeans};
 use pgss_cpu::{MachineConfig, Mode, ModeOps};
 use pgss_stats::weighted_mean;
 use pgss_workloads::Workload;
 
+use crate::ckpt::SimContext;
 use crate::driver::{
     Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track,
 };
@@ -68,7 +71,7 @@ impl SimPointOffline {
         workload: &Workload,
         config: &MachineConfig,
     ) -> (Vec<Vec<f64>>, ModeOps) {
-        let (rows, ops, _) = self.collect_bbvs_traced(workload, config);
+        let (rows, ops, _) = self.collect_bbvs_traced(workload, config, &SimContext::none());
         (rows, ops)
     }
 
@@ -76,9 +79,13 @@ impl SimPointOffline {
         &self,
         workload: &Workload,
         config: &MachineConfig,
+        ctx: &SimContext,
     ) -> (Vec<Vec<f64>>, ModeOps, RunTrace) {
         assert!(self.interval_ops > 0, "interval_ops must be positive");
         let mut driver = SimDriver::new(workload, config, Track::Full);
+        if let Some(ladder) = &ctx.ladder {
+            driver.attach_ladder(Arc::clone(ladder));
+        }
         let mut policy = ProfilePolicy {
             interval_ops: self.interval_ops,
             rows: Vec::new(),
@@ -175,7 +182,20 @@ impl Technique for SimPointOffline {
     }
 
     fn run_traced(&self, workload: &Workload, config: &MachineConfig) -> (Estimate, RunTrace) {
-        let (rows, profile_ops, mut trace) = self.collect_bbvs_traced(workload, config);
+        self.run_traced_ctx(workload, config, &SimContext::none())
+    }
+
+    fn tracks(&self) -> Vec<Track> {
+        vec![Track::Full, Track::None]
+    }
+
+    fn run_traced_ctx(
+        &self,
+        workload: &Workload,
+        config: &MachineConfig,
+        ctx: &SimContext,
+    ) -> (Estimate, RunTrace) {
+        let (rows, profile_ops, mut trace) = self.collect_bbvs_traced(workload, config, ctx);
         assert!(
             !rows.is_empty(),
             "workload shorter than one SimPoint interval"
@@ -189,6 +209,9 @@ impl Technique for SimPointOffline {
         let mut chosen: Vec<usize> = representatives.iter().flatten().copied().collect();
         chosen.sort_unstable();
         let mut replay = SimDriver::new(workload, config, Track::None);
+        if let Some(ladder) = &ctx.ladder {
+            replay.attach_ladder(Arc::clone(ladder));
+        }
         let mut policy = ReplayPolicy {
             interval_ops: self.interval_ops,
             plan: chosen,

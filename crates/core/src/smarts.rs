@@ -1,10 +1,13 @@
 //! SMARTS: systematic small-sample simulation (Wunderlich et al., ISCA
 //! 2003).
 
+use std::sync::Arc;
+
 use pgss_cpu::{MachineConfig, Mode};
 use pgss_stats::Welford;
 use pgss_workloads::Workload;
 
+use crate::ckpt::SimContext;
 use crate::driver::{
     Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track,
 };
@@ -63,6 +66,7 @@ impl Smarts {
         &self,
         workload: &Workload,
         config: &MachineConfig,
+        ctx: &SimContext,
     ) -> (Vec<f64>, pgss_cpu::ModeOps, RunTrace) {
         assert!(self.unit_ops > 0, "unit_ops must be positive");
         assert!(
@@ -72,6 +76,9 @@ impl Smarts {
             self.unit_ops
         );
         let mut driver = SimDriver::new(workload, config, Track::None);
+        if let Some(ladder) = &ctx.ladder {
+            driver.attach_ladder(Arc::clone(ladder));
+        }
         let mut policy = SmartsPolicy {
             unit_ops: self.unit_ops,
             warm_ops: self.warm_ops,
@@ -141,7 +148,16 @@ impl Technique for Smarts {
     }
 
     fn run_traced(&self, workload: &Workload, config: &MachineConfig) -> (Estimate, RunTrace) {
-        let (cpis, mode_ops, trace) = self.collect_population(workload, config);
+        self.run_traced_ctx(workload, config, &SimContext::none())
+    }
+
+    fn run_traced_ctx(
+        &self,
+        workload: &Workload,
+        config: &MachineConfig,
+        ctx: &SimContext,
+    ) -> (Estimate, RunTrace) {
+        let (cpis, mode_ops, trace) = self.collect_population(workload, config, ctx);
         assert!(
             !cpis.is_empty(),
             "workload too short for even one SMARTS sample"

@@ -2,19 +2,31 @@
 //! Gaussian confidence bound claims convergence (Wenisch et al., ISPASS
 //! 2006).
 
-use pgss_cpu::{MachineConfig, ModeOps};
+use std::sync::Arc;
+
+use pgss_cpu::{MachineConfig, Mode, ModeOps};
 use pgss_stats::{ConfidenceInterval, DetRng, Welford, Z_997};
 use pgss_workloads::Workload;
 
-use crate::driver::RunTrace;
+use crate::ckpt::SimContext;
+use crate::driver::{RunTrace, Segment, SimDriver, Track};
 use crate::estimate::{Estimate, Technique};
 use crate::smarts::Smarts;
 
-/// TurboSMARTS: the SMARTS sample *population* is captured once into a
-/// checkpoint ("live-point") library; at estimation time, samples are
-/// simulated in random order until a `z·s/√n` confidence interval is within
-/// `target_rel` of the mean CPI. Only consumed samples are charged as
-/// detailed simulation — the paper's accounting.
+/// TurboSMARTS: the SMARTS sample *population* is materialised as live
+/// checkpoints — a [`crate::driver::DriverSnapshot`] of the functionally
+/// warmed machine at each sample's start — and samples are simulated from
+/// restored checkpoints, in random order, until a `z·s/√n` confidence
+/// interval is within `target_rel` of the mean CPI. Only consumed samples
+/// are charged as detailed simulation — the paper's accounting, with the
+/// checkpoint-library creation treated as amortised offline work.
+///
+/// Unlike an eager implementation that simulates the whole population
+/// up front, checkpoints are captured lazily in doubling batches of the
+/// random consumption order, so a run that converges after `k` samples
+/// simulates `O(k)` samples in detail rather than all of them. Restores
+/// are bit-exact, so the estimate is identical to one computed from
+/// inline SMARTS samples.
 ///
 /// The stopping rule assumes the sample population is Gaussian. Programs
 /// with phases have *polymodal* populations, so the claimed bound is
@@ -79,24 +91,98 @@ impl Technique for TurboSmarts {
     }
 
     fn run_traced(&self, workload: &Workload, config: &MachineConfig) -> (Estimate, RunTrace) {
-        let (population, _, mut trace) = self.smarts.collect_population(workload, config);
+        self.run_traced_ctx(workload, config, &SimContext::none())
+    }
+
+    fn run_traced_ctx(
+        &self,
+        workload: &Workload,
+        config: &MachineConfig,
+        ctx: &SimContext,
+    ) -> (Estimate, RunTrace) {
+        let s = self.smarts;
+        assert!(s.unit_ops > 0, "unit_ops must be positive");
         assert!(
-            !population.is_empty(),
-            "workload too short for even one sample"
+            s.period_ops > s.unit_ops + s.warm_ops,
+            "period must exceed warm + unit ({} + {})",
+            s.warm_ops,
+            s.unit_ops
         );
-        let mut order: Vec<usize> = (0..population.len()).collect();
+        let attach = |d: &mut SimDriver| {
+            if let Some(ladder) = &ctx.ladder {
+                d.attach_ladder(Arc::clone(ladder));
+            }
+        };
+
+        // One functional pass determines the program length, and with it
+        // the sample population: sample i starts (warming) at i·period
+        // and is in the population iff its measured unit fits before the
+        // halt. With a campaign ladder attached this pass is almost
+        // entirely jumped.
+        let mut length_pass = SimDriver::new(workload, config, Track::None);
+        attach(&mut length_pass);
+        length_pass.execute(Segment::new(Mode::Functional, u64::MAX));
+        let total = length_pass.retired();
+        let mut trace = *length_pass.trace();
+        let span = s.warm_ops + s.unit_ops;
+        let population = if total >= span {
+            (total - span) / s.period_ops + 1
+        } else {
+            0
+        };
+        assert!(population > 0, "workload too short for even one sample");
+
+        let mut order: Vec<usize> = (0..population as usize).collect();
         DetRng::seed_from_u64(self.seed).shuffle(&mut order);
 
+        // Consume the shuffled order in doubling batches. Each batch is
+        // captured in ascending program order — one functional walk
+        // snapshotting at each sample start, each checkpoint replayed
+        // (restore → warm → measure) immediately so only one snapshot is
+        // ever in flight — then its CPIs are fed to the estimator in the
+        // shuffled order, stopping as soon as the bound closes.
+        let mut cpis: Vec<Option<f64>> = vec![None; population as usize];
         let mut w = Welford::new();
         let mut consumed = 0u64;
-        for &i in &order {
-            w.push(population[i]);
-            consumed += 1;
-            if consumed >= self.min_samples
-                && ConfidenceInterval::from_welford(&w, self.z).meets_relative(self.target_rel)
-            {
-                break;
+        let mut issued = 0usize;
+        'rounds: while issued < order.len() {
+            let want = if issued == 0 {
+                (self.min_samples.max(1) as usize).min(order.len())
+            } else {
+                issued.min(order.len() - issued)
+            };
+            let round = &order[issued..issued + want];
+            let mut positions: Vec<usize> = round.to_vec();
+            positions.sort_unstable();
+            let mut capture = SimDriver::new(workload, config, Track::None);
+            attach(&mut capture);
+            for &i in &positions {
+                let pos = i as u64 * s.period_ops;
+                if pos > capture.retired() {
+                    capture.execute(Segment::new(Mode::Functional, pos - capture.retired()));
+                }
+                debug_assert_eq!(capture.retired(), pos);
+                let checkpoint = capture.snapshot();
+                let mut replay =
+                    SimDriver::from_snapshot(workload, config, Track::None, &checkpoint);
+                attach(&mut replay);
+                replay.execute(Segment::new(Mode::DetailedWarming, s.warm_ops));
+                let measured = replay.execute(Segment::new(Mode::DetailedMeasured, s.unit_ops));
+                assert!(measured.complete(), "population samples fit before halt");
+                cpis[i] = Some(measured.cpi());
+                trace.merge(replay.trace());
             }
+            trace.merge(capture.trace());
+            for &i in round {
+                w.push(cpis[i].expect("computed this round"));
+                consumed += 1;
+                if consumed >= self.min_samples
+                    && ConfidenceInterval::from_welford(&w, self.z).meets_relative(self.target_rel)
+                {
+                    break 'rounds;
+                }
+            }
+            issued += want;
         }
 
         // Cost accounting: each consumed live-point costs its warming +
@@ -105,15 +191,15 @@ impl Technique for TurboSmarts {
         // functional column is reported as zero because checkpoint loading
         // replaces fast-forwarding.
         let mode_ops = ModeOps {
-            detailed_warming: consumed * self.smarts.warm_ops,
-            detailed_measured: consumed * self.smarts.unit_ops,
+            detailed_warming: consumed * s.warm_ops,
+            detailed_measured: consumed * s.unit_ops,
             ..Default::default()
         };
-        // The trace mirrors the accounting: of the collected population,
-        // `consumed` samples were actually charged; the rest were skipped
-        // because the confidence bound closed first.
+        // The trace mirrors the accounting: of the population, `consumed`
+        // samples were actually charged; the rest were skipped because
+        // the confidence bound closed first.
         trace.samples_taken = consumed;
-        trace.skipped_ci_met = population.len() as u64 - consumed;
+        trace.skipped_ci_met = population - consumed;
         (
             Estimate {
                 ipc: 1.0 / w.mean(),
@@ -201,5 +287,35 @@ mod tests {
         // Same population, different order: sample counts usually differ on
         // a phased workload; at minimum the estimates must both be finite.
         assert!(a.ipc.is_finite() && b.ipc.is_finite());
+    }
+
+    #[test]
+    fn matches_inline_smarts_population_mean_when_consuming_everything() {
+        // Force full consumption with an unreachable confidence target:
+        // the checkpoint-replayed population mean must equal the mean of
+        // the same samples taken inline by SMARTS — the bit-exact restore
+        // guarantee, observed end to end.
+        let w = pgss_workloads::gzip(0.01);
+        let smarts = Smarts {
+            period_ops: 100_000,
+            ..Smarts::default()
+        };
+        let (inline_cpis, _, _) =
+            smarts.collect_population(&w, &MachineConfig::default(), &SimContext::none());
+        let turbo = TurboSmarts {
+            smarts,
+            target_rel: 0.0,
+            ..TurboSmarts::new()
+        }
+        .run(&w);
+        assert_eq!(turbo.samples, inline_cpis.len() as u64);
+        let mean: f64 = inline_cpis.iter().sum::<f64>() / inline_cpis.len() as f64;
+        let wf: Welford = {
+            let mut order: Vec<usize> = (0..inline_cpis.len()).collect();
+            DetRng::seed_from_u64(TurboSmarts::new().seed).shuffle(&mut order);
+            order.iter().map(|&i| inline_cpis[i]).collect()
+        };
+        assert_eq!(turbo.ipc.to_bits(), (1.0 / wf.mean()).to_bits());
+        assert!((1.0 / turbo.ipc - mean).abs() < 1e-12);
     }
 }

@@ -100,6 +100,49 @@ impl BranchPredictor {
         self.predictions = 0;
         self.mispredictions = 0;
     }
+
+    /// Captures the mutable state (counter table, global history,
+    /// statistics) for a checkpoint.
+    pub fn save_state(&self) -> BranchPredictorState {
+        BranchPredictorState {
+            counters: self.counters.clone(),
+            history: self.history,
+            predictions: self.predictions,
+            mispredictions: self.mispredictions,
+        }
+    }
+
+    /// Restores state captured by [`BranchPredictor::save_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was captured from a predictor with a different
+    /// table size.
+    pub fn load_state(&mut self, state: &BranchPredictorState) {
+        assert_eq!(
+            state.counters.len(),
+            self.counters.len(),
+            "branch-predictor state shape mismatch"
+        );
+        self.counters.clone_from(&state.counters);
+        self.history = state.history;
+        self.predictions = state.predictions;
+        self.mispredictions = state.mispredictions;
+    }
+}
+
+/// The mutable state of a [`BranchPredictor`], as captured by
+/// [`BranchPredictor::save_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchPredictorState {
+    /// Two-bit saturating counter table.
+    pub counters: Vec<u8>,
+    /// Global branch history register.
+    pub history: u64,
+    /// Lifetime prediction count.
+    pub predictions: u64,
+    /// Lifetime misprediction count.
+    pub mispredictions: u64,
 }
 
 /// A branch target buffer predicting the targets of indirect jumps
@@ -142,6 +185,35 @@ impl Btb {
     pub fn reset(&mut self) {
         self.targets.fill(u32::MAX);
     }
+
+    /// Captures the target table for a checkpoint.
+    pub fn save_state(&self) -> BtbState {
+        BtbState {
+            targets: self.targets.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Btb::save_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was captured from a BTB with a different entry
+    /// count.
+    pub fn load_state(&mut self, state: &BtbState) {
+        assert_eq!(
+            state.targets.len(),
+            self.targets.len(),
+            "BTB state shape mismatch"
+        );
+        self.targets.clone_from(&state.targets);
+    }
+}
+
+/// The mutable state of a [`Btb`], as captured by [`Btb::save_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BtbState {
+    /// Last observed target per entry; `u32::MAX` = invalid.
+    pub targets: Vec<u32>,
 }
 
 #[cfg(test)]

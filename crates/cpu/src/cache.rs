@@ -125,6 +125,55 @@ impl Cache {
         self.hits = 0;
         self.misses = 0;
     }
+
+    /// Captures the mutable state (tag arrays in LRU order plus
+    /// statistics) for a checkpoint.
+    pub fn save_state(&self) -> CacheState {
+        CacheState {
+            ways: self.ways.clone(),
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    /// Restores state captured by [`Cache::save_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was captured from a cache with different
+    /// geometry.
+    pub fn load_state(&mut self, state: &CacheState) {
+        assert_eq!(
+            state.ways.len(),
+            self.ways.len(),
+            "cache state shape mismatch"
+        );
+        self.ways.clone_from(&state.ways);
+        self.hits = state.hits;
+        self.misses = state.misses;
+    }
+}
+
+/// The mutable state of a [`Cache`], as captured by [`Cache::save_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheState {
+    /// Tag arrays, MRU-first per set; `u64::MAX` marks an invalid way.
+    pub ways: Vec<u64>,
+    /// Lifetime hit count.
+    pub hits: u64,
+    /// Lifetime miss count.
+    pub misses: u64,
+}
+
+/// The mutable state of a [`MemSystem`]: one [`CacheState`] per level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemSystemState {
+    /// Instruction L1 state.
+    pub l1i: CacheState,
+    /// Data L1 state.
+    pub l1d: CacheState,
+    /// Unified L2 state.
+    pub l2: CacheState,
 }
 
 /// The paper's two-level memory system: split L1 (instruction + data) over a
@@ -224,6 +273,27 @@ impl MemSystem {
     /// The unified L2.
     pub fn l2(&self) -> &Cache {
         &self.l2
+    }
+
+    /// Captures the warm state of all three caches.
+    pub fn save_state(&self) -> MemSystemState {
+        MemSystemState {
+            l1i: self.l1i.save_state(),
+            l1d: self.l1d.save_state(),
+            l2: self.l2.save_state(),
+        }
+    }
+
+    /// Restores state captured by [`MemSystem::save_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level's geometry differs from when the state was
+    /// captured.
+    pub fn load_state(&mut self, state: &MemSystemState) {
+        self.l1i.load_state(&state.l1i);
+        self.l1d.load_state(&state.l1d);
+        self.l2.load_state(&state.l2);
     }
 }
 

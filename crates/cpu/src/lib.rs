@@ -65,8 +65,8 @@ mod config;
 mod machine;
 mod sink;
 
-pub use bpred::{BranchPredictor, Btb};
-pub use cache::{Cache, MemSystem};
+pub use bpred::{BranchPredictor, BranchPredictorState, Btb, BtbState};
+pub use cache::{Cache, CacheState, MemSystem, MemSystemState};
 pub use config::{BranchPredictorConfig, CacheConfig, LatencyConfig, MachineConfig};
-pub use machine::{Machine, Mode, ModeOps, RunResult};
+pub use machine::{Machine, MachineSnapshot, Mode, ModeOps, RunResult};
 pub use sink::{NoopSink, RetireSink};

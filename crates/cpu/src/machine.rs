@@ -5,8 +5,8 @@ use std::fmt;
 
 use pgss_isa::{Instr, Program};
 
-use crate::bpred::{BranchPredictor, Btb};
-use crate::cache::MemSystem;
+use crate::bpred::{BranchPredictor, BranchPredictorState, Btb, BtbState};
+use crate::cache::{MemSystem, MemSystemState};
 use crate::config::MachineConfig;
 use crate::sink::{NoopSink, RetireSink};
 
@@ -106,6 +106,71 @@ impl RunResult {
         } else {
             self.ops as f64 / self.cycles as f64
         }
+    }
+}
+
+/// Everything needed to resume a machine exactly where it left off:
+/// full architectural state (PC, register files, memory image, retired
+/// counters) plus the warm long-lifetime microarchitectural state
+/// (cache tag arrays, branch-predictor tables).
+///
+/// Short-lifetime pipeline state (scoreboard, fetch stalls, MSHRs) is
+/// deliberately *not* captured: it is only defined mid-detailed-run,
+/// and [`Machine::restore`] leaves the machine in the same
+/// "timing-stale" condition a functional run does, so the next detailed
+/// run re-establishes it via detailed warming — exactly the paper's
+/// checkpoint model. Restore-then-run is therefore bit-exact with an
+/// uninterrupted run for any schedule whose checkpoints fall between
+/// detailed regions.
+///
+/// Snapshots only make sense for the same program and
+/// [`MachineConfig`] they were captured from; [`Machine::restore`]
+/// asserts the shapes match, and the checkpoint store keys records by
+/// workload identity and config so mismatches are never looked up.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    /// Program counter.
+    pub pc: u32,
+    /// Integer register file.
+    pub regs: [i64; 32],
+    /// Floating-point register file.
+    pub fregs: [f64; 32],
+    /// Data memory image.
+    pub mem: Vec<i64>,
+    /// Whether the program has halted.
+    pub halted: bool,
+    /// Per-mode retired-instruction counters.
+    pub mode_ops: ModeOps,
+    /// Retired ops since the last taken control transfer (in-flight
+    /// BBV accumulation carry).
+    pub ops_since_taken: u64,
+    /// Cache hierarchy state.
+    pub memsys: MemSystemState,
+    /// Direction-predictor state.
+    pub bpred: BranchPredictorState,
+    /// Branch-target-buffer state.
+    pub btb: BtbState,
+}
+
+impl PartialEq for MachineSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        // Float registers compare by bit pattern so a snapshot holding a
+        // NaN still equals itself (IEEE `==` would make it unequal).
+        let fregs_eq = self
+            .fregs
+            .iter()
+            .zip(other.fregs.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        self.pc == other.pc
+            && self.regs == other.regs
+            && fregs_eq
+            && self.mem == other.mem
+            && self.halted == other.halted
+            && self.mode_ops == other.mode_ops
+            && self.ops_since_taken == other.ops_since_taken
+            && self.memsys == other.memsys
+            && self.bpred == other.bpred
+            && self.btb == other.btb
     }
 }
 
@@ -263,6 +328,63 @@ impl Machine {
     /// The direction predictor (for misprediction-rate inspection).
     pub fn bpred(&self) -> &BranchPredictor {
         &self.bpred
+    }
+
+    /// Captures a [`MachineSnapshot`] of the current architectural and
+    /// warm microarchitectural state.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            pc: self.pc,
+            regs: self.regs,
+            fregs: self.fregs,
+            mem: self.mem.clone(),
+            halted: self.halted,
+            mode_ops: self.mode_ops,
+            ops_since_taken: self.ops_since_taken,
+            memsys: self.memsys.save_state(),
+            bpred: self.bpred.save_state(),
+            btb: self.btb.save_state(),
+        }
+    }
+
+    /// Restores state captured by [`Machine::snapshot`], leaving the
+    /// timing model stale (as after a functional run) so the next
+    /// detailed run re-warms pipeline state; subsequent execution is
+    /// bit-exact with the machine the snapshot was taken from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's memory image or any
+    /// cache/predictor-table shape does not match this machine's
+    /// configuration.
+    pub fn restore(&mut self, snapshot: &MachineSnapshot) {
+        assert_eq!(
+            snapshot.mem.len(),
+            self.mem.len(),
+            "snapshot memory image does not match this machine's configuration"
+        );
+        self.pc = snapshot.pc;
+        self.regs = snapshot.regs;
+        self.fregs = snapshot.fregs;
+        self.mem.clone_from(&snapshot.mem);
+        self.halted = snapshot.halted;
+        self.mode_ops = snapshot.mode_ops;
+        self.ops_since_taken = snapshot.ops_since_taken;
+        self.memsys.load_state(&snapshot.memsys);
+        self.bpred.load_state(&snapshot.bpred);
+        self.btb.load_state(&snapshot.btb);
+        self.timing_valid = false;
+    }
+
+    /// Overrides the per-mode retired counters.
+    ///
+    /// Restoring a snapshot adopts the *capture pass's* counters; a
+    /// driver that jumps over a stretch of execution via checkpoint
+    /// restore uses this to re-charge the skipped instructions to the
+    /// mode its own schedule would have executed them in, keeping cost
+    /// accounting identical to an unaccelerated run.
+    pub fn set_mode_ops(&mut self, mode_ops: ModeOps) {
+        self.mode_ops = mode_ops;
     }
 
     /// Runs up to `max_ops` instructions in `mode` with no event sink.
@@ -913,6 +1035,99 @@ mod tests {
             (r.ops, r.cycles)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_exactly() {
+        // Run A straight through; run B to a mid-point, snapshot, restore
+        // onto a *fresh* machine, and finish. Every observable — final
+        // snapshot included — must match, across mode schedules.
+        let p = dependent_alu_program(64, 300);
+        let schedules: [&[(Mode, u64)]; 3] = [
+            &[(Mode::Functional, u64::MAX)],
+            &[
+                (Mode::Functional, 5_000),
+                (Mode::DetailedWarming, 1_000),
+                (Mode::DetailedMeasured, 1_000),
+                (Mode::Functional, u64::MAX),
+            ],
+            &[
+                (Mode::FastForward, 2_345),
+                (Mode::Functional, 4_321),
+                (Mode::DetailedMeasured, 2_000),
+                (Mode::Functional, u64::MAX),
+            ],
+        ];
+        for schedule in schedules {
+            let mut uninterrupted = Machine::new(small_config(), &p);
+            let mut results_a = Vec::new();
+            for &(mode, ops) in schedule {
+                results_a.push(uninterrupted.run(mode, ops));
+            }
+
+            // Interrupted twin: snapshot after the first segment, restore
+            // onto a fresh machine, run the rest there.
+            let mut first = Machine::new(small_config(), &p);
+            let mut results_b = vec![first.run(schedule[0].0, schedule[0].1)];
+            let snap = first.snapshot();
+            drop(first);
+            let mut resumed = Machine::new(small_config(), &p);
+            resumed.restore(&snap);
+            for &(mode, ops) in &schedule[1..] {
+                results_b.push(resumed.run(mode, ops));
+            }
+            assert_eq!(results_a, results_b, "RunResults diverged");
+            assert_eq!(
+                uninterrupted.snapshot(),
+                resumed.snapshot(),
+                "final state diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_preserves_warm_state_and_counters() {
+        let p = independent_alu_program(32, 500);
+        let mut m = Machine::new(small_config(), &p);
+        m.run(Mode::Functional, 4_000);
+        let snap = m.snapshot();
+        assert_eq!(snap.mode_ops.functional, 4_000);
+        assert_eq!(snap.memsys.l1i.misses, m.memsys().l1i().misses());
+        assert_eq!(snap.bpred.predictions, m.bpred().predictions());
+        // Clobber and restore.
+        m.run(Mode::DetailedMeasured, 2_000);
+        m.restore(&snap);
+        assert_eq!(m.retired(), 4_000);
+        assert_eq!(m.memsys().l1i().misses(), snap.memsys.l1i.misses);
+        assert_eq!(m.bpred().predictions(), snap.bpred.predictions);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn restoring_mismatched_snapshot_panics() {
+        let p = dependent_alu_program(4, 4);
+        let m = Machine::new(small_config(), &p);
+        let snap = m.snapshot();
+        let mut other = Machine::new(
+            MachineConfig {
+                memory_words: 1 << 10,
+                ..MachineConfig::default()
+            },
+            &p,
+        );
+        other.restore(&snap);
+    }
+
+    #[test]
+    fn set_mode_ops_recharges_counters() {
+        let p = dependent_alu_program(4, 40);
+        let mut m = Machine::new(small_config(), &p);
+        m.run(Mode::Functional, 100);
+        let mut ops = m.mode_ops();
+        ops.functional += 900;
+        m.set_mode_ops(ops);
+        assert_eq!(m.mode_ops().functional, 1_000);
+        assert_eq!(m.retired(), 1_000);
     }
 
     #[test]

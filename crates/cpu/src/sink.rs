@@ -62,6 +62,26 @@ impl<A: RetireSink, B: RetireSink> RetireSink for (A, B) {
     }
 }
 
+/// A vector of sinks fans every event out to each element, for callers
+/// that need a *dynamic* number of trackers on one run — e.g. a
+/// checkpoint capture pass accumulating hashed BBVs for several seeds
+/// at once.
+impl<S: RetireSink> RetireSink for Vec<S> {
+    #[inline]
+    fn retire(&mut self, pc: u32) {
+        for s in self.iter_mut() {
+            s.retire(pc);
+        }
+    }
+
+    #[inline]
+    fn taken_branch(&mut self, pc: u32, ops_since_last: u64) {
+        for s in self.iter_mut() {
+            s.taken_branch(pc, ops_since_last);
+        }
+    }
+}
+
 /// An absent sink is a no-op, so "maybe track BBVs" is `Option<Tracker>`
 /// rather than a second run path; after monomorphization the `None` branch
 /// is a predictable no-op.
@@ -137,6 +157,19 @@ mod tests {
         nested.taken_branch(9, 4);
         assert_eq!(nested.0.takens, vec![(9, 4)]);
         assert_eq!(nested.1 .0.takens, vec![(9, 4)]);
+    }
+
+    #[test]
+    fn vec_sinks_deliver_to_every_element() {
+        let mut v = vec![Counting::default(), Counting::default()];
+        v.retire(3);
+        v.taken_branch(4, 2);
+        for c in &v {
+            assert_eq!(c.retired, 1);
+            assert_eq!(c.takens, vec![(4, 2)]);
+        }
+        let mut empty: Vec<Counting> = Vec::new();
+        empty.retire(1); // harmless
     }
 
     #[test]

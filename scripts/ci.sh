@@ -16,4 +16,13 @@ cargo build --release
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "== cargo test -p pgss-ckpt -q (checkpoint codec + store, incl. corruption injection)"
+cargo test -p pgss-ckpt -q
+
+echo "== cargo test --test checkpoints -q (snapshot round-trip + bit-exact acceleration)"
+cargo test --release --test checkpoints -q
+
+echo "== cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "CI gate passed."

@@ -1,0 +1,185 @@
+//! Checkpoint subsystem integration: acceleration must be invisible.
+//!
+//! Every technique consuming a checkpoint ladder must produce the *same
+//! bits* — estimate and trace — as its unaccelerated run, while executing
+//! strictly fewer instructions; the on-disk store must round-trip a
+//! campaign and shrug off injected corruption; and the serialized
+//! snapshot format is pinned so accidental layout changes are caught.
+
+use std::sync::Arc;
+
+use pgss::ckpt::{encode_machine_snapshot, CheckpointKey};
+use pgss::{
+    campaign, AdaptivePgss, CheckpointLadder, LadderSpec, OnlineSimPoint, PgssSim, SimContext,
+    SimPointOffline, Smarts, Technique, Track, TurboSmarts, SNAPSHOT_FORMAT_VERSION,
+};
+use pgss_ckpt::{fnv1a64, Store, STORE_FORMAT_VERSION};
+use pgss_cpu::MachineConfig;
+use pgss_workloads::Workload;
+
+fn workload() -> Workload {
+    pgss_workloads::wupwise(0.02)
+}
+
+fn techniques() -> Vec<Box<dyn Technique + Sync>> {
+    let smarts = Smarts {
+        period_ops: 100_000,
+        ..Smarts::default()
+    };
+    vec![
+        Box::new(smarts),
+        Box::new(TurboSmarts {
+            smarts,
+            ..TurboSmarts::default()
+        }),
+        Box::new(SimPointOffline {
+            interval_ops: 200_000,
+            k: 5,
+            ..Default::default()
+        }),
+        Box::new(OnlineSimPoint {
+            interval_ops: 200_000,
+            ..OnlineSimPoint::default()
+        }),
+        Box::new(PgssSim {
+            ff_ops: 100_000,
+            spacing_ops: 200_000,
+            ..PgssSim::default()
+        }),
+        Box::new(AdaptivePgss {
+            base: PgssSim {
+                ff_ops: 100_000,
+                spacing_ops: 200_000,
+                ..PgssSim::default()
+            },
+            ..AdaptivePgss::default()
+        }),
+    ]
+}
+
+/// A ladder whose spec is the technique's declared track union — exactly
+/// what the campaign derives.
+fn ladder_for(
+    t: &dyn Technique,
+    w: &Workload,
+    cfg: &MachineConfig,
+    stride: u64,
+) -> Arc<CheckpointLadder> {
+    let mut hashed_seeds: Vec<u64> = Vec::new();
+    let mut with_full = false;
+    for track in t.tracks() {
+        match track {
+            Track::Hashed(s) if !hashed_seeds.contains(&s) => hashed_seeds.push(s),
+            Track::Full => with_full = true,
+            _ => {}
+        }
+    }
+    Arc::new(CheckpointLadder::capture(
+        w,
+        cfg,
+        &LadderSpec {
+            stride,
+            hashed_seeds,
+            with_full,
+        },
+    ))
+}
+
+#[test]
+fn every_technique_is_bit_exact_under_checkpoint_acceleration() {
+    let w = workload();
+    let cfg = MachineConfig::default();
+    for t in techniques() {
+        let plain = t.run_traced(&w, &cfg);
+        let ladder = ladder_for(t.as_ref(), &w, &cfg, 500_000);
+        let ctx = SimContext::with_ladder(Arc::clone(&ladder));
+        let fast = t.run_traced_ctx(&w, &cfg, &ctx);
+        assert_eq!(
+            plain,
+            fast,
+            "{}: checkpoint acceleration changed the result",
+            t.name()
+        );
+        let report = ladder.report();
+        assert!(report.jumps > 0, "{}: never jumped", t.name());
+        assert!(
+            report.skipped_ops > 0,
+            "{}: jumped without skipping work",
+            t.name()
+        );
+    }
+}
+
+#[test]
+fn checkpointed_campaign_round_trips_through_the_store() {
+    let dir = std::env::temp_dir().join(format!("pgss-ckpt-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+
+    let workloads = vec![pgss_workloads::gzip(0.01), pgss_workloads::equake(0.01)];
+    let smarts = Smarts {
+        period_ops: 100_000,
+        ..Smarts::default()
+    };
+    let pgss = PgssSim {
+        ff_ops: 100_000,
+        spacing_ops: 200_000,
+        ..PgssSim::default()
+    };
+    let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &pgss];
+    let jobs = campaign::grid(&workloads, &techs, MachineConfig::default());
+
+    let plain = campaign::run(&jobs);
+    let (first, first_report) = campaign::run_checkpointed(&jobs, 50_000, Some(&store));
+    assert_eq!(plain, first);
+    assert!(first_report.capture_ops > 0, "first run must capture");
+    assert!(first_report.total_executed() < first_report.baseline_ops());
+
+    // Second run: ladders come back from disk, so nothing is recaptured
+    // and the cells are still identical.
+    let (second, second_report) = campaign::run_checkpointed(&jobs, 50_000, Some(&store));
+    assert_eq!(plain, second);
+    assert_eq!(second_report.capture_ops, 0, "second run must load");
+
+    // Injected corruption: truncate every record, then run again. The
+    // store serves nothing, capture kicks in, results are unchanged.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    }
+    let (third, third_report) = campaign::run_checkpointed(&jobs, 50_000, Some(&store));
+    assert_eq!(plain, third);
+    assert!(third_report.capture_ops > 0, "corrupt store must recapture");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_format_is_pinned() {
+    // Bump these constants deliberately when the layout changes; stale
+    // records then read as absent instead of decoding wrongly.
+    assert_eq!(SNAPSHOT_FORMAT_VERSION, 1);
+    assert_eq!(STORE_FORMAT_VERSION, 1);
+
+    // The serialized bytes of a deterministic machine state are pinned:
+    // any accidental encoder change shows up here before it corrupts a
+    // store in the field.
+    let w = pgss_workloads::gzip(0.01);
+    let mut machine = w.machine();
+    let mut sink = pgss_cpu::NoopSink;
+    machine.run_with(pgss_cpu::Mode::Functional, 10_000, &mut sink);
+    let bytes = encode_machine_snapshot(&machine.snapshot());
+    assert_eq!(
+        fnv1a64(&bytes),
+        0x82b2_8722_751c_56ca,
+        "machine snapshot encoding changed; bump SNAPSHOT_FORMAT_VERSION"
+    );
+
+    // Key hashing is stable too (same inputs, same record file).
+    let key = CheckpointKey::new(&w, &MachineConfig::default(), 40_000);
+    assert_eq!(
+        key.hash(),
+        CheckpointKey::new(&w, &MachineConfig::default(), 40_000).hash()
+    );
+}
