@@ -146,7 +146,25 @@ fn main() {
     // prefix is captured once (or restored from the on-disk store) and
     // every cell jumps through it instead of re-executing it.
     let store = pgss_bench::checkpoint_store();
-    let (cells, report) = campaign::run_checkpointed(&jobs, 1_000_000, store.as_ref());
+    let campaign_report = match campaign::run_checkpointed(&jobs, 1_000_000, store.as_ref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fig12 campaign failed to run: {e}");
+            std::process::exit(1);
+        }
+    };
+    for fault in &campaign_report.checkpoint_faults {
+        eprintln!("checkpoint fault healed: {fault}");
+    }
+    let report = campaign_report.ladder;
+    // The figure indexes the grid positionally, so every cell must exist.
+    let cells = match campaign_report.into_cells() {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("fig12 campaign incomplete: {e}");
+            std::process::exit(1);
+        }
+    };
     let cell = |w: usize, t: usize| &cells[w * techs.len() + t];
     eprintln!(
         "checkpointing: {} jumps skipped {} ops; executed {} of {} baseline \

@@ -83,7 +83,25 @@ fn main() {
     // never the *charged* mode ops the figure models, so the modelled
     // times below are still the paper's no-checkpoint times.
     let store = pgss_bench::checkpoint_store();
-    let (cells, report) = campaign::run_checkpointed(&jobs, 1_000_000, store.as_ref());
+    let campaign_report = match campaign::run_checkpointed(&jobs, 1_000_000, store.as_ref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fig13 campaign failed to run: {e}");
+            std::process::exit(1);
+        }
+    };
+    for fault in &campaign_report.checkpoint_faults {
+        eprintln!("checkpoint fault healed: {fault}");
+    }
+    let report = campaign_report.ladder;
+    // The figure indexes the grid positionally, so every cell must exist.
+    let cells = match campaign_report.into_cells() {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("fig13 campaign incomplete: {e}");
+            std::process::exit(1);
+        }
+    };
     eprintln!(
         "checkpointing: executed {:.1}% of baseline ops ({} jumps)",
         report.executed_ratio() * 100.0,

@@ -1,0 +1,58 @@
+//! `ckpt_verify`: offline self-healing pass over the on-disk caches.
+//!
+//! ```text
+//! cargo run --release -p pgss-bench --bin ckpt_verify
+//! ```
+//!
+//! Scans the ground-truth cache (`target/pgss_truth_cache/`) and the
+//! shared checkpoint store (`target/pgss_ckpt_store/`), validating every
+//! record's framing and checksum. Invalid files — torn writes, bit rot,
+//! stale format versions, foreign files, leftover temp files — are moved
+//! (never deleted) into each store's `quarantine/` sidecar, so the next
+//! campaign recomputes them cleanly. Campaigns heal lazily on read
+//! anyway; this tool just does the whole sweep up front and shows what it
+//! found.
+//!
+//! Exit status: 0 when every surviving record is healthy (including when
+//! repairs were made), 1 on I/O failure.
+
+fn main() {
+    let reports = match pgss_bench::verify_caches() {
+        Ok(reports) => reports,
+        Err(e) => {
+            eprintln!("ckpt_verify: cannot scan stores: {e}");
+            std::process::exit(1);
+        }
+    };
+    if reports.is_empty() {
+        println!("no on-disk caches found (nothing has been cached yet)");
+        return;
+    }
+    for (dir, report) in &reports {
+        println!(
+            "{}: {} records checked, {} healthy, {} quarantined",
+            dir.display(),
+            report.checked,
+            report.healthy,
+            report.quarantined.len()
+        );
+        for q in &report.quarantined {
+            match q.key {
+                Some(key) => println!(
+                    "  quarantined record {key:016x}: {} -> {}",
+                    q.fault,
+                    q.path.display()
+                ),
+                None => println!(
+                    "  quarantined foreign file ({}): {}",
+                    q.fault,
+                    q.path.display()
+                ),
+            }
+        }
+    }
+    let repaired: usize = reports.iter().map(|(_, r)| r.quarantined.len()).sum();
+    if repaired > 0 {
+        println!("{repaired} invalid file(s) quarantined; stores are healthy again");
+    }
+}

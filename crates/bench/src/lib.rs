@@ -122,10 +122,21 @@ pub fn suite_deltas(period_ops: u64) -> Vec<(String, Vec<pgss::analysis::Delta>)
 }
 
 fn target_dir() -> PathBuf {
-    // CARGO_TARGET_DIR is not set by default; fall back to ./target.
+    // CARGO_TARGET_DIR is not set by default; fall back to the workspace's
+    // target/. Anchor to the workspace root (two levels above this crate's
+    // manifest) rather than the current directory: cargo runs bench
+    // binaries with cwd = the crate directory but bins with cwd = the
+    // invocation directory, and a cwd-relative path would give them
+    // different caches.
     std::env::var_os("CARGO_TARGET_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("target"))
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .map(|root| root.join("target"))
+                .unwrap_or_else(|| PathBuf::from("target"))
+        })
 }
 
 fn cache_path() -> PathBuf {
@@ -138,6 +149,26 @@ fn cache_path() -> PathBuf {
 /// — campaigns then fall back to in-memory capture.
 pub fn checkpoint_store() -> Option<Store> {
     Store::open(target_dir().join("pgss_ckpt_store")).ok()
+}
+
+/// Health-checks every on-disk cache this crate maintains (the
+/// ground-truth cache and the shared checkpoint store), quarantining any
+/// corrupt, stale, or foreign files into each store's `quarantine/`
+/// sidecar. Returns one `(store directory, report)` pair per store that
+/// exists on disk; stores that were never created are skipped.
+///
+/// Quarantining is the *repair*: invalid records are preserved for
+/// inspection but moved out of the read path, so the next campaign or
+/// bench run recomputes and re-stores them instead of tripping over them.
+pub fn verify_caches() -> std::io::Result<Vec<(PathBuf, pgss_ckpt::VerifyReport)>> {
+    let mut out = Vec::new();
+    for dir in [cache_path(), target_dir().join("pgss_ckpt_store")] {
+        if dir.is_dir() {
+            let report = Store::open(&dir)?.verify_all()?;
+            out.push((dir, report));
+        }
+    }
+    Ok(out)
 }
 
 /// A fixed-width plain-text table printer for figure output.

@@ -1,0 +1,191 @@
+//! Deterministic store-level fault injection (feature `fault-inject`).
+//!
+//! Tests install a [`StoreFaultPlan`] naming which [`crate::Store`]
+//! operations — counted from plan installation, per operation kind — must
+//! misbehave. Injection is *deterministic*: faults are keyed by operation
+//! index, not by time or randomness, so the same plan against the same
+//! call sequence always injects at the same points and test runs are
+//! reproducible bit-for-bit.
+//!
+//! Installation returns a [`StoreFaultGuard`] that clears the plan when
+//! dropped. Guards hold a process-wide lock (see [`serialize`]), so tests
+//! exercising faults are serialized against each other even under the
+//! default parallel test runner; everything here is test infrastructure
+//! and compiles away entirely without the `fault-inject` feature.
+
+use std::io;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Which store operations to sabotage, each keyed by a 0-based operation
+/// index counted (per kind) from plan installation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreFaultPlan {
+    /// [`crate::Store::put`] calls that fail with an I/O error after a
+    /// torn (half-written) temp file — the "disk filled mid-write" case.
+    pub fail_puts: Vec<u64>,
+    /// Record reads that fail with an I/O error despite the file existing.
+    pub fail_gets: Vec<u64>,
+    /// Record reads served with one payload bit flipped (the on-disk file
+    /// is untouched; only the bytes handed to validation are corrupted).
+    pub corrupt_gets: Vec<u64>,
+    /// Record reads served truncated to half their length.
+    pub truncate_gets: Vec<u64>,
+}
+
+impl StoreFaultPlan {
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.fail_puts.is_empty()
+            && self.fail_gets.is_empty()
+            && self.corrupt_gets.is_empty()
+            && self.truncate_gets.is_empty()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Active {
+    plan: StoreFaultPlan,
+    puts: u64,
+    gets: u64,
+    log: Vec<String>,
+}
+
+/// Serializes every fault-injecting test in the process (shared with
+/// `pgss::faults`, which layers cell-level faults on the same lock).
+static SERIAL: Mutex<()> = Mutex::new(());
+static ACTIVE: Mutex<Option<Active>> = Mutex::new(None);
+
+fn active() -> MutexGuard<'static, Option<Active>> {
+    ACTIVE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquires the process-wide fault-test lock without installing a plan.
+/// Higher layers (e.g. `pgss::faults`) hold this while managing their own
+/// plans so store-level and cell-level fault tests can never deadlock or
+/// interleave.
+pub fn serialize() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Installs `plan`, returning a guard that clears it (and releases the
+/// test-serialization lock) on drop.
+pub fn install(plan: StoreFaultPlan) -> StoreFaultGuard {
+    let serial = serialize();
+    set_plan(plan);
+    StoreFaultGuard { _serial: serial }
+}
+
+/// Replaces the active plan, resetting operation counters. Callers other
+/// than [`install`] (e.g. `pgss::faults`, which composes store faults
+/// with cell faults under one guard) must hold [`serialize`] for as long
+/// as the plan is set.
+pub fn set_plan(plan: StoreFaultPlan) {
+    *active() = Some(Active {
+        plan,
+        ..Active::default()
+    });
+}
+
+/// Clears any installed plan (idempotent). Called by guard drops.
+pub fn clear() {
+    *active() = None;
+}
+
+/// What has been injected since the current plan was installed, as
+/// human-readable lines — lets tests assert a fault actually fired.
+pub fn injection_log() -> Vec<String> {
+    active().as_ref().map(|a| a.log.clone()).unwrap_or_default()
+}
+
+/// Clears the plan on drop. See [`install`].
+#[derive(Debug)]
+pub struct StoreFaultGuard {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Drop for StoreFaultGuard {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+/// Hook for [`crate::Store::put`]: `Some(err)` when this put must fail.
+pub(crate) fn on_put() -> Option<io::Error> {
+    let mut slot = active();
+    let a = slot.as_mut()?;
+    let n = a.puts;
+    a.puts += 1;
+    if a.plan.fail_puts.contains(&n) {
+        a.log.push(format!("put #{n}: injected I/O error"));
+        Some(io::Error::other(format!("injected store fault: put #{n}")))
+    } else {
+        None
+    }
+}
+
+/// Hook for record reads: may fail the read outright or mutate the bytes
+/// handed to validation. `bytes` holds the file contents just read.
+pub(crate) fn on_get(bytes: &mut Vec<u8>) -> Result<(), io::Error> {
+    let mut slot = active();
+    let Some(a) = slot.as_mut() else {
+        return Ok(());
+    };
+    let n = a.gets;
+    a.gets += 1;
+    if a.plan.fail_gets.contains(&n) {
+        a.log.push(format!("get #{n}: injected I/O error"));
+        return Err(io::Error::other(format!("injected store fault: get #{n}")));
+    }
+    if a.plan.corrupt_gets.contains(&n) {
+        if let Some(last) = bytes.last_mut() {
+            *last ^= 0x01;
+        }
+        a.log.push(format!("get #{n}: injected payload corruption"));
+    }
+    if a.plan.truncate_gets.contains(&n) {
+        bytes.truncate(bytes.len() / 2);
+        a.log.push(format!("get #{n}: injected truncation"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_counts_operations_per_kind() {
+        let _guard = install(StoreFaultPlan {
+            fail_puts: vec![1],
+            fail_gets: vec![0],
+            corrupt_gets: vec![1],
+            truncate_gets: vec![2],
+        });
+        assert!(on_put().is_none(), "put #0 passes");
+        assert!(on_put().is_some(), "put #1 fails");
+        assert!(on_put().is_none(), "put #2 passes");
+
+        let mut bytes = vec![0u8; 8];
+        assert!(on_get(&mut bytes).is_err(), "get #0 fails");
+        let mut bytes = vec![0u8; 8];
+        assert!(on_get(&mut bytes).is_ok());
+        assert_eq!(bytes[7], 1, "get #1 corrupted");
+        let mut bytes = vec![0u8; 8];
+        assert!(on_get(&mut bytes).is_ok());
+        assert_eq!(bytes.len(), 4, "get #2 truncated");
+        assert_eq!(injection_log().len(), 4);
+    }
+
+    #[test]
+    fn cleared_plan_injects_nothing() {
+        {
+            let _guard = install(StoreFaultPlan {
+                fail_puts: vec![0],
+                ..StoreFaultPlan::default()
+            });
+        }
+        assert!(on_put().is_none(), "dropped guard must clear the plan");
+        assert!(injection_log().is_empty());
+        assert!(StoreFaultPlan::default().is_empty());
+    }
+}

@@ -18,7 +18,9 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+#[cfg(feature = "fault-inject")]
+pub mod faults;
 pub mod store;
 
 pub use codec::{fnv1a64, CodecError, Decoder, Encoder};
-pub use store::{Store, STORE_FORMAT_VERSION};
+pub use store::{Quarantined, RecordError, RecordFault, Store, VerifyReport, STORE_FORMAT_VERSION};

@@ -3,11 +3,16 @@
 //! Each record is one file named by its 64-bit key. Writes build the
 //! full record in memory, write it to a unique temp file in the same
 //! directory, and `rename` it into place — readers therefore only ever
-//! observe complete rename targets, and a crash mid-write leaves at
-//! worst a stale `.tmp` file that is ignored. Reads are *tolerant*: a
-//! missing, torn, corrupt, or version-mismatched record simply reads as
-//! absent (`None`), never as bad state and never as a panic — callers
-//! fall back to recomputing and overwriting.
+//! observe complete rename targets, a failed write removes its temp file,
+//! and a crash mid-write leaves at worst a stale `.tmp` file that is
+//! ignored. Reads are *tolerant*: a missing, torn, corrupt, or
+//! version-mismatched record simply reads as absent (`None`), never as
+//! bad state and never as a panic — callers fall back to recomputing and
+//! overwriting. [`Store::get_checked`] additionally reports *why* a read
+//! failed, so self-healing layers can distinguish a record that never
+//! existed from one that rotted on disk and [`Store::quarantine`] it for
+//! post-mortem inspection instead of silently leaving (or deleting) it.
+//! [`Store::verify_all`] sweeps a whole store the same way.
 //!
 //! Record layout (all integers little-endian):
 //!
@@ -35,7 +40,101 @@ pub const STORE_FORMAT_VERSION: u32 = 1;
 /// Leading magic of every record file.
 pub const MAGIC: &[u8; 8] = b"PGSSCKPT";
 
+/// Name of the sidecar directory (inside the store) that quarantined
+/// files are moved into.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Why a record file failed validation (or, for [`Store::verify_all`],
+/// why a file in the store directory is not a servable record at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordFault {
+    /// Shorter than the fixed header — a torn write or empty file.
+    TooShort,
+    /// Leading magic is not [`MAGIC`].
+    BadMagic,
+    /// Header version differs from [`STORE_FORMAT_VERSION`].
+    BadVersion,
+    /// Header key differs from the key the file is named by.
+    KeyMismatch,
+    /// Header payload length disagrees with the file size.
+    LengthMismatch,
+    /// Payload checksum does not match the header.
+    ChecksumMismatch,
+    /// `verify_all` only: file name is not `{key:016x}.rec`.
+    ForeignFile,
+    /// `verify_all` only: leftover `.tmp` file from an interrupted write.
+    StaleTemp,
+}
+
+impl std::fmt::Display for RecordFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RecordFault::TooShort => "record shorter than its header (torn write)",
+            RecordFault::BadMagic => "bad record magic",
+            RecordFault::BadVersion => "stale record-format version",
+            RecordFault::KeyMismatch => "record key does not match its file name",
+            RecordFault::LengthMismatch => "payload length disagrees with file size",
+            RecordFault::ChecksumMismatch => "payload checksum mismatch",
+            RecordFault::ForeignFile => "file is not named like a record",
+            RecordFault::StaleTemp => "stale temporary file from an interrupted write",
+        })
+    }
+}
+
+/// Why a strict read ([`Store::get_checked`]) returned no payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// No file exists for the key.
+    Missing,
+    /// A file exists but is not a valid record — a candidate for
+    /// [`Store::quarantine`].
+    Invalid(RecordFault),
+    /// The file could not be read at all.
+    Io(io::ErrorKind, String),
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Missing => f.write_str("record missing"),
+            RecordError::Invalid(fault) => write!(f, "invalid record: {fault}"),
+            RecordError::Io(kind, msg) => write!(f, "record read failed ({kind}): {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// One file moved aside by [`Store::verify_all`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// The key parsed from the file name, when it was a record file.
+    pub key: Option<u64>,
+    /// Where the file now lives (inside the quarantine directory).
+    pub path: PathBuf,
+    /// What was wrong with it.
+    pub fault: RecordFault,
+}
+
+/// What a [`Store::verify_all`] sweep found.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Files examined (quarantine sidecar excluded).
+    pub checked: usize,
+    /// Valid records left in place.
+    pub healthy: usize,
+    /// Files moved into the quarantine sidecar, in file-name order.
+    pub quarantined: Vec<Quarantined>,
+}
+
+impl VerifyReport {
+    /// True when nothing had to be quarantined.
+    pub fn is_healthy(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
 
 /// A directory of content-addressed records. Cheap to clone paths from;
 /// safe for concurrent writers (last complete write wins atomically).
@@ -63,7 +162,9 @@ impl Store {
     }
 
     /// Atomically writes `payload` under `key`, replacing any previous
-    /// record.
+    /// record. On failure — whether the temp-file write or the rename —
+    /// the temp file is removed, so a failed `put` leaves neither a torn
+    /// record nor a stray temp file behind.
     pub fn put(&self, key: u64, payload: &[u8]) -> io::Result<()> {
         let mut e = Encoder::new();
         // Header fields are written manually (not length-prefixed) so the
@@ -82,20 +183,41 @@ impl Store {
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
-        fs::write(&tmp, &record)?;
-        let renamed = fs::rename(&tmp, self.path_for(key));
-        if renamed.is_err() {
-            let _ = fs::remove_file(&tmp);
+        let written = write_tmp(&tmp, &record);
+        match written.and_then(|()| fs::rename(&tmp, self.path_for(key))) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
         }
-        renamed
     }
 
     /// Reads the payload stored under `key`. Returns `None` when the
     /// record is missing or fails any validation (magic, version, key,
     /// length, checksum) — corrupt records are never served.
     pub fn get(&self, key: u64) -> Option<Vec<u8>> {
-        let bytes = fs::read(self.path_for(key)).ok()?;
+        self.get_checked(key).ok()
+    }
+
+    /// Like [`Store::get`], but reporting *why* nothing was served:
+    /// [`RecordError::Missing`] for a key that was never written,
+    /// [`RecordError::Invalid`] for a file that exists but fails
+    /// validation (self-healing callers quarantine and recompute those),
+    /// [`RecordError::Io`] for an unreadable file.
+    pub fn get_checked(&self, key: u64) -> Result<Vec<u8>, RecordError> {
+        let path = self.path_for(key);
+        #[allow(unused_mut)] // mutated only under `fault-inject`
+        let mut bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(RecordError::Missing),
+            Err(e) => return Err(RecordError::Io(e.kind(), e.to_string())),
+        };
+        #[cfg(feature = "fault-inject")]
+        crate::faults::on_get(&mut bytes).map_err(|e| RecordError::Io(e.kind(), e.to_string()))?;
         parse_record(&bytes, key)
+            .map(<[u8]>::to_vec)
+            .map_err(RecordError::Invalid)
     }
 
     /// Removes the record under `key` if present.
@@ -105,25 +227,133 @@ impl Store {
             other => other,
         }
     }
+
+    /// The sidecar directory quarantined files are moved into (not
+    /// created until something is quarantined).
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join(QUARANTINE_DIR)
+    }
+
+    /// Moves the file holding `key`'s record — however invalid — into the
+    /// quarantine sidecar, preserving its name for post-mortem inspection.
+    /// Returns the destination, or `Ok(None)` when no file exists. A
+    /// later [`Store::put`] under the same key then re-creates a healthy
+    /// record in the main directory.
+    pub fn quarantine(&self, key: u64) -> io::Result<Option<PathBuf>> {
+        let src = self.path_for(key);
+        if !src.exists() {
+            return Ok(None);
+        }
+        let dst = self.quarantine_dir().join(format!("{key:016x}.rec"));
+        fs::create_dir_all(self.quarantine_dir())?;
+        fs::rename(&src, &dst)?;
+        Ok(Some(dst))
+    }
+
+    /// Scans every file in the store directory (quarantine sidecar
+    /// excluded), validating each record against the key its name claims,
+    /// and moves everything unservable — corrupt, torn, stale-version,
+    /// key-mismatched, or foreign files, plus leftover `.tmp` files —
+    /// into the quarantine sidecar. Valid records are untouched. Files
+    /// are visited in name order, so the report is deterministic.
+    ///
+    /// Intended as a maintenance sweep while no writers are active: a
+    /// concurrent `put`'s in-flight temp file would be indistinguishable
+    /// from a stale one.
+    pub fn verify_all(&self) -> io::Result<VerifyReport> {
+        let mut names: Vec<std::ffi::OsString> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                continue; // the quarantine sidecar (or anything foreign)
+            }
+            names.push(entry.file_name());
+        }
+        names.sort();
+        let mut report = VerifyReport::default();
+        for name in names {
+            report.checked += 1;
+            let path = self.dir.join(&name);
+            let (key, fault) = match record_key_of(&name) {
+                Some(key) => match fs::read(&path) {
+                    Ok(bytes) => match parse_record(&bytes, key) {
+                        Ok(_) => {
+                            report.healthy += 1;
+                            continue;
+                        }
+                        Err(fault) => (Some(key), fault),
+                    },
+                    // Unreadable on a healthy filesystem means torn badly
+                    // enough that metadata survives but data does not.
+                    Err(_) => (Some(key), RecordFault::TooShort),
+                },
+                None if name.to_string_lossy().ends_with(".tmp") => (None, RecordFault::StaleTemp),
+                None => (None, RecordFault::ForeignFile),
+            };
+            fs::create_dir_all(self.quarantine_dir())?;
+            let dst = self.quarantine_dir().join(&name);
+            fs::rename(&path, &dst)?;
+            report.quarantined.push(Quarantined {
+                key,
+                path: dst,
+                fault,
+            });
+        }
+        Ok(report)
+    }
 }
 
-fn parse_record(bytes: &[u8], key: u64) -> Option<Vec<u8>> {
-    if bytes.len() < 36 || &bytes[..8] != MAGIC {
+/// Writes the temp file, with the `fault-inject` failure point: an
+/// injected put failure simulates a disk filling mid-write by leaving a
+/// torn temp file and returning an error (the caller's cleanup path must
+/// remove it).
+fn write_tmp(tmp: &Path, record: &[u8]) -> io::Result<()> {
+    #[cfg(feature = "fault-inject")]
+    if let Some(err) = crate::faults::on_put() {
+        let _ = fs::write(tmp, &record[..record.len() / 2]);
+        return Err(err);
+    }
+    fs::write(tmp, record)
+}
+
+/// Parses `{key:016x}.rec` file names back to their key.
+fn record_key_of(name: &std::ffi::OsStr) -> Option<u64> {
+    let name = name.to_str()?;
+    let hex = name.strip_suffix(".rec")?;
+    if hex.len() != 16 {
         return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+fn parse_record(bytes: &[u8], key: u64) -> Result<&[u8], RecordFault> {
+    if bytes.len() < 36 {
+        return Err(RecordFault::TooShort);
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(RecordFault::BadMagic);
     }
     let mut d = Decoder::new(&bytes[8..]);
-    let version = d.get_u32().ok()?;
-    let rec_key = d.get_u64().ok()?;
-    let len = d.get_u64().ok()?;
-    let check = d.get_u64().ok()?;
-    if version != STORE_FORMAT_VERSION || rec_key != key {
-        return None;
+    let header = (|| {
+        Ok::<_, crate::codec::CodecError>((d.get_u32()?, d.get_u64()?, d.get_u64()?, d.get_u64()?))
+    })();
+    let Ok((version, rec_key, len, check)) = header else {
+        return Err(RecordFault::TooShort);
+    };
+    if version != STORE_FORMAT_VERSION {
+        return Err(RecordFault::BadVersion);
+    }
+    if rec_key != key {
+        return Err(RecordFault::KeyMismatch);
     }
     let payload = &bytes[36..];
-    if payload.len() as u64 != len || fnv1a64(payload) != check {
-        return None;
+    if payload.len() as u64 != len {
+        return Err(RecordFault::LengthMismatch);
     }
-    Some(payload.to_vec())
+    if fnv1a64(payload) != check {
+        return Err(RecordFault::ChecksumMismatch);
+    }
+    Ok(payload)
 }
 
 #[cfg(test)]
@@ -217,6 +447,166 @@ mod tests {
 
         fs::write(&path, &good).unwrap();
         assert!(s.get(5).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn get_checked_distinguishes_missing_invalid_and_healthy() {
+        let dir = scratch("checked");
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.get_checked(4), Err(RecordError::Missing));
+        s.put(4, b"payload").unwrap();
+        assert_eq!(s.get_checked(4).as_deref(), Ok(&b"payload"[..]));
+        let path = s.path_for(4);
+        let mut bytes = fs::read(&path).unwrap();
+        *bytes.last_mut().unwrap() ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            s.get_checked(4),
+            Err(RecordError::Invalid(RecordFault::ChecksumMismatch))
+        );
+        fs::write(&path, &bytes[..10]).unwrap();
+        assert_eq!(
+            s.get_checked(4),
+            Err(RecordError::Invalid(RecordFault::TooShort))
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_moves_the_bad_file_aside_and_heals_on_next_put() {
+        let dir = scratch("quarantine");
+        let s = Store::open(&dir).unwrap();
+        assert_eq!(s.quarantine(8).unwrap(), None, "nothing to quarantine");
+        s.put(8, b"rotting payload").unwrap();
+        fs::write(s.path_for(8), b"garbage").unwrap();
+        let dst = s.quarantine(8).unwrap().expect("file moved");
+        assert!(dst.starts_with(s.quarantine_dir()));
+        assert_eq!(fs::read(&dst).unwrap(), b"garbage", "evidence preserved");
+        assert_eq!(s.get_checked(8), Err(RecordError::Missing));
+        // The key is usable again: a fresh put re-creates a healthy record.
+        s.put(8, b"healed").unwrap();
+        assert_eq!(s.get(8).as_deref(), Some(&b"healed"[..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_all_quarantines_every_fault_class_and_keeps_healthy_records() {
+        let dir = scratch("verify");
+        let s = Store::open(&dir).unwrap();
+        s.put(1, b"healthy one").unwrap();
+        s.put(2, b"healthy two").unwrap();
+        // Corrupt payload.
+        s.put(3, b"will rot").unwrap();
+        let mut bytes = fs::read(s.path_for(3)).unwrap();
+        *bytes.last_mut().unwrap() ^= 0x01;
+        fs::write(s.path_for(3), &bytes).unwrap();
+        // Stale version.
+        s.put(4, b"stale").unwrap();
+        let mut bytes = fs::read(s.path_for(4)).unwrap();
+        bytes[8] = bytes[8].wrapping_add(1);
+        fs::write(s.path_for(4), &bytes).unwrap();
+        // Torn write, foreign file, stale temp.
+        s.put(5, b"torn").unwrap();
+        let bytes = fs::read(s.path_for(5)).unwrap();
+        fs::write(s.path_for(5), &bytes[..20]).unwrap();
+        fs::write(dir.join("notes.txt"), b"not a record").unwrap();
+        fs::write(dir.join(".0000000000000007.99.0.tmp"), b"interrupted").unwrap();
+
+        let report = s.verify_all().unwrap();
+        assert_eq!(report.checked, 7);
+        assert_eq!(report.healthy, 2);
+        assert!(!report.is_healthy());
+        let faults: Vec<(Option<u64>, RecordFault)> = report
+            .quarantined
+            .iter()
+            .map(|q| (q.key, q.fault))
+            .collect();
+        assert!(faults.contains(&(Some(3), RecordFault::ChecksumMismatch)));
+        assert!(faults.contains(&(Some(4), RecordFault::BadVersion)));
+        assert!(faults.contains(&(Some(5), RecordFault::TooShort)));
+        assert!(faults.contains(&(None, RecordFault::ForeignFile)));
+        assert!(faults.contains(&(None, RecordFault::StaleTemp)));
+        for q in &report.quarantined {
+            assert!(q.path.exists(), "{:?} not preserved", q.path);
+        }
+        // Healthy records still served; quarantined keys read as missing.
+        assert!(s.get(1).is_some() && s.get(2).is_some());
+        assert_eq!(s.get_checked(3), Err(RecordError::Missing));
+        // A second sweep (over the now-clean directory) finds no faults.
+        let again = s.verify_all().unwrap();
+        assert!(again.is_healthy());
+        assert_eq!(again.healthy, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_put_leaves_no_torn_record_and_no_temp_file() {
+        let dir = scratch("failed-put");
+        let s = Store::open(&dir).unwrap();
+        s.put(6, b"survivor").unwrap();
+        // Force the rename to fail: make the destination path a directory.
+        fs::create_dir_all(s.path_for(7)).unwrap();
+        assert!(s.put(7, b"doomed").is_err());
+        fs::remove_dir(s.path_for(7)).unwrap();
+        let leftovers: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| *n != format!("{:016x}.rec", 6))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "failed put left files behind: {leftovers:?}"
+        );
+        assert_eq!(s.get(6).as_deref(), Some(&b"survivor"[..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_put_failure_cleans_up_its_torn_temp_file() {
+        let dir = scratch("inject-put");
+        let s = Store::open(&dir).unwrap();
+        let _guard = crate::faults::install(crate::faults::StoreFaultPlan {
+            fail_puts: vec![0],
+            ..crate::faults::StoreFaultPlan::default()
+        });
+        assert!(s.put(9, b"never lands").is_err());
+        assert_eq!(
+            fs::read_dir(&dir).unwrap().count(),
+            0,
+            "injected put failure left a file behind"
+        );
+        // The next put (no longer sabotaged) succeeds normally.
+        s.put(9, b"lands").unwrap();
+        assert_eq!(s.get(9).as_deref(), Some(&b"lands"[..]));
+        assert_eq!(crate::faults::injection_log().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_get_faults_surface_as_io_corrupt_and_torn() {
+        let dir = scratch("inject-get");
+        let s = Store::open(&dir).unwrap();
+        s.put(10, b"pristine on disk").unwrap();
+        let _guard = crate::faults::install(crate::faults::StoreFaultPlan {
+            fail_gets: vec![0],
+            corrupt_gets: vec![1],
+            truncate_gets: vec![2],
+            ..crate::faults::StoreFaultPlan::default()
+        });
+        assert!(matches!(s.get_checked(10), Err(RecordError::Io(..))));
+        assert_eq!(
+            s.get_checked(10),
+            Err(RecordError::Invalid(RecordFault::ChecksumMismatch))
+        );
+        assert!(matches!(
+            s.get_checked(10),
+            Err(RecordError::Invalid(RecordFault::TooShort))
+        ));
+        // Past the plan, the untouched on-disk record serves again.
+        assert_eq!(s.get(10).as_deref(), Some(&b"pristine on disk"[..]));
         let _ = fs::remove_dir_all(&dir);
     }
 

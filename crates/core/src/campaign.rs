@@ -1,5 +1,5 @@
 //! Parallel campaign runner: fan a workload × technique matrix across
-//! threads.
+//! threads, isolating faults so one bad cell never kills the grid.
 //!
 //! The paper's figures are all *campaigns* — every benchmark in the suite
 //! run under every technique under comparison. Because a technique run is
@@ -8,6 +8,22 @@
 //! from an atomic counter and results are returned **in job order**
 //! regardless of thread count or scheduling, so campaign output is
 //! deterministic and directly comparable across runs.
+//!
+//! # Fault tolerance
+//!
+//! A production campaign over thousands of cells cannot be all-or-nothing.
+//! Every cell runs under [`std::panic::catch_unwind`], so a panicking
+//! technique costs exactly its own cell; failed cells are retried a
+//! bounded, deterministic number of times (see [`RetryPolicy`] — retry
+//! order is seeded and reproducible, with no wall-clock backoff, so two
+//! runs of the same campaign produce byte-identical reports); whatever
+//! still fails lands in the [`CampaignReport::failures`] ledger with its
+//! workload / technique / cause context while every other cell's result
+//! is delivered bit-identical to a fault-free run. Checkpoint-store
+//! faults (corrupt records, I/O errors) are healed by the ladder layer
+//! and surfaced in [`CampaignReport::checkpoint_faults`]. Configuration
+//! errors (zero threads, zero stride) are reported as
+//! [`CampaignError::InvalidConfig`] instead of panicking.
 //!
 //! # Example
 //!
@@ -19,16 +35,27 @@
 //! let pgss = PgssSim::new();
 //! let techniques: Vec<&(dyn Technique + Sync)> = vec![&smarts, &pgss];
 //! let jobs = campaign::grid(&workloads, &techniques, Default::default());
-//! for cell in campaign::run(&jobs) {
+//! let report = campaign::run(&jobs);
+//! for cell in &report.cells {
 //!     println!("{} × {}: {:.3} IPC", cell.workload, cell.technique, cell.estimate.ipc);
+//! }
+//! for failure in &report.failures {
+//!     eprintln!("FAILED {failure}");
 //! }
 //! ```
 
+// One panicking cell must never take down a campaign: every fallible step
+// on this path reports through the ledger instead of unwrapping.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use pgss_ckpt::Store;
 use pgss_cpu::MachineConfig;
+use pgss_stats::DetRng;
 use pgss_workloads::Workload;
 
 use crate::ckpt::{CheckpointLadder, LadderReport, LadderSpec, SimContext};
@@ -77,6 +104,216 @@ pub struct CellResult {
     pub trace: RunTrace,
 }
 
+/// Why a single campaign cell failed (the *cause* part of a
+/// [`CellFailure`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CellError {
+    /// The technique panicked; the payload carries the panic message.
+    Panicked(String),
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::Panicked(msg) => write!(f, "technique panicked: {msg}"),
+        }
+    }
+}
+
+/// One entry in a campaign's failure ledger: which cell failed, after how
+/// many attempts, and why. The grid's other cells are unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// Index of the failed cell in the campaign's job slice.
+    pub job_index: usize,
+    /// Workload name of the failed cell.
+    pub workload: String,
+    /// Technique name of the failed cell.
+    pub technique: String,
+    /// Attempts made (initial run plus retries) before giving up.
+    pub attempts: u32,
+    /// The terminal error of the last attempt.
+    pub error: CellError,
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell #{} {} × {}: {} (after {} attempt{})",
+            self.job_index,
+            self.workload,
+            self.technique,
+            self.error,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+        )
+    }
+}
+
+/// A campaign-level error: the campaign could not run (or could not be
+/// reduced to plain cells) at all, as opposed to individual cells failing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// A configuration parameter makes the campaign unrunnable.
+    InvalidConfig {
+        /// Which parameter (e.g. `"threads"`, `"stride"`).
+        param: &'static str,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// Some cells failed; returned by [`CampaignReport::into_cells`] when
+    /// the caller needs the full grid.
+    Incomplete {
+        /// Number of failed cells.
+        failed: usize,
+        /// Total cells in the campaign.
+        total: usize,
+        /// Rendering of the first ledger entry.
+        first: String,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::InvalidConfig { param, reason } => {
+                write!(f, "invalid campaign configuration: {param}: {reason}")
+            }
+            CampaignError::Incomplete {
+                failed,
+                total,
+                first,
+            } => write!(
+                f,
+                "campaign incomplete: {failed} of {total} cells failed (first: {first})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Deterministic bounded retry for failed cells.
+///
+/// Retries carry **no wall-clock backoff**: techniques are pure functions
+/// of their inputs, so a retry either deterministically succeeds (the
+/// fault was external — e.g. an injected or environmental panic) or
+/// deterministically fails again, and waiting would only slow the grid.
+/// The retry *order* is a seeded shuffle of the failed cells, so two runs
+/// with the same seed replay retries identically — reports are
+/// byte-identical — while not hammering cells in claim order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per cell (first run included); 1 disables retry.
+    pub max_attempts: u32,
+    /// Seed for the retry-order shuffle.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 2,
+            seed: 0x7067_7373, // "pgss"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt per cell.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// What a campaign produced: every successful cell (in job order), the
+/// failure ledger for everything else, and checkpointing accounting.
+///
+/// The report is plain data with deterministic contents — equal campaigns
+/// (same jobs, same faults, same retry seed) produce `==`, byte-identical
+/// reports regardless of thread count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignReport {
+    /// Successful cells, in job order (failed cells leave gaps).
+    pub cells: Vec<CellResult>,
+    /// The failure ledger: one entry per cell that exhausted its retry
+    /// budget, in job order. Empty for a fault-free campaign.
+    pub failures: Vec<CellFailure>,
+    /// Total retry attempts performed (0 for a fault-free campaign).
+    pub retries: u64,
+    /// Checkpoint-acceleration accounting; all-zero for plain [`run`]s.
+    pub ladder: LadderReport,
+    /// Checkpoint-store faults healed or tolerated along the way:
+    /// quarantined corrupt records, store I/O errors, failed write-backs,
+    /// capture-pass panics — one human-readable line each. These are
+    /// informational: the affected cells still produced bit-exact results
+    /// via recapture or unaccelerated execution.
+    pub checkpoint_faults: Vec<String>,
+}
+
+impl CampaignReport {
+    /// True when every cell succeeded.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The successful cell for `workload` × `technique`, if any.
+    pub fn cell(&self, workload: &str, technique: &str) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.technique == technique)
+    }
+
+    /// Unwraps the report into its cells, requiring a complete campaign —
+    /// for callers (figure harnesses, positional indexers) that need the
+    /// full grid. Fails with [`CampaignError::Incomplete`] naming the
+    /// first ledger entry otherwise.
+    pub fn into_cells(self) -> Result<Vec<CellResult>, CampaignError> {
+        match self.failures.first() {
+            None => Ok(self.cells),
+            Some(first) => Err(CampaignError::Incomplete {
+                failed: self.failures.len(),
+                total: self.cells.len() + self.failures.len(),
+                first: first.to_string(),
+            }),
+        }
+    }
+
+    /// Renders the failure ledger (and checkpoint-fault notes) as
+    /// human-readable lines; a fault-free campaign renders a one-line
+    /// all-clear.
+    pub fn ledger(&self) -> String {
+        let mut out = String::new();
+        if self.is_complete() {
+            out.push_str(&format!("all {} cells succeeded", self.cells.len()));
+        } else {
+            out.push_str(&format!(
+                "{} of {} cells failed ({} retr{} attempted):\n",
+                self.failures.len(),
+                self.cells.len() + self.failures.len(),
+                self.retries,
+                if self.retries == 1 { "y" } else { "ies" },
+            ));
+            for failure in &self.failures {
+                out.push_str(&format!("  {failure}\n"));
+            }
+        }
+        if !self.checkpoint_faults.is_empty() {
+            out.push_str("\ncheckpoint faults healed:\n");
+            for fault in &self.checkpoint_faults {
+                out.push_str(&format!("  {fault}\n"));
+            }
+        }
+        out
+    }
+}
+
 /// Builds the full `workloads × techniques` matrix in workload-major order
 /// (all techniques of the first workload, then the second, …) with one
 /// shared machine configuration.
@@ -99,72 +336,256 @@ pub fn grid<'a>(
 
 /// Worker-thread count for [`run`] and [`run_checkpointed`]: the
 /// `PGSS_WORKERS` environment variable when it parses as a positive
-/// integer, otherwise the host's available parallelism.
+/// integer, otherwise the host's available parallelism. A set-but-invalid
+/// `PGSS_WORKERS` is reported once to stderr instead of being silently
+/// ignored.
 pub fn worker_threads() -> usize {
-    if let Some(n) = std::env::var("PGSS_WORKERS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-    {
-        return n;
-    }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    worker_threads_from(std::env::var("PGSS_WORKERS").ok().as_deref())
 }
 
-/// Runs `jobs` on [`worker_threads`] threads. See [`run_on`].
-pub fn run(jobs: &[Job<'_>]) -> Vec<CellResult> {
-    run_on(jobs, worker_threads())
+/// The injected-lookup core of [`worker_threads`]: resolves the worker
+/// count from an optional `PGSS_WORKERS` value, so policy is testable
+/// without mutating the process-global environment.
+pub fn worker_threads_from(pgss_workers: Option<&str>) -> usize {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let Some(v) = pgss_workers else { return host };
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            // Warn once per process: campaigns call this per run, and a
+            // typo'd override should be visible, not a silent fallback.
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "pgss: ignoring PGSS_WORKERS={v:?} (not a positive integer); \
+                     using host parallelism ({host})"
+                );
+            });
+            host
+        }
+    }
 }
 
-/// Runs `jobs` on `threads` worker threads, returning one [`CellResult`]
-/// per job **in job order** — output is identical for any thread count.
-///
-/// Workers claim the next unclaimed job from an atomic cursor, so long
-/// cells (FullDetailed on the largest workload) never leave other workers
-/// idle behind a static partition.
-///
-/// # Panics
-///
-/// Panics if `threads` is zero, or if a technique panics (the panic is
-/// propagated once all workers have stopped).
-pub fn run_on(jobs: &[Job<'_>], threads: usize) -> Vec<CellResult> {
-    assert!(threads > 0, "campaign needs at least one worker thread");
-    if jobs.is_empty() {
-        return Vec::new();
+/// Marker embedded in every panic message this crate's fault-injection
+/// and fault-tolerance tests raise on purpose, so
+/// [`silence_injected_panic_reports`] can suppress their default-hook
+/// noise without touching real panics.
+pub const INJECTED_PANIC_TAG: &str = "[pgss-injected-fault]";
+
+/// Test support: installs (once per process) a panic hook that drops the
+/// default "thread panicked" report for panics whose message contains
+/// [`INJECTED_PANIC_TAG`], keeping fault-tolerance test output readable.
+/// All other panics report exactly as before.
+pub fn silence_injected_panic_reports() {
+    static INSTALLED: std::sync::Once = std::sync::Once::new();
+    INSTALLED.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if !msg.contains(INJECTED_PANIC_TAG) {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+/// Renders a caught panic payload as the message for a [`CellError`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
-    let threads = threads.min(jobs.len());
+}
+
+/// Runs the cells named by `order` (indices into `jobs`) on up to
+/// `threads` claim-loop workers, isolating each cell with `catch_unwind`.
+/// Successes are appended to `results`, panics to `failed` (with their
+/// message); both keyed by job index, so callers can merge passes and
+/// sort once at the end.
+fn run_cells(
+    jobs: &[Job<'_>],
+    order: &[usize],
+    threads: usize,
+    ctx: &SimContext,
+    results: &mut Vec<(usize, CellResult)>,
+    failed: &mut Vec<(usize, String)>,
+) {
+    if order.is_empty() {
+        return;
+    }
     let cursor = AtomicUsize::new(0);
-    let mut indexed: Vec<(usize, CellResult)> = Vec::with_capacity(jobs.len());
     std::thread::scope(|s| {
-        let workers: Vec<_> = (0..threads)
+        let workers: Vec<_> = (0..threads.min(order.len()).max(1))
             .map(|_| {
                 let cursor = &cursor;
                 s.spawn(move || {
-                    let mut local = Vec::new();
+                    let mut ok = Vec::new();
+                    let mut bad = Vec::new();
                     loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(job) = jobs.get(i) else { break };
-                        let (estimate, trace) = job.technique.run_traced(job.workload, &job.config);
-                        local.push((
-                            i,
-                            CellResult {
-                                workload: job.workload.name().to_string(),
-                                technique: job.technique.name(),
-                                estimate,
-                                trace,
-                            },
-                        ));
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = order.get(k) else { break };
+                        let job = &jobs[i];
+                        let workload = job.workload.name().to_string();
+                        let technique = job.technique.name();
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            #[cfg(feature = "fault-inject")]
+                            crate::faults::maybe_panic_cell(&workload, &technique);
+                            job.technique.run_traced_ctx(job.workload, &job.config, ctx)
+                        }));
+                        match outcome {
+                            Ok((estimate, trace)) => ok.push((
+                                i,
+                                CellResult {
+                                    workload,
+                                    technique,
+                                    estimate,
+                                    trace,
+                                },
+                            )),
+                            Err(payload) => bad.push((i, panic_message(payload))),
+                        }
                     }
-                    local
+                    (ok, bad)
                 })
             })
             .collect();
         for worker in workers {
-            indexed.extend(worker.join().expect("campaign worker panicked"));
+            match worker.join() {
+                Ok((ok, bad)) => {
+                    results.extend(ok);
+                    failed.extend(bad);
+                }
+                // A panic escaping catch_unwind means the harness itself
+                // is broken (cell bookkeeping, not a technique): propagate.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
-    indexed.sort_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(_, cell)| cell).collect()
+}
+
+/// The isolation + retry engine shared by [`run_on`] and
+/// [`run_checkpointed`]: first pass over `order`, then up to
+/// `retry.max_attempts - 1` seeded-order retry passes over whatever
+/// failed, then a ledger for the rest.
+fn execute(
+    jobs: &[Job<'_>],
+    order: &[usize],
+    threads: usize,
+    ctx: &SimContext,
+    retry: &RetryPolicy,
+    results: &mut Vec<(usize, CellResult)>,
+    report: &mut CampaignReport,
+) {
+    let mut failed: Vec<(usize, String)> = Vec::new();
+    run_cells(jobs, order, threads, ctx, results, &mut failed);
+    for attempt in 2..=retry.max_attempts {
+        if failed.is_empty() {
+            break;
+        }
+        // Deterministic, seeded retry order: canonical (sorted) base,
+        // shuffled by (seed, attempt) — reproducible run to run.
+        let mut again: Vec<usize> = failed.iter().map(|&(i, _)| i).collect();
+        again.sort_unstable();
+        let mut rng = DetRng::seed_from_u64(
+            retry
+                .seed
+                .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        rng.shuffle(&mut again);
+        report.retries += again.len() as u64;
+        failed.clear();
+        run_cells(jobs, &again, threads, ctx, results, &mut failed);
+    }
+    failed.sort_unstable_by_key(|&(i, _)| i);
+    report
+        .failures
+        .extend(failed.into_iter().map(|(job_index, message)| {
+            let job = &jobs[job_index];
+            CellFailure {
+                job_index,
+                workload: job.workload.name().to_string(),
+                technique: job.technique.name(),
+                attempts: retry.max_attempts,
+                error: CellError::Panicked(message),
+            }
+        }));
+}
+
+/// Runs `jobs` on [`worker_threads`] threads with the default
+/// [`RetryPolicy`]. See [`run_on`]; infallible because the thread count
+/// is host-derived and therefore valid.
+pub fn run(jobs: &[Job<'_>]) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    let order: Vec<usize> = (0..jobs.len()).collect();
+    let mut results = Vec::with_capacity(jobs.len());
+    execute(
+        jobs,
+        &order,
+        worker_threads().max(1),
+        &SimContext::none(),
+        &RetryPolicy::default(),
+        &mut results,
+        &mut report,
+    );
+    results.sort_unstable_by_key(|&(i, _)| i);
+    report.cells = results.into_iter().map(|(_, cell)| cell).collect();
+    report
+}
+
+/// Runs `jobs` on `threads` worker threads with the default
+/// [`RetryPolicy`], returning a [`CampaignReport`] whose successful cells
+/// are **in job order** — output is identical for any thread count.
+///
+/// Workers claim the next unclaimed job from an atomic cursor, so long
+/// cells (FullDetailed on the largest workload) never leave other workers
+/// idle behind a static partition. A panicking technique costs only its
+/// own cell (see the module docs); `threads == 0` is reported as
+/// [`CampaignError::InvalidConfig`].
+pub fn run_on(jobs: &[Job<'_>], threads: usize) -> Result<CampaignReport, CampaignError> {
+    run_on_with(jobs, threads, &RetryPolicy::default())
+}
+
+/// [`run_on`] with an explicit [`RetryPolicy`].
+pub fn run_on_with(
+    jobs: &[Job<'_>],
+    threads: usize,
+    retry: &RetryPolicy,
+) -> Result<CampaignReport, CampaignError> {
+    if threads == 0 {
+        return Err(CampaignError::InvalidConfig {
+            param: "threads",
+            reason: "campaign needs at least one worker thread".to_string(),
+        });
+    }
+    if retry.max_attempts == 0 {
+        return Err(CampaignError::InvalidConfig {
+            param: "retry.max_attempts",
+            reason: "every cell needs at least one attempt".to_string(),
+        });
+    }
+    let mut report = CampaignReport::default();
+    let order: Vec<usize> = (0..jobs.len()).collect();
+    let mut results = Vec::with_capacity(jobs.len());
+    execute(
+        jobs,
+        &order,
+        threads,
+        &SimContext::none(),
+        retry,
+        &mut results,
+        &mut report,
+    );
+    results.sort_unstable_by_key(|&(i, _)| i);
+    report.cells = results.into_iter().map(|(_, cell)| cell).collect();
+    Ok(report)
 }
 
 /// Runs `jobs` with checkpoint acceleration: each distinct
@@ -177,30 +598,39 @@ pub fn run_on(jobs: &[Job<'_>], threads: usize) -> Vec<CellResult> {
 ///
 /// Results are **identical** to [`run`] on the same jobs — estimates,
 /// traces, ordering — because driver jumps are bit-exact and logically
-/// charged; only the physical work changes, summarised in the returned
-/// [`LadderReport`] (capture cost, jumps, skipped vs. executed ops, and
-/// [`LadderReport::executed_ratio`]).
+/// charged; only the physical work changes, summarised in
+/// [`CampaignReport::ladder`] (capture cost, jumps, skipped vs. executed
+/// ops, and [`LadderReport::executed_ratio`]).
 ///
 /// With a [`Store`], ladders are read from / written back to disk, so a
 /// re-run of the same campaign (same workloads, configs, stride, tracks,
-/// snapshot format) skips capture entirely; corrupt or stale records
-/// silently fall back to capture. Groups are processed sequentially so at
-/// most one workload's ladder is resident; cells within a group run on
+/// snapshot format) skips capture entirely. Store faults degrade, never
+/// abort: corrupt records are quarantined and recaptured (self-healing),
+/// I/O errors fall back to capture, and a panicking capture pass demotes
+/// its group to unaccelerated execution — each event is recorded in
+/// [`CampaignReport::checkpoint_faults`], and none of them changes any
+/// cell's bits. Groups are processed sequentially so at most one
+/// workload's ladder is resident; cells within a group run on
 /// [`worker_threads`] threads.
 ///
-/// # Panics
-///
-/// Panics if `stride` is zero or a technique panics.
+/// `stride == 0` is reported as [`CampaignError::InvalidConfig`].
 pub fn run_checkpointed(
     jobs: &[Job<'_>],
     stride: u64,
     store: Option<&Store>,
-) -> (Vec<CellResult>, LadderReport) {
-    let mut report = LadderReport::default();
-    if jobs.is_empty() {
-        return (Vec::new(), report);
+) -> Result<CampaignReport, CampaignError> {
+    if stride == 0 {
+        return Err(CampaignError::InvalidConfig {
+            param: "stride",
+            reason: "checkpoint ladders need a positive rung stride".to_string(),
+        });
     }
-    let threads = worker_threads();
+    let mut report = CampaignReport::default();
+    if jobs.is_empty() {
+        return Ok(report);
+    }
+    let threads = worker_threads().max(1);
+    let retry = RetryPolicy::default();
     // Group cells sharing a workload and configuration; each group shares
     // one ladder.
     let mut groups: Vec<Vec<usize>> = Vec::new();
@@ -213,7 +643,7 @@ pub fn run_checkpointed(
             None => groups.push(vec![i]),
         }
     }
-    let mut indexed: Vec<(usize, CellResult)> = Vec::with_capacity(jobs.len());
+    let mut results: Vec<(usize, CellResult)> = Vec::with_capacity(jobs.len());
     for group in &groups {
         let first = &jobs[group[0]];
         let mut hashed_seeds: Vec<u64> = Vec::new();
@@ -232,52 +662,56 @@ pub fn run_checkpointed(
             hashed_seeds,
             with_full,
         };
-        let ladder = Arc::new(match store {
+        // The capture pass runs arbitrary simulation; isolate it like a
+        // cell. On panic the group gracefully degrades to unaccelerated
+        // execution — bit-identical results, only slower.
+        let captured = catch_unwind(AssertUnwindSafe(|| match store {
             Some(st) => CheckpointLadder::load_or_capture(st, first.workload, &first.config, &spec),
             None => CheckpointLadder::capture(first.workload, &first.config, &spec),
-        });
-        let ctx = SimContext::with_ladder(Arc::clone(&ladder));
-        let cursor = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            let workers: Vec<_> = (0..threads.min(group.len()))
-                .map(|_| {
-                    let (cursor, ctx) = (&cursor, &ctx);
-                    s.spawn(move || {
-                        let mut local = Vec::new();
-                        loop {
-                            let k = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(&i) = group.get(k) else { break };
-                            let job = &jobs[i];
-                            let (estimate, trace) =
-                                job.technique.run_traced_ctx(job.workload, &job.config, ctx);
-                            local.push((
-                                i,
-                                CellResult {
-                                    workload: job.workload.name().to_string(),
-                                    technique: job.technique.name(),
-                                    estimate,
-                                    trace,
-                                },
-                            ));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for worker in workers {
-                indexed.extend(worker.join().expect("campaign worker panicked"));
+        }));
+        let (ctx, ladder) = match captured {
+            Ok(ladder) => {
+                report
+                    .checkpoint_faults
+                    .extend(ladder.fault_log().iter().cloned());
+                let ladder = Arc::new(ladder);
+                (SimContext::with_ladder(Arc::clone(&ladder)), Some(ladder))
             }
-        });
-        report.merge(&ladder.report());
+            Err(payload) => {
+                report.checkpoint_faults.push(format!(
+                    "{}: checkpoint capture panicked: {}; group ran unaccelerated",
+                    first.workload.name(),
+                    panic_message(payload)
+                ));
+                (SimContext::none(), None)
+            }
+        };
+        execute(
+            jobs,
+            group,
+            threads,
+            &ctx,
+            &retry,
+            &mut results,
+            &mut report,
+        );
+        if let Some(ladder) = ladder {
+            report.ladder.merge(&ladder.report());
+        }
     }
-    indexed.sort_by_key(|&(i, _)| i);
-    (indexed.into_iter().map(|(_, cell)| cell).collect(), report)
+    results.sort_unstable_by_key(|&(i, _)| i);
+    report.cells = results.into_iter().map(|(_, cell)| cell).collect();
+    report.failures.sort_unstable_by_key(|f| f.job_index);
+    Ok(report)
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic here is a test failure, not a lost campaign.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::{PgssSim, Smarts, TurboSmarts};
+    use std::sync::atomic::AtomicU32;
 
     fn suite() -> Vec<Workload> {
         vec![
@@ -306,6 +740,67 @@ mod tests {
         )
     }
 
+    /// Delegates to SMARTS but panics on one workload — a deterministic
+    /// "poisoned cell".
+    struct Exploder {
+        inner: Smarts,
+        on: &'static str,
+    }
+
+    impl Technique for Exploder {
+        fn name(&self) -> String {
+            format!("Exploder({})", self.inner.name())
+        }
+        fn run_with(&self, workload: &Workload, config: &MachineConfig) -> Estimate {
+            self.run_traced(workload, config).0
+        }
+        fn run_traced_ctx(
+            &self,
+            workload: &Workload,
+            config: &MachineConfig,
+            ctx: &SimContext,
+        ) -> (Estimate, RunTrace) {
+            assert!(
+                workload.name() != self.on,
+                "{INJECTED_PANIC_TAG} deliberate test panic for {}",
+                self.on
+            );
+            self.inner.run_traced_ctx(workload, config, ctx)
+        }
+    }
+
+    /// Panics on the first `flakes` attempts of one workload's cell, then
+    /// behaves — a deterministic transient fault.
+    struct Flaky {
+        inner: Smarts,
+        on: &'static str,
+        flakes: AtomicU32,
+    }
+
+    impl Technique for Flaky {
+        fn name(&self) -> String {
+            format!("Flaky({})", self.inner.name())
+        }
+        fn run_with(&self, workload: &Workload, config: &MachineConfig) -> Estimate {
+            self.run_traced(workload, config).0
+        }
+        fn run_traced_ctx(
+            &self,
+            workload: &Workload,
+            config: &MachineConfig,
+            ctx: &SimContext,
+        ) -> (Estimate, RunTrace) {
+            if workload.name() == self.on {
+                let left = self
+                    .flakes
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                    .is_ok();
+                assert!(!left, "{INJECTED_PANIC_TAG} transient test panic");
+            }
+            self.inner.run_traced_ctx(workload, config, ctx)
+        }
+    }
+
     #[test]
     fn grid_is_workload_major() {
         let workloads = suite();
@@ -325,10 +820,13 @@ mod tests {
         let (smarts, turbo, pgss) = techniques();
         let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &turbo, &pgss];
         let jobs = grid(&workloads, &techs, MachineConfig::default());
-        let serial = run_on(&jobs, 1);
-        let parallel = run_on(&jobs, 4);
+        let serial = run_on(&jobs, 1).unwrap();
+        let parallel = run_on(&jobs, 4).unwrap();
         assert_eq!(serial, parallel);
+        assert!(serial.is_complete());
+        assert_eq!(serial.retries, 0);
         let names: Vec<_> = serial
+            .cells
             .iter()
             .map(|c| (c.workload.as_str(), c.technique.clone()))
             .collect();
@@ -341,19 +839,25 @@ mod tests {
         let w = pgss_workloads::gzip(0.01);
         let (smarts, _, _) = techniques();
         let jobs = vec![Job::new(&w, &smarts)];
-        let cells = run(&jobs);
+        let report = run(&jobs);
         let (estimate, trace) = smarts.run_traced(&w, &MachineConfig::default());
-        assert_eq!(cells[0].estimate, estimate);
-        assert_eq!(cells[0].trace, trace);
-        assert_eq!(cells[0].workload, "164.gzip");
+        assert_eq!(report.cells[0].estimate, estimate);
+        assert_eq!(report.cells[0].trace, trace);
+        assert_eq!(report.cells[0].workload, "164.gzip");
+        assert_eq!(
+            report.cell("164.gzip", &smarts.name()).unwrap().estimate,
+            estimate
+        );
+        assert!(report.cell("164.gzip", "nonesuch").is_none());
     }
 
     #[test]
     fn empty_campaign_is_empty() {
-        assert!(run_on(&[], 8).is_empty());
-        let (cells, report) = run_checkpointed(&[], 100_000, None);
-        assert!(cells.is_empty());
-        assert_eq!(report, crate::ckpt::LadderReport::default());
+        assert!(run_on(&[], 8).unwrap().cells.is_empty());
+        let report = run_checkpointed(&[], 100_000, None).unwrap();
+        assert!(report.cells.is_empty());
+        assert!(report.is_complete());
+        assert_eq!(report.ladder, crate::ckpt::LadderReport::default());
     }
 
     #[test]
@@ -363,8 +867,14 @@ mod tests {
         let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &turbo, &pgss];
         let jobs = grid(&workloads, &techs, MachineConfig::default());
         let plain = run(&jobs);
-        let (fast, report) = run_checkpointed(&jobs, 25_000, None);
-        assert_eq!(plain, fast, "acceleration must not change any cell");
+        let fast = run_checkpointed(&jobs, 25_000, None).unwrap();
+        assert_eq!(
+            plain.cells, fast.cells,
+            "acceleration must not change any cell"
+        );
+        assert!(fast.is_complete());
+        assert!(fast.checkpoint_faults.is_empty());
+        let report = fast.ladder;
         assert!(report.jumps > 0);
         assert!(report.skipped_ops > 0);
         assert!(
@@ -377,25 +887,163 @@ mod tests {
     }
 
     #[test]
-    fn worker_threads_env_override() {
-        // Env mutation is process-global; keep set/restore in one test.
-        std::env::set_var("PGSS_WORKERS", "3");
-        assert_eq!(worker_threads(), 3);
-        std::env::set_var("PGSS_WORKERS", "not-a-number");
+    fn worker_threads_lookup_is_hermetic() {
+        // No process-global env mutation: values are injected directly.
         let host = std::thread::available_parallelism().map_or(1, |n| n.get());
-        assert_eq!(worker_threads(), host);
-        std::env::set_var("PGSS_WORKERS", "0");
-        assert_eq!(worker_threads(), host);
-        std::env::remove_var("PGSS_WORKERS");
-        assert_eq!(worker_threads(), host);
+        assert_eq!(worker_threads_from(None), host);
+        assert_eq!(worker_threads_from(Some("3")), 3);
+        assert_eq!(worker_threads_from(Some(" 5 ")), 5);
+        assert_eq!(worker_threads_from(Some("not-a-number")), host);
+        assert_eq!(worker_threads_from(Some("0")), host);
+        assert_eq!(worker_threads_from(Some("-2")), host);
+        assert_eq!(worker_threads_from(Some("")), host);
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_threads_panics() {
+    fn zero_threads_is_invalid_config_not_a_panic() {
         let w = pgss_workloads::twolf(0.002);
         let (smarts, _, _) = techniques();
         let jobs = vec![Job::new(&w, &smarts)];
-        let _ = run_on(&jobs, 0);
+        let err = run_on(&jobs, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            CampaignError::InvalidConfig {
+                param: "threads",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("at least one worker"));
+        let err = run_on_with(
+            &jobs,
+            2,
+            &RetryPolicy {
+                max_attempts: 0,
+                seed: 0,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CampaignError::InvalidConfig {
+                param: "retry.max_attempts",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn zero_stride_is_invalid_config_not_a_panic() {
+        let w = pgss_workloads::twolf(0.002);
+        let (smarts, _, _) = techniques();
+        let jobs = vec![Job::new(&w, &smarts)];
+        let err = run_checkpointed(&jobs, 0, None).unwrap_err();
+        assert!(matches!(
+            err,
+            CampaignError::InvalidConfig {
+                param: "stride",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated_and_ledgered() {
+        silence_injected_panic_reports();
+        let workloads = suite();
+        let (smarts, _, _) = techniques();
+        let exploder = Exploder {
+            inner: smarts,
+            on: "177.mesa",
+        };
+        let techs: Vec<&(dyn Technique + Sync)> = vec![&exploder, &smarts];
+        let jobs = grid(&workloads, &techs, MachineConfig::default());
+        let report = run_on(&jobs, 4).unwrap();
+
+        // Exactly the poisoned cell failed, after the full retry budget.
+        assert_eq!(report.failures.len(), 1);
+        let failure = &report.failures[0];
+        assert_eq!(failure.workload, "177.mesa");
+        assert_eq!(failure.technique, exploder.name());
+        assert_eq!(failure.attempts, RetryPolicy::default().max_attempts);
+        assert_eq!(failure.job_index, 2);
+        let CellError::Panicked(msg) = &failure.error;
+        assert!(
+            msg.contains(INJECTED_PANIC_TAG),
+            "unexpected message {msg:?}"
+        );
+        assert_eq!(report.retries, 1, "one retry for the one failed cell");
+        assert!(!report.is_complete());
+        assert!(report.ledger().contains("177.mesa"));
+        assert!(report.into_cells().is_err());
+
+        // Every other cell is bit-identical to a direct, fault-free run.
+        let report = run_on(&jobs, 4).unwrap();
+        assert_eq!(report.cells.len(), jobs.len() - 1);
+        for cell in &report.cells {
+            let w = workloads
+                .iter()
+                .find(|w| w.name() == cell.workload)
+                .unwrap();
+            let (estimate, trace) = smarts.run_traced(w, &MachineConfig::default());
+            assert_eq!(
+                cell.estimate, estimate,
+                "{} × {}",
+                cell.workload, cell.technique
+            );
+            assert_eq!(cell.trace, trace);
+        }
+    }
+
+    #[test]
+    fn transient_panic_heals_via_deterministic_retry() {
+        silence_injected_panic_reports();
+        let workloads = suite();
+        let (smarts, _, _) = techniques();
+        let run_once = || {
+            let flaky = Flaky {
+                inner: smarts,
+                on: "300.twolf",
+                flakes: AtomicU32::new(1),
+            };
+            let techs: Vec<&(dyn Technique + Sync)> = vec![&flaky];
+            let jobs = grid(&workloads, &techs, MachineConfig::default());
+            run_on(&jobs, 2).unwrap()
+        };
+        let report = run_once();
+        assert!(report.is_complete(), "retry must heal a transient fault");
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.cells.len(), 3);
+        // The healed cell's result is bit-identical to the underlying
+        // technique's fault-free run.
+        let (estimate, trace) = smarts.run_traced(&workloads[2], &MachineConfig::default());
+        assert_eq!(report.cells[2].estimate, estimate);
+        assert_eq!(report.cells[2].trace, trace);
+        // Same faults, same seed: byte-identical reports.
+        let second = run_once();
+        assert_eq!(report, second);
+        assert_eq!(format!("{report:?}"), format!("{second:?}"));
+    }
+
+    #[test]
+    fn exhausted_retries_keep_remaining_cells_and_report_attempts() {
+        silence_injected_panic_reports();
+        let workloads = suite();
+        let (smarts, _, _) = techniques();
+        let flaky = Flaky {
+            inner: smarts,
+            on: "164.gzip",
+            flakes: AtomicU32::new(u32::MAX), // never heals
+        };
+        let techs: Vec<&(dyn Technique + Sync)> = vec![&flaky];
+        let jobs = grid(&workloads, &techs, MachineConfig::default());
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            seed: 7,
+        };
+        let report = run_on_with(&jobs, 2, &retry).unwrap();
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].attempts, 3);
+        assert_eq!(report.retries, 2, "two retry passes over the one cell");
+        assert_eq!(report.cells.len(), 2);
     }
 }

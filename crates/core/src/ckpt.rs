@@ -24,11 +24,27 @@
 //! checkpoints, because functional warming leaves the machine in exactly
 //! the state any other warm-mode path would (architectural execution and
 //! cache/predictor updates are mode-independent).
+//!
+//! # Fault tolerance
+//!
+//! Store reads are *self-healing*: [`CheckpointLadder::load_or_capture`]
+//! reads via [`Store::get_checked`], and any record that exists but fails
+//! validation is moved into the store's quarantine sidecar (never
+//! deleted — the evidence survives for post-mortem) before the ladder is
+//! recaptured from scratch and written back. Every such event, plus any
+//! store I/O error or failed write-back, lands in the ladder's
+//! [`CheckpointLadder::fault_log`], which campaigns surface in their
+//! report ledger. Because recapture reproduces the exact bytes the rung
+//! held before it rotted, healing is invisible to results.
+
+// Checkpoint state feeds bit-exact simulation results; a stray unwrap on
+// this path would turn a recoverable corrupt record into an abort.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pgss_bbv::{BbvHash, FullBbv, FullBbvTracker, HashedBbv, HashedBbvTracker, HASHED_BBV_DIM};
-use pgss_ckpt::{fnv1a64, CodecError, Decoder, Encoder, Store};
+use pgss_ckpt::{fnv1a64, CodecError, Decoder, Encoder, RecordError, Store};
 use pgss_cpu::{
     BranchPredictorState, BtbState, CacheState, MachineConfig, MachineSnapshot, MemSystemState,
     Mode, ModeOps,
@@ -104,16 +120,9 @@ fn decode_machine_snapshot_from(d: &mut Decoder<'_>) -> Result<MachineSnapshot, 
     let halted = d.get_bool()?;
     let mode_ops = get_mode_ops(d)?;
     let ops_since_taken = d.get_u64()?;
-    let mut caches = Vec::with_capacity(3);
-    for _ in 0..3 {
-        let ways = d.get_u64_slice()?;
-        let hits = d.get_u64()?;
-        let misses = d.get_u64()?;
-        caches.push(CacheState { ways, hits, misses });
-    }
-    let l2 = caches.pop().unwrap();
-    let l1d = caches.pop().unwrap();
-    let l1i = caches.pop().unwrap();
+    let l1i = get_cache_state(d)?;
+    let l1d = get_cache_state(d)?;
+    let l2 = get_cache_state(d)?;
     let counters = d.get_bytes()?;
     let bpred = BranchPredictorState {
         counters,
@@ -138,6 +147,14 @@ fn decode_machine_snapshot_from(d: &mut Decoder<'_>) -> Result<MachineSnapshot, 
         memsys: MemSystemState { l1i, l1d, l2 },
         bpred,
         btb: BtbState { targets },
+    })
+}
+
+fn get_cache_state(d: &mut Decoder<'_>) -> Result<CacheState, CodecError> {
+    Ok(CacheState {
+        ways: d.get_u64_slice()?,
+        hits: d.get_u64()?,
+        misses: d.get_u64()?,
     })
 }
 
@@ -406,6 +423,7 @@ pub struct CheckpointLadder {
     rungs: Vec<LadderRung>,
     capture_ops: u64,
     counters: LadderCounters,
+    fault_log: Vec<String>,
 }
 
 impl CheckpointLadder {
@@ -449,15 +467,22 @@ impl CheckpointLadder {
             rungs,
             capture_ops: retired,
             counters: LadderCounters::default(),
+            fault_log: Vec::new(),
         }
     }
 
     /// Like [`CheckpointLadder::capture`], but first tries to load every
     /// rung from `store` (keyed by workload identity × config × offset ×
-    /// spec) and, after a capture, writes the rungs back. Store reads
-    /// are tolerant — any missing/corrupt/stale record falls back to a
-    /// fresh capture — and writes are best-effort (an unwritable store
-    /// only costs future reuse).
+    /// spec) and, after a capture, writes the rungs back.
+    ///
+    /// Store reads are tolerant *and self-healing*: a record that exists
+    /// but fails validation is quarantined (moved into the store's
+    /// sidecar directory, never deleted) and the whole ladder is
+    /// recaptured and written back, transparently re-creating the
+    /// quarantined rungs. Missing records and I/O errors also fall back
+    /// to capture. Writes are best-effort (an unwritable store only costs
+    /// future reuse). Every fault handled this way is described in
+    /// [`CheckpointLadder::fault_log`].
     pub fn load_or_capture(
         store: &Store,
         workload: &Workload,
@@ -467,26 +492,89 @@ impl CheckpointLadder {
         assert!(spec.stride > 0, "ladder stride must be positive");
         let tag = Self::spec_tag(spec);
         let meta_key = CheckpointKey::new(workload, config, u64::MAX).hash_with_tag(tag);
-        if let Some(ladder) = Self::try_load(store, workload, config, spec, tag, meta_key) {
+        let mut log = Vec::new();
+        if let Some(mut ladder) =
+            Self::try_load(store, workload, config, spec, tag, meta_key, &mut log)
+        {
+            ladder.fault_log = log;
             return ladder;
         }
-        let ladder = Self::capture(workload, config, spec);
+        let mut ladder = Self::capture(workload, config, spec);
         // Best-effort write-back; rungs first so a complete meta record
         // implies complete rungs.
         let mut ok = true;
         for rung in &ladder.rungs {
             let key = CheckpointKey::new(workload, config, rung.retired).hash_with_tag(tag);
-            ok &= store.put(key, &encode_rung(rung)).is_ok();
+            if let Err(e) = store.put(key, &encode_rung(rung)) {
+                log.push(format!(
+                    "{}: write-back of checkpoint rung @{} failed: {e}",
+                    workload.name(),
+                    rung.retired
+                ));
+                ok = false;
+            }
         }
         if ok {
             let mut e = Encoder::new();
             e.put_u64(ladder.capture_ops);
             e.put_u64(ladder.rungs.len() as u64);
-            let _ = store.put(meta_key, &e.into_bytes());
+            if let Err(e) = store.put(meta_key, &e.into_bytes()) {
+                log.push(format!(
+                    "{}: write-back of ladder meta record failed: {e}",
+                    workload.name()
+                ));
+            }
         }
+        ladder.fault_log = log;
         ladder
     }
 
+    /// One tolerated store read for `try_load`: `Ok(payload)` on a valid
+    /// record, `Err(abandon_load)` otherwise — quarantining invalid
+    /// records (self-healing) and logging everything except a silent
+    /// first-run miss.
+    fn read_healing(
+        store: &Store,
+        key: u64,
+        what: &str,
+        silent_miss: bool,
+        workload: &Workload,
+        log: &mut Vec<String>,
+    ) -> Result<Vec<u8>, ()> {
+        match store.get_checked(key) {
+            Ok(payload) => Ok(payload),
+            Err(RecordError::Missing) => {
+                if !silent_miss {
+                    log.push(format!(
+                        "{}: missing {what} (key {key:016x}) despite complete meta; recapturing",
+                        workload.name()
+                    ));
+                }
+                Err(())
+            }
+            Err(RecordError::Invalid(fault)) => {
+                let dest = match store.quarantine(key) {
+                    Ok(Some(path)) => format!("quarantined to {}", path.display()),
+                    Ok(None) => "already gone".to_string(),
+                    Err(e) => format!("quarantine failed: {e}"),
+                };
+                log.push(format!(
+                    "{}: corrupt {what} (key {key:016x}): {fault}; {dest}; recapturing",
+                    workload.name()
+                ));
+                Err(())
+            }
+            Err(e @ RecordError::Io(..)) => {
+                log.push(format!(
+                    "{}: {what} (key {key:016x}) unreadable: {e}; recapturing",
+                    workload.name()
+                ));
+                Err(())
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal; mirrors load_or_capture's context
     fn try_load(
         store: &Store,
         workload: &Workload,
@@ -494,27 +582,49 @@ impl CheckpointLadder {
         spec: &LadderSpec,
         tag: u64,
         meta_key: u64,
+        log: &mut Vec<String>,
     ) -> Option<Self> {
-        let meta = store.get(meta_key)?;
+        let meta =
+            Self::read_healing(store, meta_key, "ladder meta record", true, workload, log).ok()?;
         let mut d = Decoder::new(&meta);
-        let total_ops = d.get_u64().ok()?;
-        let count = d.get_u64().ok()?;
-        d.finish().ok()?;
+        let count = (|| {
+            d.get_u64()?; // capture_ops of the original capture; unused
+            let count = d.get_u64()?;
+            d.finish()?;
+            Ok::<u64, CodecError>(count)
+        })()
+        .ok()?;
         let mut rungs = Vec::with_capacity(count as usize);
         for i in 1..=count {
-            let key = CheckpointKey::new(workload, config, i * spec.stride).hash_with_tag(tag);
-            let rung = decode_rung(&store.get(key)?, spec).ok()?;
-            if rung.retired != i * spec.stride {
-                return None;
-            }
+            let offset = i * spec.stride;
+            let key = CheckpointKey::new(workload, config, offset).hash_with_tag(tag);
+            let what = format!("checkpoint rung @{offset}");
+            let payload = Self::read_healing(store, key, &what, false, workload, log).ok()?;
+            let rung = match decode_rung(&payload, spec) {
+                Ok(rung) if rung.retired == offset => rung,
+                // The record checksummed clean but its payload is not the
+                // rung the key promises — quarantine it like corruption.
+                _ => {
+                    let dest = match store.quarantine(key) {
+                        Ok(Some(path)) => format!("quarantined to {}", path.display()),
+                        Ok(None) => "already gone".to_string(),
+                        Err(e) => format!("quarantine failed: {e}"),
+                    };
+                    log.push(format!(
+                        "{}: undecodable {what} (key {key:016x}); {dest}; recapturing",
+                        workload.name()
+                    ));
+                    return None;
+                }
+            };
             rungs.push(rung);
         }
-        let _ = total_ops;
         Some(CheckpointLadder {
             spec: spec.clone(),
             rungs,
             capture_ops: 0,
             counters: LadderCounters::default(),
+            fault_log: Vec::new(),
         })
     }
 
@@ -569,6 +679,14 @@ impl CheckpointLadder {
 
     pub(crate) fn record_executed(&self, ops: u64) {
         self.counters.executed_ops.fetch_add(ops, Ordering::Relaxed);
+    }
+
+    /// Store faults this ladder healed or tolerated while loading /
+    /// writing back: quarantined corrupt records, missing rungs, I/O
+    /// errors, failed write-backs — one human-readable line each, in the
+    /// order encountered. Empty on a clean load or a first capture.
+    pub fn fault_log(&self) -> &[String] {
+        &self.fault_log
     }
 
     /// Point-in-time counters plus the capture cost.
@@ -654,6 +772,8 @@ impl SimContext {
 }
 
 #[cfg(test)]
+// Tests may unwrap: a panic here is a test failure, not a lost campaign.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -773,6 +893,26 @@ mod tests {
             refetched.report().capture_ops > 0,
             "corrupt rung must force recapture"
         );
+        // Self-healing: the corrupt record was quarantined (not deleted),
+        // the event was logged, and the recapture wrote a healthy record
+        // back, so the next load is clean.
+        let log = refetched.fault_log();
+        assert!(
+            log.iter().any(|l| l.contains("quarantined")
+                && l.contains(w.name())
+                && l.contains(&format!("@{}", spec.stride))),
+            "fault log must name the quarantined rung: {log:?}"
+        );
+        assert!(store
+            .quarantine_dir()
+            .join(format!("{key:016x}.rec"))
+            .exists());
+        let healed = CheckpointLadder::load_or_capture(&store, &w, &cfg, &spec);
+        assert_eq!(healed.report().capture_ops, 0, "store did not self-heal");
+        assert!(healed.fault_log().is_empty());
+        for (a, b) in healed.rungs.iter().zip(&captured.rungs) {
+            assert_eq!(a.machine, b.machine, "healed rung differs from capture");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

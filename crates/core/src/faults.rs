@@ -1,0 +1,158 @@
+//! Deterministic campaign-level fault injection (feature `fault-inject`).
+//!
+//! Builds on [`pgss_ckpt::faults`] (store put/get faults) and adds the
+//! campaign-layer fault: **worker panics** targeted at exact cells. A
+//! [`FaultPlan`] names cells by `(workload, technique)` identity, so the
+//! same cells fault no matter how the parallel claim loop interleaves —
+//! plans are order-independent and runs are reproducible.
+//!
+//! Like the store layer, this module is test-only machinery: it compiles
+//! away without the feature, and an installed plan is process-global, so
+//! tests that inject faults serialize on the shared
+//! [`pgss_ckpt::faults::serialize`] lock (taken by [`install`] and held
+//! by the returned guard).
+//!
+//! ```no_run
+//! use pgss::faults::{self, CellPanic, FaultPlan};
+//!
+//! let _guard = faults::install(FaultPlan {
+//!     cell_panics: vec![CellPanic {
+//!         workload: "177.mesa".to_string(),
+//!         technique: "SMARTS(50000/1000/3000)".to_string(),
+//!         times: 1, // transient: first attempt panics, the retry heals it
+//!     }],
+//!     ..FaultPlan::default()
+//! });
+//! // run a campaign; the plan clears when _guard drops
+//! ```
+
+// Fault injection must never make fault *handling* flaky: no unwraps on
+// this path either.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+pub use pgss_ckpt::faults::{injection_log, StoreFaultPlan};
+
+use crate::campaign::INJECTED_PANIC_TAG;
+
+/// One targeted worker-panic fault: the cell for `workload` × `technique`
+/// panics on its next `times` attempts, then behaves. `times: u32::MAX`
+/// is effectively permanent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellPanic {
+    /// Workload name ([`pgss_workloads::Workload::name`]) of the cell.
+    pub workload: String,
+    /// Technique name ([`crate::Technique::name`]) of the cell.
+    pub technique: String,
+    /// How many attempts of this cell panic before it heals.
+    pub times: u32,
+}
+
+/// A complete campaign fault schedule: targeted worker panics plus the
+/// store-layer plan (failed puts, failed / corrupted / truncated gets).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Cells that panic (see [`CellPanic`]).
+    pub cell_panics: Vec<CellPanic>,
+    /// Store faults, forwarded to [`pgss_ckpt::faults`].
+    pub store: StoreFaultPlan,
+}
+
+static CELLS: Mutex<Vec<CellPanic>> = Mutex::new(Vec::new());
+
+fn cells() -> MutexGuard<'static, Vec<CellPanic>> {
+    // A panic under this short lock is itself an injected fault; the
+    // state remains valid, so recover the guard.
+    CELLS.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Clears the installed plan (both layers) when dropped, and releases
+/// the process-wide fault-injection serialization lock.
+pub struct FaultGuard {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        cells().clear();
+        pgss_ckpt::faults::clear();
+    }
+}
+
+/// Installs `plan` process-wide and returns a guard that uninstalls it on
+/// drop. Takes the shared [`pgss_ckpt::faults::serialize`] lock so
+/// concurrent fault-injecting tests (in any crate) cannot interleave
+/// plans.
+pub fn install(plan: FaultPlan) -> FaultGuard {
+    crate::campaign::silence_injected_panic_reports();
+    let serial = pgss_ckpt::faults::serialize();
+    pgss_ckpt::faults::set_plan(plan.store);
+    *cells() = plan.cell_panics;
+    FaultGuard { _serial: serial }
+}
+
+/// Campaign-worker hook: panics (with [`INJECTED_PANIC_TAG`] in the
+/// message) if the installed plan targets this cell and has attempts
+/// left.
+pub(crate) fn maybe_panic_cell(workload: &str, technique: &str) {
+    let should_panic = {
+        let mut cells = cells();
+        match cells
+            .iter_mut()
+            .find(|c| c.workload == workload && c.technique == technique && c.times > 0)
+        {
+            Some(cell) => {
+                cell.times -= 1;
+                true
+            }
+            None => false,
+        }
+    };
+    if should_panic {
+        panic!("{INJECTED_PANIC_TAG} injected worker panic: {workload} × {technique}");
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_targets_exact_cell_and_decrements() {
+        let _guard = install(FaultPlan {
+            cell_panics: vec![CellPanic {
+                workload: "w".to_string(),
+                technique: "t".to_string(),
+                times: 1,
+            }],
+            ..FaultPlan::default()
+        });
+        // Wrong cell: no panic.
+        maybe_panic_cell("w", "other");
+        maybe_panic_cell("other", "t");
+        // Right cell: panics once, then is spent.
+        let hit = std::panic::catch_unwind(|| maybe_panic_cell("w", "t"));
+        assert!(hit.is_err());
+        maybe_panic_cell("w", "t"); // healed
+    }
+
+    #[test]
+    fn guard_drop_clears_both_layers() {
+        {
+            let _guard = install(FaultPlan {
+                cell_panics: vec![CellPanic {
+                    workload: "w".to_string(),
+                    technique: "t".to_string(),
+                    times: u32::MAX,
+                }],
+                store: StoreFaultPlan {
+                    fail_puts: vec![0],
+                    ..StoreFaultPlan::default()
+                },
+            });
+        }
+        maybe_panic_cell("w", "t"); // cleared: no panic
+    }
+}

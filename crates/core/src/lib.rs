@@ -60,6 +60,8 @@ pub mod campaign;
 pub mod ckpt;
 pub mod driver;
 mod estimate;
+#[cfg(feature = "fault-inject")]
+pub mod faults;
 mod full;
 mod online_simpoint;
 mod pgss_sim;
@@ -70,6 +72,9 @@ pub mod timing;
 mod turbo;
 
 pub use adaptive::AdaptivePgss;
+pub use campaign::{
+    CampaignError, CampaignReport, CellError, CellFailure, CellResult, Job, RetryPolicy,
+};
 pub use ckpt::{
     CheckpointKey, CheckpointLadder, LadderReport, LadderSpec, SimContext, SNAPSHOT_FORMAT_VERSION,
 };

@@ -57,7 +57,16 @@ fn main() {
         "running {} design-space cells as a parallel campaign ...",
         jobs.len()
     );
-    let cells = campaign::run(&jobs);
+    // Positional indexing below needs the full grid, so an incomplete
+    // campaign (some cell exhausted its retries) is fatal here; the error
+    // names the first ledger entry.
+    let cells = match campaign::run(&jobs).into_cells() {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("design-space campaign failed: {e}");
+            std::process::exit(1);
+        }
+    };
 
     // Cells arrive in job order: workload-major, then L2 size, then
     // (FullDetailed, PgssSim) pairs.

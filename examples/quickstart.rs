@@ -38,7 +38,11 @@ fn main() {
     let techniques: Vec<&(dyn Technique + Sync)> = vec![&pgss, &smarts];
     let workloads = [workload];
     let jobs = campaign::grid(&workloads, &techniques, Default::default());
-    for cell in campaign::run(&jobs) {
+    let report = campaign::run(&jobs);
+    if !report.is_complete() {
+        eprintln!("campaign failure ledger:\n{}", report.ledger());
+    }
+    for cell in &report.cells {
         let est = &cell.estimate;
         println!("\n{}:", cell.technique);
         println!("  estimated IPC = {:.4}", est.ipc);

@@ -22,6 +22,11 @@ cargo test -p pgss-ckpt -q
 echo "== cargo test --test checkpoints -q (snapshot round-trip + bit-exact acceleration)"
 cargo test --release --test checkpoints -q
 
+echo "== fault-injection suite (panic isolation, corruption quarantine, store I/O faults)"
+cargo test --release --features fault-inject --test fault_injection -q
+cargo test -p pgss-ckpt --features fault-inject -q
+cargo test -p pgss --release --features fault-inject -q
+
 echo "== cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

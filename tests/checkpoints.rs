@@ -130,27 +130,115 @@ fn checkpointed_campaign_round_trips_through_the_store() {
     let jobs = campaign::grid(&workloads, &techs, MachineConfig::default());
 
     let plain = campaign::run(&jobs);
-    let (first, first_report) = campaign::run_checkpointed(&jobs, 50_000, Some(&store));
-    assert_eq!(plain, first);
-    assert!(first_report.capture_ops > 0, "first run must capture");
-    assert!(first_report.total_executed() < first_report.baseline_ops());
+    assert!(plain.is_complete());
+    let first = campaign::run_checkpointed(&jobs, 50_000, Some(&store)).unwrap();
+    assert_eq!(plain.cells, first.cells);
+    assert!(first.is_complete());
+    assert!(
+        first.checkpoint_faults.is_empty(),
+        "{:?}",
+        first.checkpoint_faults
+    );
+    assert!(first.ladder.capture_ops > 0, "first run must capture");
+    assert!(first.ladder.total_executed() < first.ladder.baseline_ops());
 
     // Second run: ladders come back from disk, so nothing is recaptured
     // and the cells are still identical.
-    let (second, second_report) = campaign::run_checkpointed(&jobs, 50_000, Some(&store));
-    assert_eq!(plain, second);
-    assert_eq!(second_report.capture_ops, 0, "second run must load");
+    let second = campaign::run_checkpointed(&jobs, 50_000, Some(&store)).unwrap();
+    assert_eq!(plain.cells, second.cells);
+    assert_eq!(second.ladder.capture_ops, 0, "second run must load");
+    assert!(second.checkpoint_faults.is_empty());
 
     // Injected corruption: truncate every record, then run again. The
-    // store serves nothing, capture kicks in, results are unchanged.
+    // store serves nothing, every truncated record is quarantined (and
+    // ledgered), capture kicks in, results are unchanged.
     for entry in std::fs::read_dir(&dir).unwrap() {
         let path = entry.unwrap().path();
+        if !path.is_file() {
+            continue;
+        }
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
     }
-    let (third, third_report) = campaign::run_checkpointed(&jobs, 50_000, Some(&store));
-    assert_eq!(plain, third);
-    assert!(third_report.capture_ops > 0, "corrupt store must recapture");
+    let third = campaign::run_checkpointed(&jobs, 50_000, Some(&store)).unwrap();
+    assert_eq!(plain.cells, third.cells);
+    assert!(third.ladder.capture_ops > 0, "corrupt store must recapture");
+    assert!(
+        !third.checkpoint_faults.is_empty(),
+        "wholesale corruption must be ledgered"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_rung_is_quarantined_recaptured_and_bit_exact() {
+    let dir = std::env::temp_dir().join(format!("pgss-ckpt-quarantine-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+
+    let workloads = vec![pgss_workloads::gzip(0.01)];
+    let smarts = Smarts {
+        period_ops: 100_000,
+        ..Smarts::default()
+    };
+    let pgss = PgssSim {
+        ff_ops: 100_000,
+        spacing_ops: 200_000,
+        ..PgssSim::default()
+    };
+    let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &pgss];
+    let jobs = campaign::grid(&workloads, &techs, MachineConfig::default());
+
+    let plain = campaign::run(&jobs);
+    let first = campaign::run_checkpointed(&jobs, 50_000, Some(&store)).unwrap();
+    assert_eq!(plain.cells, first.cells);
+
+    // Corrupt exactly one ladder rung: rung records carry a machine
+    // snapshot (kilobytes) while the meta record is tens of bytes, so the
+    // largest record file is a rung. Flip one payload byte.
+    let victim = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.is_file())
+        .max_by_key(|p| std::fs::metadata(p).unwrap().len())
+        .unwrap();
+    let mut bytes = std::fs::read(&victim).unwrap();
+    *bytes.last_mut().unwrap() ^= 0x01;
+    std::fs::write(&victim, &bytes).unwrap();
+    let victim_name = victim.file_name().unwrap().to_str().unwrap().to_string();
+    let victim_key = victim_name.trim_end_matches(".rec").to_string();
+
+    // The healed run is bit-identical to the unaccelerated campaign, and
+    // the report names the quarantined record.
+    let healed = campaign::run_checkpointed(&jobs, 50_000, Some(&store)).unwrap();
+    assert_eq!(
+        plain.cells, healed.cells,
+        "healing must not change any cell"
+    );
+    assert!(healed.is_complete());
+    assert!(
+        healed
+            .checkpoint_faults
+            .iter()
+            .any(|f| f.contains("quarantined") && f.contains(&victim_key)),
+        "report must name the quarantined record {victim_key}: {:?}",
+        healed.checkpoint_faults
+    );
+    // The corrupt record is preserved (not deleted) in the sidecar, and
+    // a fresh, healthy record took its place in the store.
+    assert!(dir.join("quarantine").join(&victim_name).is_file());
+    assert!(victim.is_file(), "recapture must write the rung back");
+
+    // Next run loads clean: no recapture, no faults.
+    let clean = campaign::run_checkpointed(&jobs, 50_000, Some(&store)).unwrap();
+    assert_eq!(plain.cells, clean.cells);
+    assert_eq!(clean.ladder.capture_ops, 0, "store must be healed");
+    assert!(
+        clean.checkpoint_faults.is_empty(),
+        "{:?}",
+        clean.checkpoint_faults
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,298 @@
+//! Fault-injection integration: campaigns must survive everything we can
+//! deterministically throw at them.
+//!
+//! Requires the `fault-inject` feature:
+//!
+//! ```text
+//! cargo test --release --features fault-inject --test fault_injection
+//! ```
+//!
+//! Each test installs a [`pgss::faults::FaultPlan`] — targeted worker
+//! panics and/or checkpoint-store faults (failed puts, failed / corrupted
+//! / truncated gets) — runs a real campaign, and proves the fault-
+//! tolerance contract: every cell not named by the plan is bit-identical
+//! to a fault-free run, every fault is ledgered with its context, and the
+//! same plan + retry seed reproduces the report byte for byte.
+
+use pgss::faults::{self, CellPanic, FaultPlan, StoreFaultPlan};
+use pgss::{campaign, PgssSim, Smarts, Technique};
+use pgss_ckpt::Store;
+use pgss_cpu::MachineConfig;
+use pgss_workloads::Workload;
+
+fn suite() -> Vec<Workload> {
+    vec![
+        pgss_workloads::gzip(0.01),
+        pgss_workloads::mesa(0.01),
+        pgss_workloads::twolf(0.01),
+    ]
+}
+
+fn smarts() -> Smarts {
+    Smarts {
+        period_ops: 50_000,
+        ..Smarts::default()
+    }
+}
+
+fn pgss_sim() -> PgssSim {
+    PgssSim {
+        ff_ops: 50_000,
+        spacing_ops: 50_000,
+        ..PgssSim::default()
+    }
+}
+
+fn temp_store(tag: &str) -> (std::path::PathBuf, Store) {
+    let dir = std::env::temp_dir().join(format!("pgss-fault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+    (dir, store)
+}
+
+#[test]
+fn injected_worker_panic_is_isolated_and_ledgered() {
+    let workloads = suite();
+    let smarts = smarts();
+    let pgss = pgss_sim();
+    let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &pgss];
+    let jobs = campaign::grid(&workloads, &techs, MachineConfig::default());
+
+    let clean = campaign::run(&jobs);
+    assert!(clean.is_complete());
+
+    // Permanently poison one exact cell.
+    let _guard = faults::install(FaultPlan {
+        cell_panics: vec![CellPanic {
+            workload: "177.mesa".to_string(),
+            technique: pgss.name(),
+            times: u32::MAX,
+        }],
+        ..FaultPlan::default()
+    });
+    let faulty = campaign::run(&jobs);
+
+    // Exactly that cell failed, after its full retry budget, with its
+    // workload / technique / cause in the ledger.
+    assert_eq!(faulty.failures.len(), 1);
+    let failure = &faulty.failures[0];
+    assert_eq!(failure.workload, "177.mesa");
+    assert_eq!(failure.technique, pgss.name());
+    assert_eq!(failure.attempts, 2);
+    match &failure.error {
+        campaign::CellError::Panicked(msg) => {
+            assert!(msg.contains("injected worker panic"), "{msg:?}")
+        }
+        other => panic!("unexpected cell error {other:?}"),
+    }
+    assert!(faulty.ledger().contains("177.mesa"));
+
+    // Every surviving cell is bit-identical to the fault-free campaign.
+    assert_eq!(faulty.cells.len(), clean.cells.len() - 1);
+    for cell in &faulty.cells {
+        assert_eq!(
+            clean.cell(&cell.workload, &cell.technique),
+            Some(cell),
+            "{} × {} changed under an unrelated fault",
+            cell.workload,
+            cell.technique
+        );
+    }
+}
+
+#[test]
+fn transient_injected_panic_heals_and_replays_byte_identically() {
+    let workloads = suite();
+    let smarts = smarts();
+    let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts];
+    let jobs = campaign::grid(&workloads, &techs, MachineConfig::default());
+
+    let clean = campaign::run(&jobs);
+
+    // One transient fault: the cell's first attempt panics, the retry
+    // heals it.
+    let run_with_fault = || {
+        let _guard = faults::install(FaultPlan {
+            cell_panics: vec![CellPanic {
+                workload: "300.twolf".to_string(),
+                technique: smarts.name(),
+                times: 1,
+            }],
+            ..FaultPlan::default()
+        });
+        campaign::run(&jobs)
+    };
+    let healed = run_with_fault();
+    assert!(healed.is_complete(), "{}", healed.ledger());
+    assert_eq!(healed.retries, 1);
+    assert_eq!(
+        healed.cells, clean.cells,
+        "a healed transient fault must leave no trace in the results"
+    );
+
+    // Same fault schedule, same retry seed: byte-identical reports.
+    let replay = run_with_fault();
+    assert_eq!(healed, replay);
+    assert_eq!(format!("{healed:?}"), format!("{replay:?}"));
+}
+
+#[test]
+fn injected_record_corruption_is_quarantined_and_results_unchanged() {
+    let workloads = vec![pgss_workloads::gzip(0.01)];
+    let smarts = smarts();
+    let pgss = pgss_sim();
+    let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &pgss];
+    let jobs = campaign::grid(&workloads, &techs, MachineConfig::default());
+    let (dir, store) = temp_store("corrupt");
+
+    let clean = campaign::run_checkpointed(&jobs, 50_000, Some(&store)).unwrap();
+    assert!(clean.checkpoint_faults.is_empty());
+    assert!(clean.ladder.capture_ops > 0);
+
+    // Load order is meta (get #0) then rungs (#1..): corrupt the first
+    // rung read. The store sees a checksum mismatch — indistinguishable
+    // from on-disk bit rot — quarantines the record, and the ladder
+    // recaptures.
+    let run_with_fault = || {
+        let _guard = faults::install(FaultPlan {
+            store: StoreFaultPlan {
+                corrupt_gets: vec![1],
+                ..StoreFaultPlan::default()
+            },
+            ..FaultPlan::default()
+        });
+        campaign::run_checkpointed(&jobs, 50_000, Some(&store)).unwrap()
+    };
+    let healed = run_with_fault();
+    assert_eq!(
+        clean.cells, healed.cells,
+        "corruption must not change any cell"
+    );
+    assert!(healed.is_complete());
+    assert!(
+        healed
+            .checkpoint_faults
+            .iter()
+            .any(|f| f.contains("corrupt checkpoint rung") && f.contains("quarantined")),
+        "{:?}",
+        healed.checkpoint_faults
+    );
+    assert!(
+        healed.ladder.capture_ops > 0,
+        "must recapture after quarantine"
+    );
+    // The quarantine sidecar preserved the record.
+    assert!(std::fs::read_dir(dir.join("quarantine")).unwrap().count() >= 1);
+
+    // Same fault schedule twice: byte-identical reports.
+    let replay = run_with_fault();
+    assert_eq!(healed, replay);
+    assert_eq!(format!("{healed:?}"), format!("{replay:?}"));
+
+    // With faults cleared the recaptured store loads clean.
+    let after = campaign::run_checkpointed(&jobs, 50_000, Some(&store)).unwrap();
+    assert_eq!(clean.cells, after.cells);
+    assert_eq!(after.ladder.capture_ops, 0);
+    assert!(
+        after.checkpoint_faults.is_empty(),
+        "{:?}",
+        after.checkpoint_faults
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_store_io_errors_degrade_gracefully() {
+    let workloads = vec![pgss_workloads::twolf(0.01)];
+    let smarts = smarts();
+    let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts];
+    let jobs = campaign::grid(&workloads, &techs, MachineConfig::default());
+    let (dir, store) = temp_store("io");
+
+    let plain = campaign::run(&jobs);
+
+    // First campaign: the very first rung write-back fails with an I/O
+    // error. Capture still accelerates this run; only persistence is
+    // lost, and the ledger says so.
+    {
+        let _guard = faults::install(FaultPlan {
+            store: StoreFaultPlan {
+                fail_puts: vec![0],
+                ..StoreFaultPlan::default()
+            },
+            ..FaultPlan::default()
+        });
+        let report = campaign::run_checkpointed(&jobs, 50_000, Some(&store)).unwrap();
+        assert_eq!(plain.cells, report.cells);
+        assert!(report.is_complete());
+        assert!(
+            report
+                .checkpoint_faults
+                .iter()
+                .any(|f| f.contains("write-back") && f.contains("failed")),
+            "{:?}",
+            report.checkpoint_faults
+        );
+        assert!(!faults::injection_log().is_empty());
+    }
+
+    // Second campaign: the meta read (get #0) fails with an I/O error.
+    // The ladder falls back to recapture; results are unchanged.
+    {
+        let _guard = faults::install(FaultPlan {
+            store: StoreFaultPlan {
+                fail_gets: vec![0],
+                ..StoreFaultPlan::default()
+            },
+            ..FaultPlan::default()
+        });
+        let report = campaign::run_checkpointed(&jobs, 50_000, Some(&store)).unwrap();
+        assert_eq!(plain.cells, report.cells);
+        assert!(report.is_complete());
+    }
+
+    // Faults cleared: the store heals to a fully-loadable state.
+    let healed = campaign::run_checkpointed(&jobs, 50_000, Some(&store)).unwrap();
+    assert_eq!(plain.cells, healed.cells);
+    assert_eq!(
+        healed.ladder.capture_ops, 0,
+        "{:?}",
+        healed.checkpoint_faults
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn combined_panic_and_store_faults_in_one_campaign() {
+    let workloads = vec![pgss_workloads::gzip(0.01), pgss_workloads::mesa(0.01)];
+    let smarts = smarts();
+    let pgss = pgss_sim();
+    let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &pgss];
+    let jobs = campaign::grid(&workloads, &techs, MachineConfig::default());
+    let (dir, store) = temp_store("combined");
+
+    let clean = campaign::run_checkpointed(&jobs, 50_000, Some(&store)).unwrap();
+
+    // Everything at once: a transient worker panic on one cell plus a
+    // corrupted rung read. The campaign heals both and stays bit-exact.
+    let _guard = faults::install(FaultPlan {
+        cell_panics: vec![CellPanic {
+            workload: "164.gzip".to_string(),
+            technique: smarts.name(),
+            times: 1,
+        }],
+        store: StoreFaultPlan {
+            corrupt_gets: vec![1],
+            ..StoreFaultPlan::default()
+        },
+    });
+    let report = campaign::run_checkpointed(&jobs, 50_000, Some(&store)).unwrap();
+    assert!(report.is_complete(), "{}", report.ledger());
+    assert_eq!(clean.cells, report.cells);
+    assert_eq!(report.retries, 1);
+    assert!(!report.checkpoint_faults.is_empty());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
