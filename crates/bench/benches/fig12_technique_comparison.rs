@@ -157,6 +157,22 @@ fn main() {
         eprintln!("checkpoint fault healed: {fault}");
     }
     let report = campaign_report.ladder;
+    // The campaign-scope metrics summarize where the figure's time went
+    // (the full per-cell breakdown is `campaign_metrics --jsonl`).
+    if let Some(scope) = campaign_report.metrics.scope("campaign") {
+        eprintln!(
+            "campaign metrics: {} cells ok / {} retries, wall {:.1} s, mean detail share {}",
+            scope.counter("campaign.cells.ok"),
+            scope.counter("campaign.retries"),
+            scope
+                .span("campaign.run")
+                .map_or(0.0, |s| s.total_ns as f64 / 1e9),
+            scope
+                .dists
+                .get("campaign.detail_share")
+                .map_or_else(|| "-".to_string(), |d| pct(d.mean())),
+        );
+    }
     // The figure indexes the grid positionally, so every cell must exist.
     let cells = match campaign_report.into_cells() {
         Ok(cells) => cells,

@@ -94,6 +94,15 @@ fn main() {
         eprintln!("checkpoint fault healed: {fault}");
     }
     let report = campaign_report.ladder;
+    if let Some(scope) = campaign_report.metrics.scope("campaign") {
+        eprintln!(
+            "campaign metrics: {} cells ok, wall {:.1} s",
+            scope.counter("campaign.cells.ok"),
+            scope
+                .span("campaign.run")
+                .map_or(0.0, |s| s.total_ns as f64 / 1e9),
+        );
+    }
     // The figure indexes the grid positionally, so every cell must exist.
     let cells = match campaign_report.into_cells() {
         Ok(cells) => cells,

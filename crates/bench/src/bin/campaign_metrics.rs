@@ -1,0 +1,150 @@
+//! Campaign observability harness: runs the fixed-configuration technique
+//! grid behind Figures 12/13 under a metrics-recording campaign and prints
+//! the per-cell detail-budget table — how much cycle-level simulation each
+//! technique bought its accuracy with — plus the campaign-scope summary.
+//!
+//! With `--jsonl <path>` the full [`pgss::MetricsReport`] is exported as
+//! JSON Lines (schema `pgss::METRICS_SCHEMA_VERSION`). The export is
+//! byte-identical across reruns and `PGSS_WORKERS` settings, so it can be
+//! diffed or checked into an experiment log.
+//!
+//! ```text
+//! cargo run --release -p pgss-bench --bin campaign_metrics -- --jsonl metrics.jsonl
+//! ```
+
+use pgss::{campaign, OnlineSimPoint, PgssSim, SimPointOffline, Smarts, Technique, TurboSmarts};
+use pgss_bench::{banner, ops_fmt, pct, suite, Table};
+use pgss_cpu::MachineConfig;
+
+fn main() {
+    banner("campaign metrics", "per-cell detail budgets + JSONL export");
+    let jsonl_path = jsonl_arg();
+
+    let smarts = Smarts {
+        period_ops: 100_000,
+        ..Smarts::default()
+    };
+    let turbo = TurboSmarts {
+        smarts,
+        ..TurboSmarts::default()
+    };
+    let simpoint = SimPointOffline {
+        interval_ops: 1_000_000,
+        k: 10,
+        ..SimPointOffline::default()
+    };
+    let olsp = OnlineSimPoint::new();
+    let pgss = PgssSim::new();
+    let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &turbo, &simpoint, &olsp, &pgss];
+
+    let workloads = suite();
+    let jobs = campaign::grid(&workloads, &techs, MachineConfig::default());
+    eprintln!(
+        "running {} campaign cells (checkpoint-accelerated) ...",
+        jobs.len()
+    );
+    let store = pgss_bench::checkpoint_store();
+    let report = match campaign::run_checkpointed(&jobs, 1_000_000, store.as_ref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign failed to run: {e}");
+            std::process::exit(1);
+        }
+    };
+    if !report.is_complete() {
+        eprintln!("{}", report.ledger());
+        std::process::exit(1);
+    }
+
+    // Per-cell detail budgets, straight from the metric scopes (the same
+    // numbers the JSONL export carries). Scope 0 is the campaign; cells
+    // follow in job order.
+    let mut table = Table::new(&[
+        "benchmark",
+        "technique",
+        "detail ops",
+        "detail share",
+        "samples",
+        "IPC",
+        "95% ±",
+    ]);
+    for (cell, (_, frame)) in report.cells.iter().zip(&report.metrics.scopes[1..]) {
+        let detail = frame.counter("cell.ops.warm") + frame.counter("cell.ops.detail");
+        let total =
+            detail + frame.counter("cell.ops.fast_forward") + frame.counter("cell.ops.functional");
+        table.row(&[
+            cell.workload.clone(),
+            cell.technique.clone(),
+            ops_fmt(detail),
+            pct(detail as f64 / total.max(1) as f64),
+            frame.counter("cell.samples").to_string(),
+            format!("{:.4}", cell.estimate.ipc),
+            cell.estimate
+                .ci
+                .map_or_else(|| "-".to_string(), |ci| format!("{:.4}", ci.half_width)),
+        ]);
+    }
+    table.print();
+
+    let scope = report
+        .metrics
+        .scope("campaign")
+        .expect("campaign scope always present");
+    println!();
+    println!(
+        "campaign: {} jobs in {} groups, {} ok / {} failed, {} retries",
+        scope.counter("campaign.jobs"),
+        scope.counter("campaign.groups"),
+        scope.counter("campaign.cells.ok"),
+        scope.counter("campaign.cells.failed"),
+        scope.counter("campaign.retries"),
+    );
+    println!(
+        "checkpoints: {} jumps skipped {} ops (executed {}, capture {}); store {} hits / {} misses",
+        scope.counter("ckpt.ladder.jumps"),
+        ops_fmt(scope.counter("ckpt.ladder.skipped_ops")),
+        ops_fmt(scope.counter("ckpt.ladder.executed_ops")),
+        ops_fmt(scope.counter("ckpt.ladder.capture_ops")),
+        scope.counter("ckpt.store.hit"),
+        scope.counter("ckpt.store.miss"),
+    );
+    if let Some(share) = scope.dists.get("campaign.detail_share") {
+        println!(
+            "detail share across cells: mean {} (std {})",
+            pct(share.mean()),
+            pct(share.sample_stddev()),
+        );
+    }
+    if let Some(span) = scope.span("campaign.run") {
+        println!("wall time: {:.2} s", span.total_ns as f64 / 1e9);
+    }
+
+    if let Some(path) = jsonl_path {
+        let jsonl = report.metrics.to_jsonl();
+        if let Err(e) = std::fs::write(&path, &jsonl) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {} metric scopes to {path}",
+            report.metrics.scopes.len()
+        );
+    }
+}
+
+/// Parses `--jsonl <path>` from the command line, if present.
+fn jsonl_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jsonl" {
+            match args.next() {
+                Some(path) => return Some(path),
+                None => {
+                    eprintln!("--jsonl needs a path argument");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}

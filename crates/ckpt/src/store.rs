@@ -29,6 +29,9 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pgss_obs::{NoopRecorder, Recorder};
 
 use crate::codec::{fnv1a64, Decoder, Encoder};
 
@@ -138,9 +141,14 @@ impl VerifyReport {
 
 /// A directory of content-addressed records. Cheap to clone paths from;
 /// safe for concurrent writers (last complete write wins atomically).
+///
+/// A store opens with the no-op [`Recorder`]; attach a real one with
+/// [`Store::with_recorder`] to count hits / misses / invalid records /
+/// quarantines and bytes moved (`ckpt.store.*` counters).
 #[derive(Debug, Clone)]
 pub struct Store {
     dir: PathBuf,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl Store {
@@ -148,7 +156,16 @@ impl Store {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        Ok(Self {
+            dir,
+            recorder: Arc::new(NoopRecorder),
+        })
+    }
+
+    /// The same store, reporting `ckpt.store.*` metrics to `recorder`.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Store {
+        self.recorder = recorder;
+        self
     }
 
     /// The directory this store lives in.
@@ -185,9 +202,15 @@ impl Store {
         ));
         let written = write_tmp(&tmp, &record);
         match written.and_then(|()| fs::rename(&tmp, self.path_for(key))) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.recorder.add("ckpt.store.put", 1);
+                self.recorder
+                    .add("ckpt.store.bytes_written", record.len() as u64);
+                Ok(())
+            }
             Err(e) => {
                 let _ = fs::remove_file(&tmp);
+                self.recorder.add("ckpt.store.put_error", 1);
                 Err(e)
             }
         }
@@ -206,6 +229,24 @@ impl Store {
     /// validation (self-healing callers quarantine and recompute those),
     /// [`RecordError::Io`] for an unreadable file.
     pub fn get_checked(&self, key: u64) -> Result<Vec<u8>, RecordError> {
+        let result = self.get_checked_inner(key);
+        self.recorder.add(
+            match &result {
+                Ok(_) => "ckpt.store.hit",
+                Err(RecordError::Missing) => "ckpt.store.miss",
+                Err(RecordError::Invalid(_)) => "ckpt.store.invalid",
+                Err(RecordError::Io(..)) => "ckpt.store.io_error",
+            },
+            1,
+        );
+        if let Ok(payload) = &result {
+            self.recorder
+                .add("ckpt.store.bytes_read", payload.len() as u64);
+        }
+        result
+    }
+
+    fn get_checked_inner(&self, key: u64) -> Result<Vec<u8>, RecordError> {
         let path = self.path_for(key);
         #[allow(unused_mut)] // mutated only under `fault-inject`
         let mut bytes = match fs::read(&path) {
@@ -247,6 +288,7 @@ impl Store {
         let dst = self.quarantine_dir().join(format!("{key:016x}.rec"));
         fs::create_dir_all(self.quarantine_dir())?;
         fs::rename(&src, &dst)?;
+        self.recorder.add("ckpt.store.quarantined", 1);
         Ok(Some(dst))
     }
 
@@ -607,6 +649,33 @@ mod tests {
         ));
         // Past the plan, the untouched on-disk record serves again.
         assert_eq!(s.get(10).as_deref(), Some(&b"pristine on disk"[..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recorder_counts_hits_misses_invalid_and_quarantines() {
+        let dir = scratch("recorder");
+        let rec = Arc::new(pgss_obs::MetricsRecorder::new());
+        let s = Store::open(&dir)
+            .unwrap()
+            .with_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
+        assert_eq!(s.get(1), None); // miss
+        s.put(1, b"payload").unwrap();
+        assert!(s.get(1).is_some()); // hit
+        let mut bytes = fs::read(s.path_for(1)).unwrap();
+        *bytes.last_mut().unwrap() ^= 0x01;
+        fs::write(s.path_for(1), &bytes).unwrap();
+        assert_eq!(s.get(1), None); // invalid
+        s.quarantine(1).unwrap().expect("moved aside");
+
+        let frame = rec.frame();
+        assert_eq!(frame.counter("ckpt.store.miss"), 1);
+        assert_eq!(frame.counter("ckpt.store.hit"), 1);
+        assert_eq!(frame.counter("ckpt.store.invalid"), 1);
+        assert_eq!(frame.counter("ckpt.store.quarantined"), 1);
+        assert_eq!(frame.counter("ckpt.store.put"), 1);
+        assert_eq!(frame.counter("ckpt.store.bytes_read"), 7);
+        assert!(frame.counter("ckpt.store.bytes_written") > 7);
         let _ = fs::remove_dir_all(&dir);
     }
 

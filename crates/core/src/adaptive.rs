@@ -15,8 +15,6 @@
 //! runs with the tuned threshold. The pilot's instructions are charged as
 //! functional simulation.
 
-use std::sync::Arc;
-
 use pgss_bbv::HashedBbv;
 use pgss_cluster::KMeans;
 use pgss_cpu::{MachineConfig, Mode};
@@ -89,9 +87,7 @@ impl AdaptivePgss {
         ctx: &SimContext,
     ) -> (f64, u64, RunTrace) {
         let mut driver = SimDriver::new(workload, config, Track::Hashed(self.base.hash_seed));
-        if let Some(ladder) = &ctx.ladder {
-            driver.attach_ladder(Arc::clone(ladder));
-        }
+        ctx.bind(&mut driver);
         let mut policy = PilotPolicy {
             ff_ops: self.base.ff_ops,
             budget: (workload.nominal_ops() as f64 * self.pilot_fraction) as u64,

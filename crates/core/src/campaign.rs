@@ -55,6 +55,7 @@ use std::sync::Arc;
 
 use pgss_ckpt::Store;
 use pgss_cpu::MachineConfig;
+use pgss_obs::{MetricsFrame, MetricsRecorder, MetricsReport, Recorder, Span};
 use pgss_stats::DetRng;
 use pgss_workloads::Workload;
 
@@ -255,6 +256,15 @@ pub struct CampaignReport {
     /// informational: the affected cells still produced bit-exact results
     /// via recapture or unaccelerated execution.
     pub checkpoint_faults: Vec<String>,
+    /// Observability: a `"campaign"` scope (job/retry/failure counters,
+    /// checkpoint-store and ladder accounting, detail-share distribution)
+    /// followed by one `"workload/technique"` scope per successful cell in
+    /// job order, each carrying that cell's driver counters. Per-worker
+    /// frames are merged at join in job order, so the report — and its
+    /// [`MetricsReport::to_jsonl`] export — is byte-identical regardless
+    /// of `PGSS_WORKERS` (span wall times are excluded from comparison
+    /// and export; see `pgss_obs`).
+    pub metrics: MetricsReport,
 }
 
 impl CampaignReport {
@@ -407,15 +417,20 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Runs the cells named by `order` (indices into `jobs`) on up to
 /// `threads` claim-loop workers, isolating each cell with `catch_unwind`.
-/// Successes are appended to `results`, panics to `failed` (with their
-/// message); both keyed by job index, so callers can merge passes and
-/// sort once at the end.
+/// Successes are appended to `results` together with the cell's metric
+/// frame, panics to `failed` (with their message); both keyed by job
+/// index, so callers can merge passes and sort once at the end.
+///
+/// Every *attempt* gets a fresh [`MetricsRecorder`]; only the successful
+/// attempt's frame survives. A cell healed by retry therefore carries
+/// exactly the metrics of its clean run — byte-identical to a fault-free
+/// campaign.
 fn run_cells(
     jobs: &[Job<'_>],
     order: &[usize],
     threads: usize,
     ctx: &SimContext,
-    results: &mut Vec<(usize, CellResult)>,
+    results: &mut Vec<(usize, CellResult, MetricsFrame)>,
     failed: &mut Vec<(usize, String)>,
 ) {
     if order.is_empty() {
@@ -435,10 +450,17 @@ fn run_cells(
                         let job = &jobs[i];
                         let workload = job.workload.name().to_string();
                         let technique = job.technique.name();
+                        let rec = Arc::new(MetricsRecorder::new());
+                        let cell_ctx = SimContext {
+                            ladder: ctx.ladder.clone(),
+                            recorder: Arc::clone(&rec) as Arc<dyn Recorder>,
+                        };
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
                             #[cfg(feature = "fault-inject")]
                             crate::faults::maybe_panic_cell(&workload, &technique);
-                            job.technique.run_traced_ctx(job.workload, &job.config, ctx)
+                            let _span = Span::enter(&*rec, "cell.run");
+                            job.technique
+                                .run_traced_ctx(job.workload, &job.config, &cell_ctx)
                         }));
                         match outcome {
                             Ok((estimate, trace)) => ok.push((
@@ -449,6 +471,7 @@ fn run_cells(
                                     estimate,
                                     trace,
                                 },
+                                rec.frame(),
                             )),
                             Err(payload) => bad.push((i, panic_message(payload))),
                         }
@@ -481,7 +504,7 @@ fn execute(
     threads: usize,
     ctx: &SimContext,
     retry: &RetryPolicy,
-    results: &mut Vec<(usize, CellResult)>,
+    results: &mut Vec<(usize, CellResult, MetricsFrame)>,
     report: &mut CampaignReport,
 ) {
     let mut failed: Vec<(usize, String)> = Vec::new();
@@ -519,24 +542,72 @@ fn execute(
         }));
 }
 
+/// Folds per-cell metric frames and the campaign-level recorder into
+/// `report`: cells are sorted into job order, fold-time cell counters
+/// (logical mode ops, sample counts) and the campaign-wide detail-share
+/// distribution are derived from the estimates, and the metrics report is
+/// assembled as the `"campaign"` scope followed by one scope per cell.
+///
+/// Everything here runs on the campaign thread in job order — Welford
+/// folding order is part of the determinism contract, so the same cells
+/// produce the same bytes no matter how many workers computed them.
+fn finalize(
+    report: &mut CampaignReport,
+    mut results: Vec<(usize, CellResult, MetricsFrame)>,
+    campaign_rec: &MetricsRecorder,
+) {
+    results.sort_unstable_by_key(|&(i, _, _)| i);
+    campaign_rec.add("campaign.cells.ok", results.len() as u64);
+    campaign_rec.add("campaign.cells.failed", report.failures.len() as u64);
+    campaign_rec.add("campaign.retries", report.retries);
+    campaign_rec.register_hist("campaign.detail_share", 0.0, 1.0, 20);
+    for (_, cell, frame) in &mut results {
+        let ops = cell.estimate.mode_ops;
+        frame.add("cell.ops.fast_forward", ops.fast_forward);
+        frame.add("cell.ops.functional", ops.functional);
+        frame.add("cell.ops.warm", ops.detailed_warming);
+        frame.add("cell.ops.detail", ops.detailed_measured);
+        frame.add("cell.samples", cell.estimate.samples);
+        if ops.total() > 0 {
+            let share = ops.detailed() as f64 / ops.total() as f64;
+            campaign_rec.observe("campaign.detail_share", share);
+            campaign_rec.record_hist("campaign.detail_share", share);
+        }
+    }
+    let mut metrics = MetricsReport::new();
+    metrics.push_scope("campaign", campaign_rec.frame());
+    report.cells = results
+        .into_iter()
+        .map(|(_, cell, frame)| {
+            metrics.push_scope(format!("{}/{}", cell.workload, cell.technique), frame);
+            cell
+        })
+        .collect();
+    report.metrics = metrics;
+}
+
 /// Runs `jobs` on [`worker_threads`] threads with the default
 /// [`RetryPolicy`]. See [`run_on`]; infallible because the thread count
 /// is host-derived and therefore valid.
 pub fn run(jobs: &[Job<'_>]) -> CampaignReport {
     let mut report = CampaignReport::default();
+    let campaign_rec = MetricsRecorder::new();
+    campaign_rec.add("campaign.jobs", jobs.len() as u64);
     let order: Vec<usize> = (0..jobs.len()).collect();
     let mut results = Vec::with_capacity(jobs.len());
-    execute(
-        jobs,
-        &order,
-        worker_threads().max(1),
-        &SimContext::none(),
-        &RetryPolicy::default(),
-        &mut results,
-        &mut report,
-    );
-    results.sort_unstable_by_key(|&(i, _)| i);
-    report.cells = results.into_iter().map(|(_, cell)| cell).collect();
+    {
+        let _span = Span::enter(&campaign_rec, "campaign.run");
+        execute(
+            jobs,
+            &order,
+            worker_threads().max(1),
+            &SimContext::none(),
+            &RetryPolicy::default(),
+            &mut results,
+            &mut report,
+        );
+    }
+    finalize(&mut report, results, &campaign_rec);
     report
 }
 
@@ -572,19 +643,23 @@ pub fn run_on_with(
         });
     }
     let mut report = CampaignReport::default();
+    let campaign_rec = MetricsRecorder::new();
+    campaign_rec.add("campaign.jobs", jobs.len() as u64);
     let order: Vec<usize> = (0..jobs.len()).collect();
     let mut results = Vec::with_capacity(jobs.len());
-    execute(
-        jobs,
-        &order,
-        threads,
-        &SimContext::none(),
-        retry,
-        &mut results,
-        &mut report,
-    );
-    results.sort_unstable_by_key(|&(i, _)| i);
-    report.cells = results.into_iter().map(|(_, cell)| cell).collect();
+    {
+        let _span = Span::enter(&campaign_rec, "campaign.run");
+        execute(
+            jobs,
+            &order,
+            threads,
+            &SimContext::none(),
+            retry,
+            &mut results,
+            &mut report,
+        );
+    }
+    finalize(&mut report, results, &campaign_rec);
     Ok(report)
 }
 
@@ -629,6 +704,13 @@ pub fn run_checkpointed(
     if jobs.is_empty() {
         return Ok(report);
     }
+    let campaign_rec = Arc::new(MetricsRecorder::new());
+    campaign_rec.add("campaign.jobs", jobs.len() as u64);
+    // Route the store's hit/miss/quarantine/byte counters into the
+    // campaign scope. All store traffic happens on this thread (groups
+    // are processed sequentially), so the counters are deterministic.
+    let store = store.map(|st| st.clone().with_recorder(Arc::clone(&campaign_rec) as _));
+    let store = store.as_ref();
     let threads = worker_threads().max(1);
     let retry = RetryPolicy::default();
     // Group cells sharing a workload and configuration; each group shares
@@ -643,7 +725,9 @@ pub fn run_checkpointed(
             None => groups.push(vec![i]),
         }
     }
-    let mut results: Vec<(usize, CellResult)> = Vec::with_capacity(jobs.len());
+    campaign_rec.add("campaign.groups", groups.len() as u64);
+    let mut results: Vec<(usize, CellResult, MetricsFrame)> = Vec::with_capacity(jobs.len());
+    let campaign_span = Span::enter(&*campaign_rec, "campaign.run");
     for group in &groups {
         let first = &jobs[group[0]];
         let mut hashed_seeds: Vec<u64> = Vec::new();
@@ -699,9 +783,19 @@ pub fn run_checkpointed(
             report.ladder.merge(&ladder.report());
         }
     }
-    results.sort_unstable_by_key(|&(i, _)| i);
-    report.cells = results.into_iter().map(|(_, cell)| cell).collect();
+    drop(campaign_span);
+    // Mirror the ladder accounting as campaign-scope counters so the
+    // JSONL export carries the acceleration story alongside the cells.
+    campaign_rec.add("ckpt.ladder.jumps", report.ladder.jumps);
+    campaign_rec.add("ckpt.ladder.skipped_ops", report.ladder.skipped_ops);
+    campaign_rec.add("ckpt.ladder.executed_ops", report.ladder.executed_ops);
+    campaign_rec.add("ckpt.ladder.capture_ops", report.ladder.capture_ops);
+    campaign_rec.add(
+        "campaign.checkpoint_faults",
+        report.checkpoint_faults.len() as u64,
+    );
     report.failures.sort_unstable_by_key(|f| f.job_index);
+    finalize(&mut report, results, &campaign_rec);
     Ok(report)
 }
 
@@ -874,6 +968,14 @@ mod tests {
         );
         assert!(fast.is_complete());
         assert!(fast.checkpoint_faults.is_empty());
+        // The campaign scope mirrors the ladder accounting as counters.
+        let scope = fast.metrics.scope("campaign").unwrap();
+        assert_eq!(scope.counter("ckpt.ladder.jumps"), fast.ladder.jumps);
+        assert_eq!(
+            scope.counter("ckpt.ladder.skipped_ops"),
+            fast.ladder.skipped_ops
+        );
+        assert_eq!(scope.counter("campaign.groups"), 2);
         let report = fast.ladder;
         assert!(report.jumps > 0);
         assert!(report.skipped_ops > 0);
@@ -884,6 +986,41 @@ mod tests {
             report.baseline_ops()
         );
         assert!(report.executed_ratio() < 1.0);
+    }
+
+    #[test]
+    fn metrics_are_deterministic_and_mirror_the_cells() {
+        let workloads = vec![pgss_workloads::gzip(0.01)];
+        let (smarts, _, pgss) = techniques();
+        let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &pgss];
+        let jobs = grid(&workloads, &techs, MachineConfig::default());
+        let a = run_on(&jobs, 1).unwrap();
+        let b = run_on(&jobs, 4).unwrap();
+        assert_eq!(a.metrics, b.metrics, "metrics must not depend on workers");
+        assert_eq!(a.metrics.to_jsonl(), b.metrics.to_jsonl());
+
+        let campaign = a.metrics.scope("campaign").unwrap();
+        assert_eq!(campaign.counter("campaign.jobs"), 2);
+        assert_eq!(campaign.counter("campaign.cells.ok"), 2);
+        assert_eq!(campaign.counter("campaign.cells.failed"), 0);
+        assert_eq!(campaign.counter("campaign.retries"), 0);
+        assert_eq!(campaign.span("campaign.run").unwrap().count, 1);
+        assert_eq!(campaign.dists["campaign.detail_share"].count(), 2);
+        assert_eq!(campaign.hists["campaign.detail_share"].total(), 2);
+
+        // Scope order: campaign first, then one scope per cell in job
+        // order, each mirroring that cell's estimate accounting and the
+        // driver's own logical-op counters.
+        assert_eq!(a.metrics.scopes.len(), 1 + a.cells.len());
+        for (cell, (name, frame)) in a.cells.iter().zip(&a.metrics.scopes[1..]) {
+            assert_eq!(name, &format!("{}/{}", cell.workload, cell.technique));
+            let ops = cell.estimate.mode_ops;
+            assert_eq!(frame.counter("cell.ops.detail"), ops.detailed_measured);
+            assert_eq!(frame.counter("cell.ops.functional"), ops.functional);
+            assert_eq!(frame.counter("cell.samples"), cell.estimate.samples);
+            assert_eq!(frame.counter("driver.ops.detail"), ops.detailed_measured);
+            assert_eq!(frame.span("cell.run").unwrap().count, 1);
+        }
     }
 
     #[test]

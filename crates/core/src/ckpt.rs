@@ -747,18 +747,30 @@ fn decode_rung(bytes: &[u8], spec: &LadderSpec) -> Result<LadderRung, CodecError
 }
 
 /// Per-run context threaded to [`crate::Technique::run_traced_ctx`]:
-/// carries the checkpoint ladder (if any) every driver pass of the run
-/// should attach.
-#[derive(Debug, Clone, Default)]
+/// carries the checkpoint ladder (if any) and the metrics recorder every
+/// driver pass of the run should attach — see [`SimContext::bind`].
+#[derive(Debug, Clone)]
 pub struct SimContext {
     /// The workload's checkpoint ladder, shared across the techniques of
     /// a checkpoint-accelerated campaign.
     pub ladder: Option<std::sync::Arc<CheckpointLadder>>,
+    /// Metrics sink for the run ([`pgss_obs::NoopRecorder`] by default,
+    /// which costs nothing).
+    pub recorder: std::sync::Arc<dyn pgss_obs::Recorder>,
+}
+
+impl Default for SimContext {
+    fn default() -> SimContext {
+        SimContext {
+            ladder: None,
+            recorder: std::sync::Arc::new(pgss_obs::NoopRecorder),
+        }
+    }
 }
 
 impl SimContext {
-    /// A context with no acceleration — techniques behave exactly as
-    /// their plain `run_traced`.
+    /// A context with no acceleration and no metrics — techniques behave
+    /// exactly as their plain `run_traced`.
     pub fn none() -> SimContext {
         SimContext::default()
     }
@@ -767,7 +779,33 @@ impl SimContext {
     pub fn with_ladder(ladder: std::sync::Arc<CheckpointLadder>) -> SimContext {
         SimContext {
             ladder: Some(ladder),
+            ..SimContext::default()
         }
+    }
+
+    /// A context carrying `recorder`.
+    pub fn with_recorder(recorder: std::sync::Arc<dyn pgss_obs::Recorder>) -> SimContext {
+        SimContext {
+            ladder: None,
+            recorder,
+        }
+    }
+
+    /// The same context with `recorder` attached (builder-style).
+    pub fn and_recorder(mut self, recorder: std::sync::Arc<dyn pgss_obs::Recorder>) -> SimContext {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Attaches everything this context carries to a driver pass: the
+    /// ladder (if any) and the recorder. Every technique calls this on
+    /// each [`crate::driver::SimDriver`] it constructs, so instrumented
+    /// campaigns see every pass.
+    pub fn bind(&self, driver: &mut crate::driver::SimDriver) {
+        if let Some(ladder) = &self.ladder {
+            driver.attach_ladder(std::sync::Arc::clone(ladder));
+        }
+        driver.attach_recorder(std::sync::Arc::clone(&self.recorder));
     }
 }
 

@@ -45,9 +45,20 @@ use std::sync::Arc;
 
 use pgss_bbv::{BbvHash, FullBbv, FullBbvTracker, HashedBbv, HashedBbvTracker};
 use pgss_cpu::{Machine, MachineConfig, MachineSnapshot, Mode, ModeOps};
+use pgss_obs::Recorder;
 use pgss_workloads::Workload;
 
 use crate::ckpt::{decode_machine_snapshot, CheckpointLadder};
+
+/// The `driver.ops.*` / `driver.segments.*` counter names for a mode.
+fn mode_metric_keys(mode: Mode) -> (&'static str, &'static str) {
+    match mode {
+        Mode::FastForward => ("driver.ops.fast_forward", "driver.segments.fast_forward"),
+        Mode::Functional => ("driver.ops.functional", "driver.segments.functional"),
+        Mode::DetailedWarming => ("driver.ops.warm", "driver.segments.warm"),
+        Mode::DetailedMeasured => ("driver.ops.detail", "driver.segments.detail"),
+    }
+}
 
 /// What the driver's retire sink tracks alongside execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -284,6 +295,9 @@ pub struct SimDriver {
     hashed_taken: HashedBbv,
     /// Full-BBV counterpart of `hashed_taken`.
     full_taken: Option<FullBbv>,
+    /// Metrics sink for per-segment op counters; `None` (the common case)
+    /// costs nothing on the hot path.
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl SimDriver {
@@ -306,6 +320,7 @@ impl SimDriver {
             seed_idx: None,
             hashed_taken: HashedBbv::new(),
             full_taken: None,
+            recorder: None,
         }
     }
 
@@ -387,6 +402,17 @@ impl SimDriver {
         self.ladder = Some(ladder);
     }
 
+    /// Attaches a metrics recorder. Every executed segment then reports
+    /// `driver.segments.<mode>` (+1), `driver.ops.<mode>` (the segment's
+    /// *logical* ops, including any distance covered by a ladder jump),
+    /// and `driver.ops.jumped` / `driver.jumps` for skipped work. All
+    /// values are deterministic, so recorded frames are byte-comparable
+    /// across runs. A disabled recorder is not retained — the hot path
+    /// stays a single `Option` check.
+    pub fn attach_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder.enabled().then_some(recorder);
+    }
+
     /// Runs `policy` to completion: alternately asks it for a segment and
     /// hands back the outcome, until it answers [`Directive::Finish`].
     pub fn run<P: SamplingPolicy + ?Sized>(&mut self, policy: &mut P) {
@@ -455,6 +481,15 @@ impl SimDriver {
         self.trace.segments[segment.mode as usize] += 1;
         if ops < segment.max_ops && segment.max_ops != u64::MAX {
             self.trace.truncated_segments += 1;
+        }
+        if let Some(rec) = &self.recorder {
+            let (ops_key, seg_key) = mode_metric_keys(segment.mode);
+            rec.add(ops_key, ops);
+            rec.add(seg_key, 1);
+            if skipped > 0 {
+                rec.add("driver.jumps", 1);
+                rec.add("driver.ops.jumped", skipped);
+            }
         }
         let bbv = if segment.take_bbv {
             match &mut self.sink {
@@ -810,6 +845,46 @@ mod tests {
         assert_eq!(d.retired(), total);
         assert!(ladder.report().jumps > 0);
         assert!(ladder.report().executed_ops < total);
+    }
+
+    #[test]
+    fn recorder_counts_logical_ops_including_jumped_distance() {
+        use crate::ckpt::{CheckpointLadder, LadderSpec};
+        use pgss_obs::MetricsRecorder;
+        let w = tiny_workload();
+        let cfg = MachineConfig::default();
+        let ladder = Arc::new(CheckpointLadder::capture(
+            &w,
+            &cfg,
+            &LadderSpec::machine_only(50_000),
+        ));
+        let rec = Arc::new(MetricsRecorder::new());
+        let mut d = SimDriver::new(&w, &cfg, Track::None);
+        d.attach_ladder(Arc::clone(&ladder));
+        d.attach_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
+        d.execute(Segment::new(Mode::Functional, 120_000));
+        d.execute(Segment::new(Mode::DetailedWarming, 3_000));
+        d.execute(Segment::new(Mode::DetailedMeasured, 1_000));
+        let frame = rec.frame();
+        // Logical functional ops include the jumped distance, matching
+        // the machine's ModeOps accounting bit for bit.
+        assert_eq!(frame.counter("driver.ops.functional"), 120_000);
+        assert_eq!(frame.counter("driver.ops.warm"), 3_000);
+        assert_eq!(frame.counter("driver.ops.detail"), 1_000);
+        assert_eq!(frame.counter("driver.segments.functional"), 1);
+        assert_eq!(frame.counter("driver.jumps"), 1);
+        let jumped = frame.counter("driver.ops.jumped");
+        assert!(jumped >= 100_000, "jumped {jumped}");
+        assert_eq!(d.mode_ops().functional, 120_000);
+    }
+
+    #[test]
+    fn disabled_recorder_is_not_retained() {
+        use pgss_obs::NoopRecorder;
+        let w = tiny_workload();
+        let mut d = SimDriver::new(&w, &MachineConfig::default(), Track::None);
+        d.attach_recorder(Arc::new(NoopRecorder));
+        assert!(d.recorder.is_none());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Common result types and the [`Technique`] trait.
 
 use pgss_cpu::{MachineConfig, ModeOps};
+use pgss_stats::ConfidenceInterval;
 use pgss_workloads::Workload;
 
 use crate::ckpt::SimContext;
@@ -45,6 +46,17 @@ pub struct Estimate {
     pub samples: u64,
     /// Phase structure, for phase-aware techniques.
     pub phases: Option<PhaseSummary>,
+    /// The technique's own 95 % confidence claim on `ipc`
+    /// ([`pgss_stats::Z_95`], delta-method mapped from CPI space), when
+    /// the technique's statistical model supports one: SMARTS/TurboSMARTS
+    /// report the Gaussian interval over their sample population, PGSS
+    /// composes per-phase stratified intervals. Deterministic techniques
+    /// with no sampling-error model (full detail, SimPoint variants)
+    /// report `None`. `tests/statistical_validation.rs` empirically
+    /// checks the coverage of these claims against ground truth — the
+    /// paper's point is that the SMARTS claim is *unreliable* under
+    /// polymodal phase behaviour.
+    pub ci: Option<ConfidenceInterval>,
 }
 
 impl Estimate {
@@ -57,6 +69,20 @@ impl Estimate {
     /// Relative IPC error against `truth` (see [`relative_error`]).
     pub fn error_vs(&self, truth: &GroundTruth) -> f64 {
         relative_error(self.ipc, truth.ipc)
+    }
+}
+
+/// Maps a CPI-space confidence interval into IPC space via the delta
+/// method: for `ipc = 1/cpi` the derivative magnitude is `ipc²`, so
+/// `hw_ipc ≈ hw_cpi · ipc²`. Every technique's sampling statistics live in
+/// CPI space (the machine reports cycles per retired op), so this is the
+/// one place the CPI→IPC error transformation happens.
+pub(crate) fn ipc_interval_from_cpi(cpi_ci: ConfidenceInterval) -> ConfidenceInterval {
+    let ipc = 1.0 / cpi_ci.mean;
+    ConfidenceInterval {
+        mean: ipc,
+        half_width: cpi_ci.half_width * ipc * ipc,
+        n: cpi_ci.n,
     }
 }
 
@@ -161,6 +187,7 @@ mod tests {
             },
             samples: 10,
             phases: None,
+            ci: None,
         };
         assert_eq!(e.detailed_ops(), 40);
     }

@@ -110,6 +110,8 @@ impl Technique for FullDetailed {
             },
             samples: 1,
             phases: None,
+            // Exhaustive simulation has no sampling error to claim.
+            ci: None,
         };
         (estimate, trace)
     }

@@ -83,8 +83,13 @@ pub use driver::{
     Track,
 };
 pub use estimate::{relative_error, Estimate, GroundTruth, PhaseSummary, Technique};
+// Observability surface: campaigns return `MetricsReport`s and drivers
+// accept any `Recorder` (see `pgss_obs` for the full model).
 pub use full::FullDetailed;
 pub use online_simpoint::OnlineSimPoint;
+pub use pgss_obs::{
+    MetricsFrame, MetricsRecorder, MetricsReport, NoopRecorder, Recorder, METRICS_SCHEMA_VERSION,
+};
 pub use pgss_sim::PgssSim;
 pub use phase::{Classification, PhaseEntry, PhaseTable};
 pub use simpoint::SimPointOffline;

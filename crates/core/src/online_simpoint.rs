@@ -2,8 +2,6 @@
 //! paper: online phase detection with one large detailed sample at each
 //! phase's first occurrence, under a perfect phase predictor.
 
-use std::sync::Arc;
-
 use pgss_cpu::{MachineConfig, Mode};
 use pgss_stats::weighted_mean;
 use pgss_workloads::Workload;
@@ -174,11 +172,7 @@ impl Technique for OnlineSimPoint {
         ctx: &SimContext,
     ) -> (Estimate, RunTrace) {
         assert!(self.interval_ops > 0, "interval_ops must be positive");
-        let attach = |d: &mut SimDriver| {
-            if let Some(ladder) = &ctx.ladder {
-                d.attach_ladder(Arc::clone(ladder));
-            }
-        };
+        let attach = |d: &mut SimDriver| ctx.bind(d);
         // Oracle pass (free, per the paper's perfect-predictor assumption):
         // classify every interval.
         let mut oracle = SimDriver::new(workload, config, Track::Hashed(self.hash_seed));
@@ -250,6 +244,9 @@ impl Technique for OnlineSimPoint {
                 samples_per_phase,
                 weights,
             }),
+            // One representative sample per phase: no within-phase variance
+            // to build a confidence claim from.
+            ci: None,
         };
         (estimate, trace)
     }

@@ -1,9 +1,7 @@
 //! Phase-Guided Small-Sample Simulation — the paper's contribution.
 
-use std::sync::Arc;
-
 use pgss_cpu::{MachineConfig, Mode};
-use pgss_stats::{weighted_mean, ConfidenceInterval, Welford, Z_997};
+use pgss_stats::{weighted_mean, ConfidenceInterval, Welford, Z_95, Z_997};
 use pgss_workloads::Workload;
 
 use crate::ckpt::SimContext;
@@ -286,9 +284,7 @@ impl Technique for PgssSim {
             "unit_ops and ff_ops must be positive"
         );
         let mut driver = SimDriver::new(workload, config, Track::Hashed(self.hash_seed));
-        if let Some(ladder) = &ctx.ladder {
-            driver.attach_ladder(Arc::clone(ladder));
-        }
+        ctx.bind(&mut driver);
         let mut policy = PgssPolicy::new(*self);
         driver.run(&mut policy);
         let PgssPolicy {
@@ -326,6 +322,28 @@ impl Technique for PgssSim {
             .collect();
         let cpi = weighted_mean(&pairs).unwrap_or_else(|| global.mean());
 
+        // Composed stratified 95 % interval: the estimator is a weighted
+        // sum of per-phase sample means, so its variance is
+        // Σ w_p² · s_p² / n_p over the sampled phases (phases that fell
+        // back to the global mean contribute no measured variance term —
+        // the claim is therefore optimistic when coverage is partial,
+        // which the statistical-validation sweep tolerates by design).
+        let var: f64 = stats
+            .iter()
+            .zip(&weights)
+            .filter(|(s, _)| s.cpi.count() > 1)
+            .map(|(s, &w)| w * w * s.cpi.sample_variance() / s.cpi.count() as f64)
+            .sum();
+        let cpi_ci = ConfidenceInterval {
+            mean: cpi,
+            half_width: if total_samples < 2 {
+                f64::INFINITY
+            } else {
+                Z_95 * var.sqrt()
+            },
+            n: total_samples,
+        };
+
         let samples_per_phase = stats.iter().map(|s| s.cpi.count()).collect();
         let mut trace = *driver.trace();
         trace.phase_changes = table.changes();
@@ -339,6 +357,7 @@ impl Technique for PgssSim {
                 samples_per_phase,
                 weights,
             }),
+            ci: Some(crate::estimate::ipc_interval_from_cpi(cpi_ci)),
         };
         (estimate, trace)
     }

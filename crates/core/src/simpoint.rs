@@ -2,8 +2,6 @@
 //! large representative interval per phase (Sherwood et al., ASPLOS 2002;
 //! Hamerly et al., SimPoint 3.0).
 
-use std::sync::Arc;
-
 use pgss_cluster::{project, KMeans};
 use pgss_cpu::{MachineConfig, Mode, ModeOps};
 use pgss_stats::weighted_mean;
@@ -83,9 +81,7 @@ impl SimPointOffline {
     ) -> (Vec<Vec<f64>>, ModeOps, RunTrace) {
         assert!(self.interval_ops > 0, "interval_ops must be positive");
         let mut driver = SimDriver::new(workload, config, Track::Full);
-        if let Some(ladder) = &ctx.ladder {
-            driver.attach_ladder(Arc::clone(ladder));
-        }
+        ctx.bind(&mut driver);
         let mut policy = ProfilePolicy {
             interval_ops: self.interval_ops,
             rows: Vec::new(),
@@ -209,9 +205,7 @@ impl Technique for SimPointOffline {
         let mut chosen: Vec<usize> = representatives.iter().flatten().copied().collect();
         chosen.sort_unstable();
         let mut replay = SimDriver::new(workload, config, Track::None);
-        if let Some(ladder) = &ctx.ladder {
-            replay.attach_ladder(Arc::clone(ladder));
-        }
+        ctx.bind(&mut replay);
         let mut policy = ReplayPolicy {
             interval_ops: self.interval_ops,
             plan: chosen,
@@ -249,6 +243,9 @@ impl Technique for SimPointOffline {
                 samples_per_phase,
                 weights,
             }),
+            // SimPoint is deterministic: one representative per cluster,
+            // no sampling-error model, so no confidence claim.
+            ci: None,
         };
         (estimate, trace)
     }

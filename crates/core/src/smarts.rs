@@ -1,17 +1,15 @@
 //! SMARTS: systematic small-sample simulation (Wunderlich et al., ISCA
 //! 2003).
 
-use std::sync::Arc;
-
 use pgss_cpu::{MachineConfig, Mode};
-use pgss_stats::Welford;
+use pgss_stats::{ConfidenceInterval, Welford, Z_95};
 use pgss_workloads::Workload;
 
 use crate::ckpt::SimContext;
 use crate::driver::{
     Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track,
 };
-use crate::estimate::{Estimate, Technique};
+use crate::estimate::{ipc_interval_from_cpi, Estimate, Technique};
 
 /// Phase-blind periodic sampling: every `period_ops`, run `warm_ops` of
 /// detailed warming followed by `unit_ops` of measured detailed simulation;
@@ -76,9 +74,7 @@ impl Smarts {
             self.unit_ops
         );
         let mut driver = SimDriver::new(workload, config, Track::None);
-        if let Some(ladder) = &ctx.ladder {
-            driver.attach_ladder(Arc::clone(ladder));
-        }
+        ctx.bind(&mut driver);
         let mut policy = SmartsPolicy {
             unit_ops: self.unit_ops,
             warm_ops: self.warm_ops,
@@ -163,12 +159,18 @@ impl Technique for Smarts {
             "workload too short for even one SMARTS sample"
         );
         let w: Welford = cpis.iter().copied().collect();
+        // SMARTS's own 95 % claim: Gaussian over the per-sample CPI
+        // population, delta-mapped into IPC space. Under polymodal phase
+        // behaviour this interval understates the true error — which is
+        // exactly what `tests/statistical_validation.rs` measures.
+        let ci = ipc_interval_from_cpi(ConfidenceInterval::from_welford(&w, Z_95));
         (
             Estimate {
                 ipc: 1.0 / w.mean(),
                 mode_ops,
                 samples: w.count(),
                 phases: None,
+                ci: Some(ci),
             },
             trace,
         )

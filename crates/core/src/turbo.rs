@@ -2,15 +2,13 @@
 //! Gaussian confidence bound claims convergence (Wenisch et al., ISPASS
 //! 2006).
 
-use std::sync::Arc;
-
 use pgss_cpu::{MachineConfig, Mode, ModeOps};
-use pgss_stats::{ConfidenceInterval, DetRng, Welford, Z_997};
+use pgss_stats::{ConfidenceInterval, DetRng, Welford, Z_95, Z_997};
 use pgss_workloads::Workload;
 
 use crate::ckpt::SimContext;
 use crate::driver::{RunTrace, Segment, SimDriver, Track};
-use crate::estimate::{Estimate, Technique};
+use crate::estimate::{ipc_interval_from_cpi, Estimate, Technique};
 use crate::smarts::Smarts;
 
 /// TurboSMARTS: the SMARTS sample *population* is materialised as live
@@ -108,11 +106,7 @@ impl Technique for TurboSmarts {
             s.warm_ops,
             s.unit_ops
         );
-        let attach = |d: &mut SimDriver| {
-            if let Some(ladder) = &ctx.ladder {
-                d.attach_ladder(Arc::clone(ladder));
-            }
-        };
+        let attach = |d: &mut SimDriver| ctx.bind(d);
 
         // One functional pass determines the program length, and with it
         // the sample population: sample i starts (warming) at i·period
@@ -206,6 +200,12 @@ impl Technique for TurboSmarts {
                 mode_ops,
                 samples: consumed,
                 phases: None,
+                // Same statistical model as SMARTS (Gaussian over the
+                // consumed CPI samples), reported at 95 % regardless of the
+                // z the stopping rule targeted.
+                ci: Some(ipc_interval_from_cpi(ConfidenceInterval::from_welford(
+                    &w, Z_95,
+                ))),
             },
             trace,
         )

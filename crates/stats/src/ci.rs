@@ -7,6 +7,11 @@ use crate::welford::Welford;
 /// TurboSMARTS configuration targets ("3 % accuracy with 99.7 confidence").
 pub const Z_997: f64 = 3.0;
 
+/// The z-score for 95 % two-sided confidence — the level every technique
+/// reports its IPC interval at (`Estimate::ci`), and the level
+/// `tests/statistical_validation.rs` empirically checks coverage against.
+pub const Z_95: f64 = 1.959_963_984_540_054;
+
 /// A Gaussian confidence interval on a sample mean.
 ///
 /// The half-width is `z · s / √n` where `s` is the sample standard

@@ -70,6 +70,45 @@ impl Histogram {
         &self.counts
     }
 
+    /// Lower bound of the covered range.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound of the covered range.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Folds another histogram over the *same range and bin count* into
+    /// this one by adding bin counts. Because binning is a pure function
+    /// of the value and the (shared) range, merge is exact: any
+    /// partition of an observation stream into sub-histograms merges back
+    /// to the histogram of the whole stream. The per-worker metrics merge
+    /// in `pgss-obs` relies on exactly this property.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.min == other.min
+                && self.max == other.max
+                && self.counts.len() == other.counts.len(),
+            "cannot merge histograms with different shapes: [{}, {})×{} vs [{}, {})×{}",
+            self.min,
+            self.max,
+            self.counts.len(),
+            other.min,
+            other.max,
+            other.counts.len()
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
     /// Total weight added.
     pub fn total(&self) -> u64 {
         self.total
@@ -177,6 +216,26 @@ mod tests {
             h.add(x);
         }
         assert_eq!(h.modes(0.05), 1);
+    }
+
+    #[test]
+    fn merge_adds_bins_and_total() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        a.add(0.1);
+        a.add_weighted(0.9, 3);
+        let mut b = Histogram::new(0.0, 1.0, 4);
+        b.add(0.1);
+        b.add(0.6);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 0, 1, 3]);
+        assert_eq!(a.total(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn merge_shape_mismatch_panics() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        a.merge(&Histogram::new(0.0, 1.0, 8));
     }
 
     #[test]

@@ -18,7 +18,7 @@ mod histogram;
 mod rng;
 mod welford;
 
-pub use ci::{ConfidenceInterval, Z_997};
+pub use ci::{ConfidenceInterval, Z_95, Z_997};
 pub use histogram::Histogram;
 pub use rng::DetRng;
 pub use welford::Welford;

@@ -1,0 +1,187 @@
+//! Randomized property tests for the mergeable accumulators.
+//!
+//! The per-worker metrics merge in `pgss-obs` — and therefore the
+//! byte-identical campaign metrics guarantee — rests on two algebraic
+//! properties checked here over many seeded random cases (a hermetic,
+//! deterministic stand-in for a property-testing crate):
+//!
+//! * [`Welford::merge`] behaves like pushing the other side's
+//!   observations: any partition of a stream, merged in any grouping or
+//!   order, agrees with the sequential accumulation up to floating-point
+//!   tolerance (counts exactly).
+//! * [`Histogram::merge`] is *exact*: binning is a pure function of the
+//!   value and the shared range, so partition-then-merge reproduces the
+//!   whole-stream histogram bit for bit.
+
+use pgss_stats::{DetRng, Histogram, Welford};
+
+const CASES: u64 = 200;
+
+/// Closeness for quantities accumulated in different float orders. The
+/// floor of 1.0 makes the bound absolute near zero: streams with
+/// ±1e6 outliers can cancel to a tiny mean whose absolute error is set by
+/// the outlier magnitude, not the mean's.
+fn close(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-7 * scale
+}
+
+/// A random observation stream with occasional large-magnitude outliers,
+/// so cancellation errors would surface if the merge were not numerically
+/// stable.
+fn stream(rng: &mut DetRng, len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|_| {
+            let x = rng.next_f64() * 2.0 - 1.0;
+            if rng.range_usize(10) == 0 {
+                x * 1e6
+            } else {
+                x
+            }
+        })
+        .collect()
+}
+
+/// Splits `xs` into 1..=5 contiguous chunks at random cut points.
+fn random_partition<'a>(rng: &mut DetRng, xs: &'a [f64]) -> Vec<&'a [f64]> {
+    let pieces = 1 + rng.range_usize(5);
+    let mut cuts: Vec<usize> = (0..pieces - 1)
+        .map(|_| rng.range_usize(xs.len() + 1))
+        .collect();
+    cuts.sort_unstable();
+    let mut out = Vec::with_capacity(pieces);
+    let mut start = 0;
+    for &c in &cuts {
+        out.push(&xs[start..c]);
+        start = c;
+    }
+    out.push(&xs[start..]);
+    out
+}
+
+fn welford_of(xs: &[f64]) -> Welford {
+    let mut w = Welford::new();
+    for &x in xs {
+        w.push(x);
+    }
+    w
+}
+
+#[test]
+fn welford_merge_matches_sequential_push() {
+    let mut rng = DetRng::seed_from_u64(0x5EED_0001);
+    for _ in 0..CASES {
+        let len = 1 + rng.range_usize(400);
+        let xs = stream(&mut rng, len);
+        let whole = welford_of(&xs);
+        let mut merged = Welford::new();
+        for chunk in random_partition(&mut rng, &xs) {
+            merged.merge(&welford_of(chunk));
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert!(
+            close(merged.mean(), whole.mean()),
+            "mean {} vs {}",
+            merged.mean(),
+            whole.mean()
+        );
+        assert!(
+            close(merged.sample_variance(), whole.sample_variance()),
+            "variance {} vs {}",
+            merged.sample_variance(),
+            whole.sample_variance()
+        );
+    }
+}
+
+#[test]
+fn welford_merge_is_order_independent() {
+    let mut rng = DetRng::seed_from_u64(0x5EED_0002);
+    for _ in 0..CASES {
+        let len = 1 + rng.range_usize(400);
+        let xs = stream(&mut rng, len);
+        let mut chunks: Vec<Welford> = random_partition(&mut rng, &xs)
+            .into_iter()
+            .map(welford_of)
+            .collect();
+        let mut forward = Welford::new();
+        for c in &chunks {
+            forward.merge(c);
+        }
+        rng.shuffle(&mut chunks);
+        let mut shuffled = Welford::new();
+        for c in &chunks {
+            shuffled.merge(c);
+        }
+        assert_eq!(forward.count(), shuffled.count());
+        assert!(close(forward.mean(), shuffled.mean()));
+        assert!(close(forward.sample_variance(), shuffled.sample_variance()));
+    }
+}
+
+#[test]
+fn welford_merge_is_associative() {
+    let mut rng = DetRng::seed_from_u64(0x5EED_0003);
+    for _ in 0..CASES {
+        let draw = |rng: &mut DetRng| {
+            let len = rng.range_usize(100);
+            welford_of(&stream(rng, len))
+        };
+        let (a, b, c) = (draw(&mut rng), draw(&mut rng), draw(&mut rng));
+        // (a ⊕ b) ⊕ c
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left.count(), right.count());
+        assert!(close(left.mean(), right.mean()));
+        assert!(close(left.sample_variance(), right.sample_variance()));
+    }
+}
+
+#[test]
+fn welford_merge_with_empty_is_identity() {
+    let mut rng = DetRng::seed_from_u64(0x5EED_0004);
+    for _ in 0..CASES {
+        let len = rng.range_usize(50);
+        let w = welford_of(&stream(&mut rng, len));
+        let mut left = Welford::new();
+        left.merge(&w);
+        let mut right = w;
+        right.merge(&Welford::new());
+        // Identity merges copy state, so even the float fields are
+        // bit-identical — no tolerance needed.
+        assert_eq!(left, w);
+        assert_eq!(right, w);
+    }
+}
+
+#[test]
+fn histogram_partition_then_merge_is_exact() {
+    let mut rng = DetRng::seed_from_u64(0x5EED_0005);
+    for _ in 0..CASES {
+        let bins = 1 + rng.range_usize(32);
+        let len = rng.range_usize(500);
+        let xs = stream(&mut rng, len);
+        // Range deliberately narrower than the outliers: clamping must
+        // survive partitioning too.
+        let mut whole = Histogram::new(-1.0, 1.0, bins);
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut merged = Histogram::new(-1.0, 1.0, bins);
+        for chunk in random_partition(&mut rng, &xs) {
+            let mut part = Histogram::new(-1.0, 1.0, bins);
+            for &x in chunk {
+                part.add(x);
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(merged, whole, "bin counts must merge exactly");
+        assert_eq!(merged.total(), xs.len() as u64);
+    }
+}

@@ -77,5 +77,33 @@ fn main() {
             t.skipped_ci_met,
             t.skipped_spacing,
         );
+        if let Some(ci) = est.ci {
+            println!(
+                "  95% interval  = {:.4} ± {:.4} ({})",
+                ci.mean,
+                ci.half_width,
+                if ci.contains(truth.ipc) {
+                    "covers the true IPC"
+                } else {
+                    "misses the true IPC"
+                }
+            );
+        }
     }
+
+    // Every campaign also carries a structured metrics report — the same
+    // numbers as above, per cell and campaign-wide, exportable as stable
+    // JSONL (byte-identical regardless of PGSS_WORKERS). See the
+    // `campaign_metrics` bin for the full table + `--jsonl` export.
+    let scope = report
+        .metrics
+        .scope("campaign")
+        .expect("campaign scope always present");
+    println!(
+        "\ncampaign metrics: {} jobs, {} ok, {} retries, {} metric scopes exported",
+        scope.counter("campaign.jobs"),
+        scope.counter("campaign.cells.ok"),
+        scope.counter("campaign.retries"),
+        report.metrics.scopes.len(),
+    );
 }

@@ -13,7 +13,7 @@ cargo clippy --workspace -- -D warnings
 echo "== cargo build --release"
 cargo build --release
 
-echo "== cargo test --workspace -q"
+echo "== cargo test --workspace -q (default features)"
 cargo test --workspace -q
 
 echo "== cargo test -p pgss-ckpt -q (checkpoint codec + store, incl. corruption injection)"
@@ -22,10 +22,38 @@ cargo test -p pgss-ckpt -q
 echo "== cargo test --test checkpoints -q (snapshot round-trip + bit-exact acceleration)"
 cargo test --release --test checkpoints -q
 
+echo "== statistical validation (200-rep CI-coverage sweep, release)"
+cargo test --release --test statistical_validation -q
+
+echo "== metrics goldens (JSONL byte-identical across worker counts, schema pin)"
+cargo test --release --test metrics_golden -q
+
+echo "== pgss-stats property tests (merge algebra behind the metrics layer)"
+cargo test --release -p pgss-stats --test properties -q
+
 echo "== fault-injection suite (panic isolation, corruption quarantine, store I/O faults)"
 cargo test --release --features fault-inject --test fault_injection -q
 cargo test -p pgss-ckpt --features fault-inject -q
 cargo test -p pgss --release --features fault-inject -q
+
+echo "== coverage ratchet (cargo llvm-cov, when installed)"
+if command -v cargo-llvm-cov >/dev/null 2>&1; then
+    baseline=$(grep -v '^#' scripts/coverage-baseline.txt | tail -1)
+    cov=$(cargo llvm-cov --workspace --summary-only --json -q |
+        python3 -c 'import json,sys; print(json.load(sys.stdin)["data"][0]["totals"]["lines"]["percent"])')
+    python3 - "$cov" "$baseline" <<'EOF'
+import sys
+cov, base = float(sys.argv[1]), float(sys.argv[2])
+floor = base - 0.5
+print(f"line coverage {cov:.2f}% (baseline {base:.2f}%, ratchet floor {floor:.2f}%)")
+if cov < floor:
+    sys.exit("coverage regressed below the ratchet floor")
+if cov > base + 1.0:
+    print(f"coverage grew; consider raising scripts/coverage-baseline.txt to {cov:.1f}")
+EOF
+else
+    echo "cargo-llvm-cov not installed; skipping coverage ratchet"
+fi
 
 echo "== cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

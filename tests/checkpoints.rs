@@ -6,6 +6,8 @@
 //! campaign and shrug off injected corruption; and the serialized
 //! snapshot format is pinned so accidental layout changes are caught.
 
+mod util;
+
 use std::sync::Arc;
 
 use pgss::ckpt::{encode_machine_snapshot, CheckpointKey};
@@ -112,9 +114,9 @@ fn every_technique_is_bit_exact_under_checkpoint_acceleration() {
 
 #[test]
 fn checkpointed_campaign_round_trips_through_the_store() {
-    let dir = std::env::temp_dir().join(format!("pgss-ckpt-campaign-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    let store = Store::open(&dir).unwrap();
+    let tmp = util::TempDir::new("pgss-ckpt-campaign");
+    let dir = tmp.path();
+    let store = Store::open(dir).unwrap();
 
     let workloads = vec![pgss_workloads::gzip(0.01), pgss_workloads::equake(0.01)];
     let smarts = Smarts {
@@ -152,7 +154,7 @@ fn checkpointed_campaign_round_trips_through_the_store() {
     // Injected corruption: truncate every record, then run again. The
     // store serves nothing, every truncated record is quarantined (and
     // ledgered), capture kicks in, results are unchanged.
-    for entry in std::fs::read_dir(&dir).unwrap() {
+    for entry in std::fs::read_dir(dir).unwrap() {
         let path = entry.unwrap().path();
         if !path.is_file() {
             continue;
@@ -167,15 +169,13 @@ fn checkpointed_campaign_round_trips_through_the_store() {
         !third.checkpoint_faults.is_empty(),
         "wholesale corruption must be ledgered"
     );
-
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
 fn corrupt_rung_is_quarantined_recaptured_and_bit_exact() {
-    let dir = std::env::temp_dir().join(format!("pgss-ckpt-quarantine-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    let store = Store::open(&dir).unwrap();
+    let tmp = util::TempDir::new("pgss-ckpt-quarantine");
+    let dir = tmp.path();
+    let store = Store::open(dir).unwrap();
 
     let workloads = vec![pgss_workloads::gzip(0.01)];
     let smarts = Smarts {
@@ -197,7 +197,7 @@ fn corrupt_rung_is_quarantined_recaptured_and_bit_exact() {
     // Corrupt exactly one ladder rung: rung records carry a machine
     // snapshot (kilobytes) while the meta record is tens of bytes, so the
     // largest record file is a rung. Flip one payload byte.
-    let victim = std::fs::read_dir(&dir)
+    let victim = std::fs::read_dir(dir)
         .unwrap()
         .map(|e| e.unwrap().path())
         .filter(|p| p.is_file())
@@ -239,8 +239,6 @@ fn corrupt_rung_is_quarantined_recaptured_and_bit_exact() {
         "{:?}",
         clean.checkpoint_faults
     );
-
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

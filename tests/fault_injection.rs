@@ -14,6 +14,8 @@
 //! to a fault-free run, every fault is ledgered with its context, and the
 //! same plan + retry seed reproduces the report byte for byte.
 
+mod util;
+
 use pgss::faults::{self, CellPanic, FaultPlan, StoreFaultPlan};
 use pgss::{campaign, PgssSim, Smarts, Technique};
 use pgss_ckpt::Store;
@@ -43,10 +45,9 @@ fn pgss_sim() -> PgssSim {
     }
 }
 
-fn temp_store(tag: &str) -> (std::path::PathBuf, Store) {
-    let dir = std::env::temp_dir().join(format!("pgss-fault-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    let store = Store::open(&dir).unwrap();
+fn temp_store(tag: &str) -> (util::TempDir, Store) {
+    let dir = util::TempDir::new(&format!("pgss-fault-{tag}"));
+    let store = Store::open(dir.path()).unwrap();
     (dir, store)
 }
 
@@ -181,8 +182,14 @@ fn injected_record_corruption_is_quarantined_and_results_unchanged() {
         healed.ladder.capture_ops > 0,
         "must recapture after quarantine"
     );
-    // The quarantine sidecar preserved the record.
-    assert!(std::fs::read_dir(dir.join("quarantine")).unwrap().count() >= 1);
+    // The quarantine sidecar preserved exactly the one faulted record
+    // (only get #1 was corrupted, and nothing has been quarantined yet).
+    assert_eq!(
+        std::fs::read_dir(dir.path().join("quarantine"))
+            .unwrap()
+            .count(),
+        1
+    );
 
     // Same fault schedule twice: byte-identical reports.
     let replay = run_with_fault();
@@ -198,8 +205,6 @@ fn injected_record_corruption_is_quarantined_and_results_unchanged() {
         "{:?}",
         after.checkpoint_faults
     );
-
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -208,7 +213,7 @@ fn injected_store_io_errors_degrade_gracefully() {
     let smarts = smarts();
     let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts];
     let jobs = campaign::grid(&workloads, &techs, MachineConfig::default());
-    let (dir, store) = temp_store("io");
+    let (_dir, store) = temp_store("io");
 
     let plain = campaign::run(&jobs);
 
@@ -234,7 +239,9 @@ fn injected_store_io_errors_degrade_gracefully() {
             "{:?}",
             report.checkpoint_faults
         );
-        assert!(!faults::injection_log().is_empty());
+        // The plan names exactly one fault (put #0), so exactly one
+        // injection must have fired — no more, no fewer.
+        assert_eq!(faults::injection_log().len(), 1);
     }
 
     // Second campaign: the meta read (get #0) fails with an I/O error.
@@ -260,8 +267,6 @@ fn injected_store_io_errors_degrade_gracefully() {
         "{:?}",
         healed.checkpoint_faults
     );
-
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -271,7 +276,7 @@ fn combined_panic_and_store_faults_in_one_campaign() {
     let pgss = pgss_sim();
     let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &pgss];
     let jobs = campaign::grid(&workloads, &techs, MachineConfig::default());
-    let (dir, store) = temp_store("combined");
+    let (_dir, store) = temp_store("combined");
 
     let clean = campaign::run_checkpointed(&jobs, 50_000, Some(&store)).unwrap();
 
@@ -293,6 +298,4 @@ fn combined_panic_and_store_faults_in_one_campaign() {
     assert_eq!(clean.cells, report.cells);
     assert_eq!(report.retries, 1);
     assert!(!report.checkpoint_faults.is_empty());
-
-    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,85 @@
+//! Golden tests for the metrics export: the JSONL emitted by a campaign's
+//! [`pgss::MetricsReport`] is a *stable artifact* — byte-identical across
+//! reruns and across `PGSS_WORKERS` settings, with a pinned schema. Tools
+//! downstream (experiment logs, diffing, dashboards) rely on both.
+
+use pgss::{campaign, MetricsRecorder, MetricsReport, PgssSim, Recorder, Smarts, Technique};
+use pgss_cpu::MachineConfig;
+
+const METRICS_SCHEMA_VERSION: u32 = 1;
+
+fn jobs_jsonl(threads: usize) -> String {
+    let workloads = [pgss_workloads::gzip(0.01), pgss_workloads::art(0.01)];
+    let smarts = Smarts {
+        period_ops: 50_000,
+        ..Smarts::default()
+    };
+    let pgss = PgssSim {
+        ff_ops: 100_000,
+        spacing_ops: 100_000,
+        ..PgssSim::default()
+    };
+    let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &pgss];
+    let jobs = campaign::grid(&workloads, &techs, MachineConfig::default());
+    let report = campaign::run_on(&jobs, threads).expect("campaign runs");
+    assert!(report.is_complete());
+    report.metrics.to_jsonl()
+}
+
+/// The acceptance criterion of the observability layer: worker count is a
+/// performance knob, not an observable — 1, 2, and 8 workers produce the
+/// same bytes, and a rerun reproduces them.
+#[test]
+fn jsonl_is_byte_identical_across_worker_counts_and_reruns() {
+    let one = jobs_jsonl(1);
+    assert_eq!(one, jobs_jsonl(2), "1 vs 2 workers");
+    assert_eq!(one, jobs_jsonl(8), "1 vs 8 workers");
+    assert_eq!(one, jobs_jsonl(1), "rerun");
+    // Every line is a scope record of the pinned schema version.
+    for line in one.lines() {
+        assert!(
+            line.starts_with(&format!("{{\"v\":{METRICS_SCHEMA_VERSION},\"scope\":")),
+            "unexpected line prefix: {line}"
+        );
+    }
+    // Campaign scope first, then one scope per cell in job order.
+    assert_eq!(one.lines().count(), 1 + 4);
+    assert!(one.starts_with("{\"v\":1,\"scope\":\"campaign\","));
+}
+
+/// Pins the exported schema version: bump [`pgss::METRICS_SCHEMA_VERSION`]
+/// deliberately (and update this test plus any downstream consumers), never
+/// accidentally.
+#[test]
+fn schema_version_is_pinned() {
+    assert_eq!(pgss::METRICS_SCHEMA_VERSION, METRICS_SCHEMA_VERSION);
+}
+
+/// Pins the exact JSONL encoding of a hand-built frame, the way
+/// `snapshot_format_is_pinned` pins the checkpoint format: key order
+/// (BTreeMap-sorted), number formatting, and the `null` encoding for
+/// non-finite values are all part of the contract.
+#[test]
+fn jsonl_line_format_is_pinned() {
+    let rec = MetricsRecorder::new();
+    rec.add("b.counter", 7);
+    rec.add("a.counter", 2);
+    rec.observe("lat", 1.5);
+    rec.observe("lat", 2.5);
+    rec.observe("bad", f64::INFINITY);
+    rec.register_hist("share", 0.0, 1.0, 2);
+    rec.record_hist("share", 0.25);
+    let mut report = MetricsReport::new();
+    report.push_scope("pin", rec.into_frame());
+    assert_eq!(
+        report.to_jsonl(),
+        concat!(
+            "{\"v\":1,\"scope\":\"pin\",",
+            "\"counters\":{\"a.counter\":2,\"b.counter\":7},",
+            "\"spans\":{},",
+            "\"dists\":{\"bad\":{\"n\":1,\"mean\":null,\"std\":0},",
+            "\"lat\":{\"n\":2,\"mean\":2,\"std\":0.7071067811865476}},",
+            "\"hists\":{\"share\":{\"min\":0,\"max\":1,\"total\":1,\"counts\":[1,0]}}}\n",
+        )
+    );
+}

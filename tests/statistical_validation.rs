@@ -1,0 +1,253 @@
+//! Statistical validation sweep: are the techniques' confidence claims
+//! *calibrated*?
+//!
+//! Every replication builds a fresh seeded variant of a polymodal workload
+//! (the seed drives pointer-chase ring permutations and branch entropy
+//! tables, so per-sample CPIs vary across replications while the program
+//! structure stays fixed), computes the exhaustive ground truth, and runs
+//! each sampled technique. A technique's 95 % interval ([`Estimate::ci`])
+//! should then contain the true IPC in ~95 % of replications — checked
+//! against a binomial tolerance band around 0.95.
+//!
+//! Over-coverage is tolerated by design (the band's upper edge clamps at
+//! 100 %): systematic sampling of a finite population and PGSS's
+//! stratified composition are both conservative. *Under*-coverage beyond
+//! binomial noise is the failure mode the paper cares about — a Gaussian
+//! claim that understates polymodal sampling error.
+//!
+//! The sweep also checks the paper's cost story on the same runs: PGSS
+//! buys its estimate with less detailed simulation than SMARTS, which
+//! needs less than SimPoint.
+//!
+//! The full 200-replication sweep runs in release (`scripts/ci.sh` gates
+//! it); under `cfg(debug_assertions)` a 12-replication smoke version runs
+//! with correspondingly loose assertions so plain `cargo test` stays
+//! fast.
+
+use pgss::{Estimate, FullDetailed, PgssSim, SimPointOffline, Smarts, Technique};
+use pgss_workloads::{Kernel, Workload, WorkloadBuilder};
+
+/// Replications per workload. Release runs the full sweep; debug builds
+/// run a smoke version (the binomial band needs n large enough that
+/// ±3σ is a meaningful statement).
+const REPS: usize = if cfg!(debug_assertions) { 12 } else { 200 };
+
+/// Phase-block size in retired ops; every workload alternates phases in
+/// blocks of this size.
+const BLOCK: u64 = 20_000;
+
+/// Two-phase polymodal workload: a high-IPC integer-compute phase (stable
+/// within an occurrence) alternating with an unpredictable-branch phase
+/// whose entropy table — and therefore per-sample CPI — varies with the
+/// seed.
+fn poly_branch(seed: u64) -> Workload {
+    let mut b = WorkloadBuilder::new("poly-branch", seed);
+    let stable = b.add_segment(Kernel::ComputeInt {
+        chains: 8,
+        ops_per_chain: 4,
+    });
+    let noisy = b.add_segment(Kernel::Branchy {
+        table_words: 4096,
+        bias: 128,
+        work_per_side: 8,
+    });
+    b.alternate(&[(stable, BLOCK), (noisy, BLOCK)], 4);
+    b.finish()
+}
+
+/// Three-phase polymodal workload: a memory-bound pointer-chase phase
+/// (seed-permuted ring), a floating-point compute phase, and a short
+/// branch-noise phase — CPI is multi-modal across phases.
+fn poly_mem(seed: u64) -> Workload {
+    let mut b = WorkloadBuilder::new("poly-mem", seed);
+    let mem = b.add_segment(Kernel::Chase {
+        ring_words: 1 << 14,
+        chains: 2,
+        compute_per_step: 4,
+    });
+    let fp = b.add_segment(Kernel::ComputeFp {
+        chains: 8,
+        ops_per_chain: 4,
+    });
+    let noise = b.add_segment(Kernel::Branchy {
+        table_words: 2048,
+        bias: 128,
+        work_per_side: 4,
+    });
+    b.alternate(&[(mem, BLOCK), (fp, BLOCK - 4_000), (noise, 4_000)], 4);
+    b.finish()
+}
+
+/// SMARTS scaled to the ~160k-op validation workloads: 16 samples of
+/// 500 measured + 1,500 warming ops.
+fn smarts() -> Smarts {
+    Smarts {
+        unit_ops: 500,
+        warm_ops: 1_500,
+        period_ops: 10_000,
+    }
+}
+
+/// PGSS with the sampling unit matched to SMARTS and the BBV period,
+/// spacing rule, and per-phase stopping scaled to the same workloads.
+fn pgss() -> PgssSim {
+    PgssSim {
+        ff_ops: 5_000,
+        unit_ops: 500,
+        warm_ops: 1_500,
+        ci_rel: 0.08,
+        min_samples: 3,
+        spacing_ops: 12_000,
+        ..PgssSim::default()
+    }
+}
+
+/// SimPoint with one interval per phase block and k matched to the phase
+/// count: its detailed budget is k × interval ops by construction.
+fn simpoint() -> SimPointOffline {
+    SimPointOffline {
+        interval_ops: BLOCK,
+        k: 3,
+        ..SimPointOffline::default()
+    }
+}
+
+/// `[lo, hi]` band on the number of covering replications out of `n` at
+/// true coverage `p`, `sigmas` binomial standard deviations wide (upper
+/// edge clamped to `n`: over-coverage is benign, see module docs).
+fn binomial_band(n: usize, p: f64, sigmas: f64) -> (usize, usize) {
+    let mean = n as f64 * p;
+    let sd = (n as f64 * p * (1.0 - p)).sqrt();
+    let lo = (mean - sigmas * sd).floor().max(0.0) as usize;
+    let hi = ((mean + sigmas * sd).ceil() as usize).min(n);
+    (lo, hi)
+}
+
+/// One technique's tally across the sweep.
+#[derive(Default)]
+struct Tally {
+    covered: usize,
+    total_detail: u64,
+    total_abs_err: f64,
+}
+
+impl Tally {
+    fn absorb(&mut self, est: &Estimate, truth_ipc: f64) {
+        let ci = est
+            .ci
+            .expect("validated techniques report a confidence interval");
+        assert!(
+            ci.half_width.is_finite() && ci.half_width > 0.0,
+            "degenerate interval: {ci:?}"
+        );
+        assert!(
+            (ci.mean - est.ipc).abs() < 1e-12,
+            "interval must be centred on the estimate"
+        );
+        if ci.contains(truth_ipc) {
+            self.covered += 1;
+        }
+        self.total_detail += est.detailed_ops();
+        self.total_abs_err += pgss::relative_error(est.ipc, truth_ipc);
+    }
+
+    fn mean_detail(&self) -> f64 {
+        self.total_detail as f64 / REPS as f64
+    }
+}
+
+fn sweep(name: &str, make: fn(u64) -> Workload) {
+    let (smarts_t, pgss_t, simpoint_t) = (smarts(), pgss(), simpoint());
+    let mut smarts_tally = Tally::default();
+    let mut pgss_tally = Tally::default();
+    let mut simpoint_detail = 0u64;
+    let mut simpoint_abs_err = 0.0f64;
+
+    for rep in 0..REPS {
+        let seed = 0x51A7_0000 + rep as u64;
+        let w = make(seed);
+        let truth = FullDetailed::new().ground_truth(&w);
+
+        let s = smarts_t.run(&w);
+        smarts_tally.absorb(&s, truth.ipc);
+        let p = pgss_t.run(&w);
+        pgss_tally.absorb(&p, truth.ipc);
+        let sp = simpoint_t.run(&w);
+        assert!(sp.ci.is_none(), "SimPoint has no sampling-error model");
+        simpoint_detail += sp.detailed_ops();
+        simpoint_abs_err += pgss::relative_error(sp.ipc, truth.ipc);
+
+        if rep == 0 {
+            // Determinism: the whole pipeline — workload synthesis, ground
+            // truth, estimates, and intervals — is a pure function of the
+            // seed, so a rerun reproduces every bit.
+            let w2 = make(seed);
+            assert_eq!(FullDetailed::new().ground_truth(&w2), truth);
+            assert_eq!(smarts_t.run(&w2), s);
+            assert_eq!(pgss_t.run(&w2), p);
+            assert_eq!(simpoint_t.run(&w2), sp);
+        }
+    }
+
+    let (lo, hi) = binomial_band(REPS, 0.95, 3.0);
+    eprintln!(
+        "{name}: SMARTS coverage {}/{REPS} (band [{lo},{hi}]), \
+         PGSS coverage {}/{REPS}; mean detail ops PGSS {:.0} < SMARTS {:.0} < SimPoint {:.0}; \
+         mean |err| SMARTS {:.3}% PGSS {:.3}% SimPoint {:.3}%",
+        smarts_tally.covered,
+        pgss_tally.covered,
+        pgss_tally.mean_detail(),
+        smarts_tally.mean_detail(),
+        simpoint_detail as f64 / REPS as f64,
+        100.0 * smarts_tally.total_abs_err / REPS as f64,
+        100.0 * pgss_tally.total_abs_err / REPS as f64,
+        100.0 * simpoint_abs_err / REPS as f64,
+    );
+
+    // Coverage: full binomial band in the release sweep; the debug smoke
+    // run only rules out gross miscalibration (n is too small for ±3σ to
+    // mean anything).
+    if REPS >= 100 {
+        for (tech, tally) in [("SMARTS", &smarts_tally), ("PGSS", &pgss_tally)] {
+            assert!(
+                (lo..=hi).contains(&tally.covered),
+                "{name}/{tech}: 95% interval covered truth in {}/{REPS} \
+                 replications, outside the binomial band [{lo}, {hi}]",
+                tally.covered,
+            );
+        }
+    } else {
+        for (tech, tally) in [("SMARTS", &smarts_tally), ("PGSS", &pgss_tally)] {
+            assert!(
+                tally.covered * 2 > REPS,
+                "{name}/{tech}: covered {}/{REPS} — grossly miscalibrated",
+                tally.covered,
+            );
+        }
+    }
+
+    // The paper's cost ordering on identical runs: phase-guided sampling
+    // needs the least cycle-level simulation, SimPoint the most.
+    assert!(
+        pgss_tally.mean_detail() < smarts_tally.mean_detail(),
+        "{name}: PGSS mean detail {:.0} must undercut SMARTS {:.0}",
+        pgss_tally.mean_detail(),
+        smarts_tally.mean_detail(),
+    );
+    assert!(
+        smarts_tally.mean_detail() < simpoint_detail as f64 / REPS as f64,
+        "{name}: SMARTS mean detail {:.0} must undercut SimPoint {:.0}",
+        smarts_tally.mean_detail(),
+        simpoint_detail as f64 / REPS as f64,
+    );
+}
+
+#[test]
+fn coverage_and_budget_on_poly_branch() {
+    sweep("poly-branch", poly_branch);
+}
+
+#[test]
+fn coverage_and_budget_on_poly_mem() {
+    sweep("poly-mem", poly_mem);
+}

@@ -1,0 +1,39 @@
+//! Shared integration-test helpers.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Per-process counter so two tests in the same binary can never collide
+/// on a directory name, whatever the test scheduler does.
+static NEXT_TEMP_DIR: AtomicUsize = AtomicUsize::new(0);
+
+/// A uniquely-named scratch directory under the system temp dir, removed
+/// on drop (including panic unwinds, so a failing test does not leak
+/// state into the next run). The name combines a caller prefix, the
+/// process id, and a per-process counter, making roots unique per test
+/// *and* across concurrently running test binaries.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Claims a fresh directory root; any stale leftover of the same name
+    /// (a previous hard-killed run) is removed first.
+    pub fn new(prefix: &str) -> TempDir {
+        let n = NEXT_TEMP_DIR.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("{prefix}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        TempDir { path }
+    }
+
+    /// The directory root (not created; stores create it on open).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
