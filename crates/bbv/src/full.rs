@@ -153,6 +153,18 @@ impl RetireSink for FullBbvTracker {
         self.current.counts[self.block_of[pc as usize] as usize] += 1;
         self.current.total += 1;
     }
+
+    /// Walks the block-index map for the whole straight-line run at
+    /// once: one slice traversal and a single total update, instead of a
+    /// virtual-feeling per-op call from the superblock core.
+    #[inline]
+    fn retire_run(&mut self, start_pc: u32, len: u32) {
+        let s = start_pc as usize;
+        for &block in &self.block_of[s..s + len as usize] {
+            self.current.counts[block as usize] += 1;
+        }
+        self.current.total += u64::from(len);
+    }
 }
 
 #[cfg(test)]

@@ -86,6 +86,51 @@ fn main() {
     }
     table.print();
 
+    // Per-mode interpreter throughput: driver.ops.* counters over the
+    // driver.wall.* span totals, folded across every cell. Wall-clock
+    // derived, so this block is informative and machine-dependent — it
+    // never enters the byte-stable JSONL export.
+    let mut folded = pgss_obs::MetricsFrame::new();
+    for (_, frame) in &report.metrics.scopes[1..] {
+        folded.merge(frame);
+    }
+    let mut tput = Table::new(&["mode", "ops", "wall s", "Mops/s"]);
+    for (label, ops_key, wall_key) in [
+        (
+            "fast-forward",
+            "driver.ops.fast_forward",
+            "driver.wall.fast_forward",
+        ),
+        (
+            "functional",
+            "driver.ops.functional",
+            "driver.wall.functional",
+        ),
+        ("detail-warm", "driver.ops.warm", "driver.wall.warm"),
+        ("detail-measured", "driver.ops.detail", "driver.wall.detail"),
+    ] {
+        let mut ops = folded.counter(ops_key);
+        if ops_key == "driver.ops.functional" {
+            // Ladder jumps charge skipped distance as *logical* functional
+            // ops; physical throughput counts only executed work.
+            ops = ops.saturating_sub(folded.counter("driver.ops.jumped"));
+        }
+        if ops == 0 {
+            continue;
+        }
+        let wall_ns = folded.span(wall_key).map_or(0, |s| s.total_ns);
+        let rate = (wall_ns > 0).then(|| ops as f64 * 1e9 / wall_ns as f64);
+        tput.row(&[
+            label.to_string(),
+            ops_fmt(ops),
+            format!("{:.2}", wall_ns as f64 / 1e9),
+            rate.map_or_else(|| "-".to_string(), |r| format!("{:.1}", r / 1e6)),
+        ]);
+    }
+    println!();
+    println!("interpreter throughput by mode (driver.ops.* / driver.wall.*):");
+    tput.print();
+
     let scope = report
         .metrics
         .scope("campaign")

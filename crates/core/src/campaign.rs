@@ -112,12 +112,20 @@ pub struct CellResult {
 pub enum CellError {
     /// The technique panicked; the payload carries the panic message.
     Panicked(String),
+    /// The simulated machine aborted with a structured fault (e.g. an
+    /// out-of-range indirect jump) during one of the cell's driver
+    /// passes. Unlike [`CellError::Panicked`], no unwinding is involved:
+    /// the machine halts, the driver deposits the fault into the cell's
+    /// [`crate::SimContext`], and the cell is failed with the typed
+    /// reason.
+    MachineFault(pgss_cpu::MachineFault),
 }
 
 impl fmt::Display for CellError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CellError::Panicked(msg) => write!(f, "technique panicked: {msg}"),
+            CellError::MachineFault(fault) => write!(f, "machine fault: {fault}"),
         }
     }
 }
@@ -431,7 +439,7 @@ fn run_cells(
     threads: usize,
     ctx: &SimContext,
     results: &mut Vec<(usize, CellResult, MetricsFrame)>,
-    failed: &mut Vec<(usize, String)>,
+    failed: &mut Vec<(usize, CellError)>,
 ) {
     if order.is_empty() {
         return;
@@ -454,6 +462,9 @@ fn run_cells(
                         let cell_ctx = SimContext {
                             ladder: ctx.ladder.clone(),
                             recorder: Arc::clone(&rec) as Arc<dyn Recorder>,
+                            // Fresh per cell: faults must not leak between
+                            // cells or retry attempts.
+                            fault: Arc::new(std::sync::OnceLock::new()),
                         };
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
                             #[cfg(feature = "fault-inject")]
@@ -462,8 +473,17 @@ fn run_cells(
                             job.technique
                                 .run_traced_ctx(job.workload, &job.config, &cell_ctx)
                         }));
-                        match outcome {
-                            Ok((estimate, trace)) => ok.push((
+                        match (cell_ctx.first_fault(), outcome) {
+                            // A driver pass that aborts on a machine fault
+                            // deposits it before anything else happens: the
+                            // typed fault outranks both a normally-returned
+                            // (truncated) estimate and any downstream panic
+                            // the truncation causes in the technique (e.g.
+                            // an empty sample population).
+                            (Some(fault), _) => {
+                                bad.push((i, CellError::MachineFault(fault)));
+                            }
+                            (None, Ok((estimate, trace))) => ok.push((
                                 i,
                                 CellResult {
                                     workload,
@@ -473,7 +493,9 @@ fn run_cells(
                                 },
                                 rec.frame(),
                             )),
-                            Err(payload) => bad.push((i, panic_message(payload))),
+                            (None, Err(payload)) => {
+                                bad.push((i, CellError::Panicked(panic_message(payload))));
+                            }
                         }
                     }
                     (ok, bad)
@@ -507,7 +529,7 @@ fn execute(
     results: &mut Vec<(usize, CellResult, MetricsFrame)>,
     report: &mut CampaignReport,
 ) {
-    let mut failed: Vec<(usize, String)> = Vec::new();
+    let mut failed: Vec<(usize, CellError)> = Vec::new();
     run_cells(jobs, order, threads, ctx, results, &mut failed);
     for attempt in 2..=retry.max_attempts {
         if failed.is_empty() {
@@ -530,14 +552,14 @@ fn execute(
     failed.sort_unstable_by_key(|&(i, _)| i);
     report
         .failures
-        .extend(failed.into_iter().map(|(job_index, message)| {
+        .extend(failed.into_iter().map(|(job_index, error)| {
             let job = &jobs[job_index];
             CellFailure {
                 job_index,
                 workload: job.workload.name().to_string(),
                 technique: job.technique.name(),
                 attempts: retry.max_attempts,
-                error: CellError::Panicked(message),
+                error,
             }
         }));
 }
@@ -895,6 +917,43 @@ mod tests {
         }
     }
 
+    /// A machine fault during a cell's driver passes fails the cell with
+    /// the typed [`CellError::MachineFault`] — no panic, no unwinding —
+    /// and leaves the rest of the grid untouched.
+    #[test]
+    fn machine_faults_surface_as_typed_cell_errors() {
+        use pgss_workloads::{Kernel, WorkloadBuilder};
+        let faulty = {
+            let mut b = WorkloadBuilder::new("faulty", 3);
+            let seg = b.add_segment(Kernel::ComputeInt {
+                chains: 2,
+                ops_per_chain: 4,
+            });
+            b.run(seg, 10_000);
+            b.poison_dispatch();
+            b.finish()
+        };
+        let healthy = pgss_workloads::gzip(0.01);
+        let (smarts, _, _) = techniques();
+        let jobs = vec![Job::new(&faulty, &smarts), Job::new(&healthy, &smarts)];
+        let report = run_on(&jobs, 2).unwrap();
+        assert_eq!(report.failures.len(), 1);
+        let failure = &report.failures[0];
+        assert_eq!(failure.workload, "faulty");
+        assert!(
+            matches!(
+                failure.error,
+                CellError::MachineFault(pgss_cpu::MachineFault::IndirectJumpOutOfRange { .. })
+            ),
+            "expected a typed machine fault, got {:?}",
+            failure.error
+        );
+        // Faults are deterministic, so retrying the cell cannot help and
+        // the healthy cell must be unaffected.
+        assert!(report.cell("164.gzip", &smarts.name()).is_some());
+        assert!(report.cell("faulty", &smarts.name()).is_none());
+    }
+
     #[test]
     fn grid_is_workload_major() {
         let workloads = suite();
@@ -1103,7 +1162,9 @@ mod tests {
         assert_eq!(failure.technique, exploder.name());
         assert_eq!(failure.attempts, RetryPolicy::default().max_attempts);
         assert_eq!(failure.job_index, 2);
-        let CellError::Panicked(msg) = &failure.error;
+        let CellError::Panicked(msg) = &failure.error else {
+            panic!("expected a panic error, got {:?}", failure.error);
+        };
         assert!(
             msg.contains(INJECTED_PANIC_TAG),
             "unexpected message {msg:?}"

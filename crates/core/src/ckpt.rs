@@ -757,6 +757,12 @@ pub struct SimContext {
     /// Metrics sink for the run ([`pgss_obs::NoopRecorder`] by default,
     /// which costs nothing).
     pub recorder: std::sync::Arc<dyn pgss_obs::Recorder>,
+    /// Shared slot capturing the first [`pgss_cpu::MachineFault`] of any
+    /// driver pass bound to this context. Campaign cells read it after a
+    /// technique returns, turning structured machine aborts (e.g. an
+    /// out-of-range indirect jump) into typed cell errors instead of
+    /// panics.
+    pub fault: std::sync::Arc<std::sync::OnceLock<pgss_cpu::MachineFault>>,
 }
 
 impl Default for SimContext {
@@ -764,6 +770,7 @@ impl Default for SimContext {
         SimContext {
             ladder: None,
             recorder: std::sync::Arc::new(pgss_obs::NoopRecorder),
+            fault: std::sync::Arc::new(std::sync::OnceLock::new()),
         }
     }
 }
@@ -786,9 +793,15 @@ impl SimContext {
     /// A context carrying `recorder`.
     pub fn with_recorder(recorder: std::sync::Arc<dyn pgss_obs::Recorder>) -> SimContext {
         SimContext {
-            ladder: None,
             recorder,
+            ..SimContext::default()
         }
+    }
+
+    /// The first machine fault deposited by any driver pass bound to this
+    /// context, if one occurred.
+    pub fn first_fault(&self) -> Option<pgss_cpu::MachineFault> {
+        self.fault.get().copied()
     }
 
     /// The same context with `recorder` attached (builder-style).
@@ -806,6 +819,7 @@ impl SimContext {
             driver.attach_ladder(std::sync::Arc::clone(ladder));
         }
         driver.attach_recorder(std::sync::Arc::clone(&self.recorder));
+        driver.attach_fault_sink(std::sync::Arc::clone(&self.fault));
     }
 }
 

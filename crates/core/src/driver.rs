@@ -41,11 +41,11 @@
 //! println!("retired {} ops", driver.retired());
 //! ```
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use pgss_bbv::{BbvHash, FullBbv, FullBbvTracker, HashedBbv, HashedBbvTracker};
-use pgss_cpu::{Machine, MachineConfig, MachineSnapshot, Mode, ModeOps};
-use pgss_obs::Recorder;
+use pgss_cpu::{Machine, MachineConfig, MachineFault, MachineSnapshot, Mode, ModeOps};
+use pgss_obs::{Recorder, Span};
 use pgss_workloads::Workload;
 
 use crate::ckpt::{decode_machine_snapshot, CheckpointLadder};
@@ -57,6 +57,21 @@ fn mode_metric_keys(mode: Mode) -> (&'static str, &'static str) {
         Mode::Functional => ("driver.ops.functional", "driver.segments.functional"),
         Mode::DetailedWarming => ("driver.ops.warm", "driver.segments.warm"),
         Mode::DetailedMeasured => ("driver.ops.detail", "driver.segments.detail"),
+    }
+}
+
+/// The `driver.wall.*` span name for a mode: wall time spent inside
+/// `Machine::run_with` for that mode's segments. Dividing the matching
+/// `driver.ops.*` counter by this span's total yields per-mode interpreter
+/// throughput (see [`pgss_obs::MetricsFrame::rate_per_sec`]). Span *counts*
+/// are deterministic (one per executed segment); the wall total is real
+/// time and stays out of the byte-stable export, like every span.
+pub fn mode_wall_key(mode: Mode) -> &'static str {
+    match mode {
+        Mode::FastForward => "driver.wall.fast_forward",
+        Mode::Functional => "driver.wall.functional",
+        Mode::DetailedWarming => "driver.wall.warm",
+        Mode::DetailedMeasured => "driver.wall.detail",
     }
 }
 
@@ -298,6 +313,10 @@ pub struct SimDriver {
     /// Metrics sink for per-segment op counters; `None` (the common case)
     /// costs nothing on the hot path.
     recorder: Option<Arc<dyn Recorder>>,
+    /// Shared slot where the first machine fault of the run is deposited,
+    /// so campaign plumbing can surface it as a typed cell error without
+    /// unwinding. `None` when no one is listening.
+    fault_sink: Option<Arc<OnceLock<MachineFault>>>,
 }
 
 impl SimDriver {
@@ -321,6 +340,7 @@ impl SimDriver {
             hashed_taken: HashedBbv::new(),
             full_taken: None,
             recorder: None,
+            fault_sink: None,
         }
     }
 
@@ -413,6 +433,20 @@ impl SimDriver {
         self.recorder = recorder.enabled().then_some(recorder);
     }
 
+    /// Attaches a shared fault slot. If any segment of this run aborts on
+    /// a [`MachineFault`] (e.g. an out-of-range indirect jump), the first
+    /// such fault is deposited into the slot; later faults — from this
+    /// driver or from sibling passes sharing the slot — are dropped, so
+    /// the slot always reports the run's *first* structured abort.
+    pub fn attach_fault_sink(&mut self, slot: Arc<OnceLock<MachineFault>>) {
+        self.fault_sink = Some(slot);
+    }
+
+    /// The fault that halted this driver's machine, if any.
+    pub fn fault(&self) -> Option<MachineFault> {
+        self.machine.fault()
+    }
+
     /// Runs `policy` to completion: alternately asks it for a segment and
     /// hands back the outcome, until it answers [`Directive::Finish`].
     pub fn run<P: SamplingPolicy + ?Sized>(&mut self, policy: &mut P) {
@@ -470,9 +504,22 @@ impl SimDriver {
                 }
             }
         }
-        let r = self
-            .machine
-            .run_with(segment.mode, segment.max_ops - skipped, &mut self.sink);
+        let r = {
+            // Time the interpreter call per mode (span count stays
+            // deterministic: one per segment; the wall total never enters
+            // the byte-stable export).
+            let _wall = self
+                .recorder
+                .as_deref()
+                .map(|rec| Span::enter(rec, mode_wall_key(segment.mode)));
+            self.machine
+                .run_with(segment.mode, segment.max_ops - skipped, &mut self.sink)
+        };
+        if let Some(fault) = self.machine.fault() {
+            if let Some(slot) = &self.fault_sink {
+                let _ = slot.set(fault);
+            }
+        }
         if let Some(ladder) = &self.ladder {
             ladder.record_executed(r.ops);
         }

@@ -73,7 +73,13 @@ impl Cache {
     /// allocating on miss. Returns `true` on hit.
     #[inline]
     pub fn access(&mut self, byte_addr: u64) -> bool {
-        let line = byte_addr >> self.line_shift;
+        self.access_line(byte_addr >> self.line_shift)
+    }
+
+    /// [`Cache::access`] with the line index already computed (callers
+    /// that memoize the last line avoid recomputing it).
+    #[inline]
+    fn access_line(&mut self, line: u64) -> bool {
         let set = (line & self.set_mask) as usize;
         let base = set * self.assoc;
         let ways = &mut self.ways[base..base + self.assoc];
@@ -87,6 +93,22 @@ impl Cache {
             ways.rotate_right(1);
             ways[0] = line;
             self.misses += 1;
+            false
+        }
+    }
+
+    /// A hit on the way that is already MRU in its set: bump the hit
+    /// counter without the scan/rotate (the rotation over `[..=0]` is a
+    /// no-op). Exactness argument for callers: checking `ways[base]`
+    /// first observes the same LRU state [`Cache::access_line`] would,
+    /// and a front hit leaves that state untouched.
+    #[inline(always)]
+    fn access_mru_hit(&mut self, line: u64) -> bool {
+        let set = (line & self.set_mask) as usize;
+        if self.ways[set * self.assoc] == line {
+            self.hits += 1;
+            true
+        } else {
             false
         }
     }
@@ -190,6 +212,13 @@ pub struct MemSystem {
     /// Unified L2.
     l2: Cache,
     lat: LatencyConfig,
+    /// L1D line of the most recent data access through the `*_fast`
+    /// entry points (`u64::MAX` when unknown). Derived fast-path state,
+    /// never serialized: by construction this line is the MRU way of its
+    /// set, so a repeat access is a hit whose LRU rotation is a no-op and
+    /// can be short-circuited to a counter bump. Cleared by
+    /// [`MemSystem::load_state`].
+    last_data_line: u64,
 }
 
 impl MemSystem {
@@ -200,6 +229,7 @@ impl MemSystem {
             l1d: Cache::new(config.l1d),
             l2: Cache::new(config.l2),
             lat: config.lat,
+            last_data_line: u64::MAX,
         }
     }
 
@@ -216,10 +246,53 @@ impl MemSystem {
         }
     }
 
+    /// [`MemSystem::fetch_latency`] with an MRU-first fast path: a fetch
+    /// that hits the MRU way of its L1I set (the common case for hot
+    /// loops bouncing between a few lines) skips the scan/rotate.
+    /// Identical state, counters, and latency.
+    #[inline]
+    pub fn fetch_latency_fast(&mut self, byte_addr: u64) -> u32 {
+        let line = byte_addr >> self.l1i.line_shift;
+        if self.l1i.access_mru_hit(line) {
+            return 0;
+        }
+        if self.l1i.access_line(line) {
+            0
+        } else if self.l2.access(byte_addr) {
+            self.lat.l2_hit
+        } else {
+            self.lat.memory
+        }
+    }
+
     /// Loads the data word at `byte_addr`; returns the load-to-use latency.
     #[inline]
     pub fn load_latency(&mut self, byte_addr: u64) -> u32 {
+        self.last_data_line = u64::MAX;
         if self.l1d.access(byte_addr) {
+            self.lat.l1_hit
+        } else if self.l2.access(byte_addr) {
+            self.lat.l2_hit
+        } else {
+            self.lat.memory
+        }
+    }
+
+    /// [`MemSystem::load_latency`] with the same-line memo fast path:
+    /// identical cache state, counters, and latency, one compare when the
+    /// access stays on the most recently touched data line.
+    #[inline]
+    pub fn load_latency_fast(&mut self, byte_addr: u64) -> u32 {
+        let line = byte_addr >> self.l1d.line_shift;
+        if line == self.last_data_line {
+            self.l1d.hits += 1;
+            return self.lat.l1_hit;
+        }
+        self.last_data_line = line;
+        if self.l1d.access_mru_hit(line) {
+            return self.lat.l1_hit;
+        }
+        if self.l1d.access_line(line) {
             self.lat.l1_hit
         } else if self.l2.access(byte_addr) {
             self.lat.l2_hit
@@ -234,7 +307,30 @@ impl MemSystem {
     /// miss-status-holding register.
     #[inline]
     pub fn store_latency(&mut self, byte_addr: u64) -> u32 {
+        self.last_data_line = u64::MAX;
         if self.l1d.access(byte_addr) {
+            0
+        } else if self.l2.access(byte_addr) {
+            self.lat.l2_hit
+        } else {
+            self.lat.memory
+        }
+    }
+
+    /// [`MemSystem::store_latency`] with the same-line memo fast path
+    /// (see [`MemSystem::load_latency_fast`]).
+    #[inline]
+    pub fn store_latency_fast(&mut self, byte_addr: u64) -> u32 {
+        let line = byte_addr >> self.l1d.line_shift;
+        if line == self.last_data_line {
+            self.l1d.hits += 1;
+            return 0;
+        }
+        self.last_data_line = line;
+        if self.l1d.access_mru_hit(line) {
+            return 0;
+        }
+        if self.l1d.access_line(line) {
             0
         } else if self.l2.access(byte_addr) {
             self.lat.l2_hit
@@ -247,7 +343,26 @@ impl MemSystem {
     /// latency — used by the functional warming mode.
     #[inline]
     pub fn warm_data(&mut self, byte_addr: u64) {
+        self.last_data_line = u64::MAX;
         if !self.l1d.access(byte_addr) {
+            self.l2.access(byte_addr);
+        }
+    }
+
+    /// [`MemSystem::warm_data`] with the same-line memo fast path (see
+    /// [`MemSystem::load_latency_fast`]).
+    #[inline]
+    pub fn warm_data_fast(&mut self, byte_addr: u64) {
+        let line = byte_addr >> self.l1d.line_shift;
+        if line == self.last_data_line {
+            self.l1d.hits += 1;
+            return;
+        }
+        self.last_data_line = line;
+        if self.l1d.access_mru_hit(line) {
+            return;
+        }
+        if !self.l1d.access_line(line) {
             self.l2.access(byte_addr);
         }
     }
@@ -256,6 +371,19 @@ impl MemSystem {
     #[inline]
     pub fn warm_fetch(&mut self, byte_addr: u64) {
         if !self.l1i.access(byte_addr) {
+            self.l2.access(byte_addr);
+        }
+    }
+
+    /// [`MemSystem::warm_fetch`] with the MRU-first fast path (see
+    /// [`MemSystem::fetch_latency_fast`]).
+    #[inline]
+    pub fn warm_fetch_fast(&mut self, byte_addr: u64) {
+        let line = byte_addr >> self.l1i.line_shift;
+        if self.l1i.access_mru_hit(line) {
+            return;
+        }
+        if !self.l1i.access_line(line) {
             self.l2.access(byte_addr);
         }
     }
@@ -294,6 +422,9 @@ impl MemSystem {
         self.l1i.load_state(&state.l1i);
         self.l1d.load_state(&state.l1d);
         self.l2.load_state(&state.l2);
+        // The memo is derived from the access stream, not part of the
+        // state; a restored hierarchy starts with it unknown.
+        self.last_data_line = u64::MAX;
     }
 }
 
@@ -389,6 +520,44 @@ mod tests {
         assert_eq!(m.store_latency(4096), cfg.lat.memory); // cold miss
         assert_eq!(m.load_latency(4096), cfg.lat.l1_hit);
         assert_eq!(m.store_latency(4096), 0); // hit
+    }
+
+    #[test]
+    fn fast_paths_match_plain_paths_exactly() {
+        // Drive two hierarchies with the same access stream — one through
+        // the plain entry points, one through the memoized `*_fast` ones
+        // (including interleaved plain calls, which must invalidate the
+        // memo) — and require identical latencies and identical state.
+        let cfg = MachineConfig::default();
+        let mut plain = MemSystem::new(&cfg);
+        let mut fast = MemSystem::new(&cfg);
+        // A mix of repeats (memo hits), strides, and set conflicts.
+        let mut addr = 0u64;
+        let mut addrs = Vec::new();
+        for i in 0..5_000u64 {
+            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(i);
+            addrs.push(addr % (1 << 22));
+            addrs.push((i / 3) * 8); // hot, same-line repeats
+        }
+        for (k, &a) in addrs.iter().enumerate() {
+            match k % 6 {
+                0 => assert_eq!(plain.load_latency(a), fast.load_latency_fast(a)),
+                1 => assert_eq!(plain.store_latency(a), fast.store_latency_fast(a)),
+                2 => {
+                    plain.warm_data(a);
+                    fast.warm_data_fast(a);
+                }
+                3 => assert_eq!(plain.fetch_latency(a), fast.fetch_latency_fast(a)),
+                4 => {
+                    plain.warm_fetch(a);
+                    fast.warm_fetch_fast(a);
+                }
+                // Interleave a plain call on the `fast` instance: the memo
+                // must be invalidated, not left stale.
+                _ => assert_eq!(plain.load_latency(a), fast.load_latency(a)),
+            }
+        }
+        assert_eq!(plain.save_state(), fast.save_state());
     }
 
     #[test]

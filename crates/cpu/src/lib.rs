@@ -63,10 +63,12 @@ mod bpred;
 mod cache;
 mod config;
 mod machine;
+mod reference;
 mod sink;
 
 pub use bpred::{BranchPredictor, BranchPredictorState, Btb, BtbState};
 pub use cache::{Cache, CacheState, MemSystem, MemSystemState};
 pub use config::{BranchPredictorConfig, CacheConfig, LatencyConfig, MachineConfig};
-pub use machine::{Machine, MachineSnapshot, Mode, ModeOps, RunResult};
+pub use machine::{Machine, MachineFault, MachineSnapshot, Mode, ModeOps, RunResult};
+pub use reference::ReferenceMachine;
 pub use sink::{NoopSink, RetireSink};

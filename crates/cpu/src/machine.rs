@@ -1,9 +1,30 @@
 //! The simulated machine: architectural state, the functional interpreter,
 //! and the in-order superscalar timing model.
+//!
+//! # Decoded execution core
+//!
+//! [`Machine`] executes a [`DecodedProgram`] — a one-shot lowering of the
+//! [`Program`] into a flat micro-op array with pre-resolved operands and
+//! superblock run lengths (see [`pgss_isa::DecodedProgram`]). The hot
+//! loop dispatches whole straight-line runs at a time: within a run there
+//! are no per-op mode re-checks, no per-op taken-branch bookkeeping, and
+//! retirement is accounted branchlessly in one batch
+//! ([`RetireSink::retire_run`]); only the control-flow op that terminates
+//! the run is handled individually. Observable behaviour — architectural
+//! state, retired counters, cycle counts, retirement/taken-branch event
+//! streams, snapshots — is bit-exact with the retained per-op
+//! [`crate::ReferenceMachine`].
+//!
+//! Decoded state is *derived*: it is rebuilt from the `Program` whenever
+//! a machine is constructed and is never serialized — snapshots and the
+//! checkpoint codec carry only architectural and warm
+//! microarchitectural state, so checkpoint formats are unaffected by the
+//! decoded representation.
 
 use std::fmt;
+use std::sync::Arc;
 
-use pgss_isa::{Instr, Program};
+use pgss_isa::{DecodedOp, DecodedProgram, LatClass, OpKind, Program};
 
 use crate::bpred::{BranchPredictor, BranchPredictorState, Btb, BtbState};
 use crate::cache::{MemSystem, MemSystemState};
@@ -12,7 +33,42 @@ use crate::sink::{NoopSink, RetireSink};
 
 /// Bytes per encoded instruction, used to map instruction addresses onto
 /// I-cache lines (a 64-byte line holds 16 instructions).
-const INSTR_BYTES: u64 = 4;
+pub(crate) const INSTR_BYTES: u64 = 4;
+
+/// A structured reason the machine stopped executing, other than
+/// [`pgss_isa::Instr::Halt`].
+///
+/// Faults halt the machine ([`Machine::halted`] becomes true) without
+/// panicking, so campaign workers surface them as typed cell errors
+/// instead of recovering them from `catch_unwind`. The faulting
+/// instruction does **not** retire, and makes no cache, predictor, or
+/// timing updates. Faults are not part of [`MachineSnapshot`] —
+/// [`Machine::restore`] clears them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineFault {
+    /// An indirect jump ([`pgss_isa::Instr::Jr`]) targeted an address
+    /// outside the program. Static targets are validated at assembly
+    /// time ([`pgss_isa::Program::new`]); only register-borne targets
+    /// can fail at runtime.
+    IndirectJumpOutOfRange {
+        /// Address of the faulting `Jr`.
+        pc: u32,
+        /// The out-of-range target it computed.
+        target: u32,
+    },
+}
+
+impl fmt::Display for MachineFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineFault::IndirectJumpOutOfRange { pc, target } => {
+                write!(f, "indirect jump at {pc} to out-of-range address {target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineFault {}
 
 /// Simulation fidelity level for a [`Machine::run`] call.
 ///
@@ -186,12 +242,25 @@ impl PartialEq for MachineSnapshot {
 /// See the [crate-level example](crate) for typical use.
 pub struct Machine {
     config: MachineConfig,
-    instrs: Box<[Instr]>,
+    /// The pre-decoded program (derived state; see the module docs).
+    /// Shared so fleets of machines over one workload decode once.
+    code: Arc<DecodedProgram>,
+    /// Program length, cached for the indirect-jump range check.
+    num_instrs: u32,
+    /// Cycles per [`LatClass`], resolved from the latency configuration.
+    class_cycles: [u64; LatClass::COUNT],
+    /// Instructions per I-cache line (for superblock fetch chunking).
+    ops_per_line: u32,
     pc: u32,
-    regs: [i64; 32],
+    /// Integer register file, padded to 64 slots: `[0, 32)` are the
+    /// architectural registers, slot [`pgss_isa::R0_SINK`] is the scratch
+    /// destination the decoder redirects `r0` writes to (making integer
+    /// writes unconditional), and the remainder is padding so a 6-bit
+    /// mask indexes without bounds checks. Only `[0, 32)` is ever read
+    /// or snapshotted.
+    regs: [i64; 64],
     fregs: [f64; 32],
     mem: Vec<i64>,
-    addr_mask: u64,
     memsys: MemSystem,
     bpred: BranchPredictor,
     btb: Btb,
@@ -200,6 +269,8 @@ pub struct Machine {
     /// Retired ops since the last taken control transfer (for
     /// [`RetireSink::taken_branch`]).
     ops_since_taken: u64,
+    /// Structured halt reason, when execution stopped on a fault.
+    fault: Option<MachineFault>,
 
     // ---- timing model state ----
     /// Current issue cycle.
@@ -239,39 +310,81 @@ impl Machine {
     /// Creates a machine executing `program` from address 0, with zeroed
     /// registers and memory and cold caches/predictors.
     ///
+    /// The program is decoded once (see [`pgss_isa::DecodedProgram`]);
+    /// callers constructing many machines over the same program can
+    /// decode once themselves and use [`Machine::with_decoded`].
+    ///
     /// # Panics
     ///
     /// Panics if `config.memory_words` is zero or not a power of two (see
     /// [`MachineConfig::memory_words`]).
     pub fn new(config: MachineConfig, program: &Program) -> Machine {
+        Machine::with_decoded(config, Arc::new(DecodedProgram::decode(program)))
+    }
+
+    /// Creates a machine over an already-decoded program, sharing the
+    /// decode work across machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.memory_words` is zero or not a power of two, or
+    /// if `code` is empty.
+    pub fn with_decoded(config: MachineConfig, code: Arc<DecodedProgram>) -> Machine {
         assert!(
             config.memory_words.is_power_of_two(),
             "memory_words must be a power of two, got {}",
             config.memory_words
         );
+        assert!(!code.is_empty(), "a program must contain an instruction");
+        let lat = config.lat;
+        let class_cycles = [
+            u64::from(lat.alu),
+            u64::from(lat.mul),
+            u64::from(lat.div),
+            u64::from(lat.fp_add),
+            u64::from(lat.fp_mul),
+            u64::from(lat.fp_div),
+        ];
+        let line_shift = config.l1i.line_bytes.trailing_zeros();
         Machine {
-            instrs: program.instrs().to_vec().into_boxed_slice(),
+            num_instrs: code.len() as u32,
+            code,
+            class_cycles,
+            ops_per_line: ((config.l1i.line_bytes / INSTR_BYTES).max(1)) as u32,
             pc: 0,
-            regs: [0; 32],
+            regs: [0; 64],
             fregs: [0.0; 32],
             mem: vec![0; config.memory_words],
-            addr_mask: config.memory_words as u64 - 1,
             memsys: MemSystem::new(&config),
             bpred: BranchPredictor::new(config.bpred),
             btb: Btb::new(config.bpred.btb_entries),
             halted: false,
             mode_ops: ModeOps::default(),
             ops_since_taken: 0,
+            fault: None,
             now: 0,
             slots: 0,
             reg_ready: [0; 64],
             fetch_ready: 0,
             last_fetch_line: u64::MAX,
             timing_valid: false,
-            line_shift: config.l1i.line_bytes.trailing_zeros(),
+            line_shift,
             mshr: vec![0; config.mshrs.max(1) as usize],
             config,
         }
+    }
+
+    /// The machine's decoded program, for sharing with
+    /// [`Machine::with_decoded`].
+    pub fn decoded(&self) -> &Arc<DecodedProgram> {
+        &self.code
+    }
+
+    /// The structured halt reason, if execution stopped on a fault
+    /// rather than a [`pgss_isa::Instr::Halt`]. Cleared by
+    /// [`Machine::restore`].
+    pub fn fault(&self) -> Option<MachineFault> {
+        self.fault
     }
 
     /// The machine's configuration.
@@ -335,7 +448,7 @@ impl Machine {
     pub fn snapshot(&self) -> MachineSnapshot {
         MachineSnapshot {
             pc: self.pc,
-            regs: self.regs,
+            regs: self.regs[..32].try_into().expect("32 architectural regs"),
             fregs: self.fregs,
             mem: self.mem.clone(),
             halted: self.halted,
@@ -364,7 +477,8 @@ impl Machine {
             "snapshot memory image does not match this machine's configuration"
         );
         self.pc = snapshot.pc;
-        self.regs = snapshot.regs;
+        self.regs[..32].copy_from_slice(&snapshot.regs);
+        self.regs[32..].fill(0);
         self.fregs = snapshot.fregs;
         self.mem.clone_from(&snapshot.mem);
         self.halted = snapshot.halted;
@@ -374,6 +488,7 @@ impl Machine {
         self.bpred.load_state(&snapshot.bpred);
         self.btb.load_state(&snapshot.btb);
         self.timing_valid = false;
+        self.fault = None;
     }
 
     /// Overrides the per-mode retired counters.
@@ -409,14 +524,17 @@ impl Machine {
                 halted: self.halted,
             };
         }
+        // Clone out the decoded-program handle so the hot loop can hold a
+        // direct slice borrow while mutating machine state.
+        let code = Arc::clone(&self.code);
         let (ops, cycles) = match mode {
             Mode::FastForward => {
                 self.timing_valid = false;
-                (self.run_loop::<false, false, S>(max_ops, sink), 0)
+                (self.run_loop::<false, false, S>(&code, max_ops, sink), 0)
             }
             Mode::Functional => {
                 self.timing_valid = false;
-                (self.run_loop::<false, true, S>(max_ops, sink), 0)
+                (self.run_loop::<false, true, S>(&code, max_ops, sink), 0)
             }
             Mode::DetailedWarming | Mode::DetailedMeasured => {
                 if !self.timing_valid {
@@ -432,7 +550,7 @@ impl Machine {
                     self.timing_valid = true;
                 }
                 let start = self.now;
-                let ops = self.run_loop::<true, true, S>(max_ops, sink);
+                let ops = self.run_loop::<true, true, S>(&code, max_ops, sink);
                 let cycles = if ops == 0 { 0 } else { self.now - start + 1 };
                 (ops, cycles)
             }
@@ -492,181 +610,321 @@ impl Machine {
         done
     }
 
-    /// The interpreter/timing loop, monomorphized per mode class.
+    /// Touches the I-cache hierarchy for a fetch of address `pc` if it
+    /// crosses onto a new line. Exact for LRU state: the touched-line
+    /// sequence is identical to checking before every op, because
+    /// sequential fetch changes line only at `ops_per_line` boundaries.
+    #[inline(always)]
+    fn fetch_line<const DETAILED: bool>(&mut self, pc: u32) {
+        let line = (u64::from(pc) * INSTR_BYTES) >> self.line_shift;
+        if line != self.last_fetch_line {
+            self.last_fetch_line = line;
+            if DETAILED {
+                let fl = self.memsys.fetch_latency_fast(u64::from(pc) * INSTR_BYTES);
+                if fl > 0 {
+                    self.fetch_ready = self.fetch_ready.max(self.now) + u64::from(fl);
+                }
+            } else {
+                self.memsys.warm_fetch_fast(u64::from(pc) * INSTR_BYTES);
+            }
+        }
+    }
+
+    /// Executes one straight-line (non-control-flow) decoded op.
+    ///
+    /// One dispatch per op: [`OpKind`] is fully resolved (operator and
+    /// imm-vs-register form folded into the opcode), so this match *is*
+    /// the interpreter — there is no second operator-selector match
+    /// behind any arm. Register indices come pre-resolved from the
+    /// decoder and are masked to the file size, so register-file and
+    /// scoreboard accesses compile without bounds checks. Integer
+    /// destinations write unconditionally: the decoder redirected `r0`
+    /// writes to the [`pgss_isa::R0_SINK`] scratch slot, whose
+    /// scoreboard alias (`R0_SINK & 31 == 0`) is exactly the
+    /// `reg_ready[0]` slot the per-op reference updates on `r0` writes —
+    /// timing stays bit-exact.
+    // Operators are passed into the arm-shape macros as closures and
+    // invoked immediately — that's the point (one shared expansion per
+    // shape, operator folded in), not a redundant call.
+    #[allow(clippy::redundant_closure_call)]
+    #[inline(always)]
+    fn exec_straight<const DETAILED: bool, const WARM: bool>(&mut self, op: DecodedOp) {
+        // `a` indexes the padded 64-slot file (dests may be R0_SINK);
+        // `ra` is its 32-slot scoreboard alias; sources are always < 32.
+        let a = (op.a & 63) as usize;
+        let ra = (op.a & 31) as usize;
+        let b = (op.b & 31) as usize;
+        let c = (op.c & 31) as usize;
+        // Arm bodies for the three ALU/FPU shapes. Operator semantics are
+        // exactly `AluOp::apply` / `FpuOp::apply` (wrapping integer
+        // arithmetic, div/rem by zero yield 0, shift amounts modulo 64).
+        macro_rules! rr {
+            // reg-reg integer: a <- f(regs[b], regs[c])
+            ($f:expr) => {{
+                let f = $f;
+                self.regs[a] = f(self.regs[b], self.regs[c]);
+                if DETAILED {
+                    let ready = self.reg_ready[b].max(self.reg_ready[c]);
+                    let t = self.issue_at(ready);
+                    self.reg_ready[ra] = t + self.class_cycles[op.lat.index()];
+                }
+            }};
+        }
+        macro_rules! ri {
+            // reg-imm integer: a <- f(regs[b], imm)
+            ($f:expr) => {{
+                let f = $f;
+                self.regs[a] = f(self.regs[b], op.imm);
+                if DETAILED {
+                    let t = self.issue_at(self.reg_ready[b]);
+                    self.reg_ready[ra] = t + self.class_cycles[op.lat.index()];
+                }
+            }};
+        }
+        macro_rules! frr {
+            // reg-reg floating-point: f[ra] <- f(fregs[b], fregs[c])
+            ($f:expr) => {{
+                let f = $f;
+                self.fregs[ra] = f(self.fregs[b], self.fregs[c]);
+                if DETAILED {
+                    let ready = self.reg_ready[32 + b].max(self.reg_ready[32 + c]);
+                    let t = self.issue_at(ready);
+                    self.reg_ready[32 + ra] = t + self.class_cycles[op.lat.index()];
+                }
+            }};
+        }
+        match op.kind {
+            OpKind::Add => rr!(|x: i64, y: i64| x.wrapping_add(y)),
+            OpKind::Sub => rr!(|x: i64, y: i64| x.wrapping_sub(y)),
+            OpKind::Mul => rr!(|x: i64, y: i64| x.wrapping_mul(y)),
+            OpKind::Div => rr!(|x: i64, y: i64| if y == 0 { 0 } else { x.wrapping_div(y) }),
+            OpKind::Rem => rr!(|x: i64, y: i64| if y == 0 { 0 } else { x.wrapping_rem(y) }),
+            OpKind::And => rr!(|x: i64, y: i64| x & y),
+            OpKind::Or => rr!(|x: i64, y: i64| x | y),
+            OpKind::Xor => rr!(|x: i64, y: i64| x ^ y),
+            OpKind::Sll => rr!(|x: i64, y: i64| ((x as u64) << (y as u64 & 63)) as i64),
+            OpKind::Srl => rr!(|x: i64, y: i64| ((x as u64) >> (y as u64 & 63)) as i64),
+            OpKind::Sra => rr!(|x: i64, y: i64| x >> (y as u64 & 63)),
+            OpKind::Slt => rr!(|x: i64, y: i64| i64::from(x < y)),
+            OpKind::AddI => ri!(|x: i64, y: i64| x.wrapping_add(y)),
+            OpKind::SubI => ri!(|x: i64, y: i64| x.wrapping_sub(y)),
+            OpKind::MulI => ri!(|x: i64, y: i64| x.wrapping_mul(y)),
+            OpKind::DivI => ri!(|x: i64, y: i64| if y == 0 { 0 } else { x.wrapping_div(y) }),
+            OpKind::RemI => ri!(|x: i64, y: i64| if y == 0 { 0 } else { x.wrapping_rem(y) }),
+            OpKind::AndI => ri!(|x: i64, y: i64| x & y),
+            OpKind::OrI => ri!(|x: i64, y: i64| x | y),
+            OpKind::XorI => ri!(|x: i64, y: i64| x ^ y),
+            OpKind::SllI => ri!(|x: i64, y: i64| ((x as u64) << (y as u64 & 63)) as i64),
+            OpKind::SrlI => ri!(|x: i64, y: i64| ((x as u64) >> (y as u64 & 63)) as i64),
+            OpKind::SraI => ri!(|x: i64, y: i64| x >> (y as u64 & 63)),
+            OpKind::SltI => ri!(|x: i64, y: i64| i64::from(x < y)),
+            OpKind::Li => {
+                self.regs[a] = op.imm;
+                if DETAILED {
+                    let t = self.issue_at(0);
+                    self.reg_ready[ra] = t + self.class_cycles[LatClass::Alu.index()];
+                }
+            }
+            OpKind::FAdd => frr!(|x: f64, y: f64| x + y),
+            OpKind::FSub => frr!(|x: f64, y: f64| x - y),
+            OpKind::FMul => frr!(|x: f64, y: f64| x * y),
+            OpKind::FDiv => frr!(|x: f64, y: f64| x / y),
+            OpKind::Load => {
+                let addr = self.effective(b, op.imm);
+                self.regs[a] = self.mem[addr as usize];
+                if DETAILED {
+                    let l = self.memsys.load_latency_fast(addr * 8);
+                    let done = self.issue_mem(self.reg_ready[b], l, l > self.config.lat.l1_hit);
+                    self.reg_ready[ra] = done;
+                } else if WARM {
+                    self.memsys.warm_data_fast(addr * 8);
+                }
+            }
+            OpKind::Store => {
+                let addr = self.effective(b, op.imm);
+                self.mem[addr as usize] = self.regs[c];
+                if DETAILED {
+                    let ready = self.reg_ready[c].max(self.reg_ready[b]);
+                    let l = self.memsys.store_latency_fast(addr * 8);
+                    let _ = self.issue_mem(ready, 0, l > 0);
+                } else if WARM {
+                    self.memsys.warm_data_fast(addr * 8);
+                }
+            }
+            OpKind::FLoad => {
+                let addr = self.effective(b, op.imm);
+                self.fregs[ra] = f64::from_bits(self.mem[addr as usize] as u64);
+                if DETAILED {
+                    let l = self.memsys.load_latency_fast(addr * 8);
+                    let done = self.issue_mem(self.reg_ready[b], l, l > self.config.lat.l1_hit);
+                    self.reg_ready[32 + ra] = done;
+                } else if WARM {
+                    self.memsys.warm_data_fast(addr * 8);
+                }
+            }
+            OpKind::FStore => {
+                let addr = self.effective(b, op.imm);
+                self.mem[addr as usize] = self.fregs[c].to_bits() as i64;
+                if DETAILED {
+                    let ready = self.reg_ready[32 + c].max(self.reg_ready[b]);
+                    let l = self.memsys.store_latency_fast(addr * 8);
+                    let _ = self.issue_mem(ready, 0, l > 0);
+                } else if WARM {
+                    self.memsys.warm_data_fast(addr * 8);
+                }
+            }
+            _ => unreachable!("control-flow op inside a straight-line run"),
+        }
+    }
+
+    /// Timing/warming tail shared by the four conditional-branch opcodes:
+    /// issue, predict, and charge the mispredict redirect penalty.
+    #[inline(always)]
+    fn branch_timing<const DETAILED: bool, const WARM: bool>(
+        &mut self,
+        pc: u32,
+        b: usize,
+        c: usize,
+        taken: bool,
+    ) {
+        if DETAILED {
+            let ready = self.reg_ready[b].max(self.reg_ready[c]);
+            let t = self.issue_at(ready);
+            let correct = self.bpred.predict_and_update(pc, taken);
+            if !correct {
+                self.fetch_ready = t + u64::from(self.config.lat.mispredict);
+            }
+        } else if WARM {
+            self.bpred.predict_and_update(pc, taken);
+        }
+    }
+
+    /// The superblock interpreter/timing loop, monomorphized per mode
+    /// class.
     ///
     /// `DETAILED` enables the cycle-level model; `WARM` enables cache and
     /// predictor updates (always true when `DETAILED` is).
+    ///
+    /// Each outer iteration executes one superblock: the straight-line
+    /// run starting at the current pc (`run_len`), clipped to the op
+    /// budget, then the single control-flow op that terminates it.
+    /// Straight-line ops run without per-op mode or taken-branch
+    /// re-checks; their retirement is accounted branchlessly in one
+    /// batch ([`RetireSink::retire_run`]), and I-cache warming happens
+    /// once per line chunk instead of once per op — both bit-exact with
+    /// the per-op reference loop.
+    // The `branch!` macro takes its comparator as an immediately-invoked
+    // closure, same pattern as `exec_straight`'s arm-shape macros.
+    #[allow(clippy::redundant_closure_call)]
     fn run_loop<const DETAILED: bool, const WARM: bool, S: RetireSink>(
         &mut self,
+        code: &DecodedProgram,
         max_ops: u64,
         sink: &mut S,
     ) -> u64 {
-        let lat = self.config.lat;
+        let all_ops = code.ops();
+        let per_line = self.ops_per_line;
+        let line_mask = per_line - 1;
         let mut ops = 0u64;
         while ops < max_ops {
-            let pc = self.pc;
-            let instr = self.instrs[pc as usize];
-
-            // Instruction fetch: touch the I-cache hierarchy once per line
-            // transition (exact for LRU state, cheap for straight-line code).
-            if WARM {
-                let line = (u64::from(pc) * INSTR_BYTES) >> self.line_shift;
-                if line != self.last_fetch_line {
-                    self.last_fetch_line = line;
-                    if DETAILED {
-                        let fl = self.memsys.fetch_latency(u64::from(pc) * INSTR_BYTES);
-                        if fl > 0 {
-                            self.fetch_ready = self.fetch_ready.max(self.now) + u64::from(fl);
-                        }
+            let pc0 = self.pc;
+            let full = code.run_len(pc0);
+            let run = u64::from(full).min(max_ops - ops) as u32;
+            if run > 0 {
+                let mut i = 0u32;
+                while i < run {
+                    let cur = pc0 + i;
+                    let chunk = if WARM {
+                        self.fetch_line::<DETAILED>(cur);
+                        // Ops remaining on this I-cache line: within the
+                        // chunk, no further line transition is possible.
+                        (per_line - (cur & line_mask)).min(run - i)
                     } else {
-                        self.memsys.warm_fetch(u64::from(pc) * INSTR_BYTES);
+                        run - i
+                    };
+                    for &op in &all_ops[cur as usize..(cur + chunk) as usize] {
+                        self.exec_straight::<DETAILED, WARM>(op);
                     }
+                    i += chunk;
+                }
+                sink.retire_run(pc0, run);
+                ops += u64::from(run);
+                self.ops_since_taken += u64::from(run);
+                self.pc = pc0 + run;
+                if ops == max_ops {
+                    break;
                 }
             }
 
+            // The control-flow op terminating the superblock.
+            let pc = pc0 + run;
+            let op = all_ops[pc as usize];
+            if WARM {
+                self.fetch_line::<DETAILED>(pc);
+            }
             let mut next_pc = pc + 1;
-            let mut taken = false;
-            match instr {
-                Instr::Alu { op, rd, rs, rt } => {
-                    let a = self.regs[rs.index()];
-                    let b = self.regs[rt.index()];
-                    self.write_reg(rd.index(), op.apply(a, b));
-                    if DETAILED {
-                        let ready = self.reg_ready[rs.index()].max(self.reg_ready[rt.index()]);
-                        let t = self.issue_at(ready);
-                        self.reg_ready[rd.index()] = t + u64::from(alu_latency(op, lat));
-                    }
-                }
-                Instr::AluImm { op, rd, rs, imm } => {
-                    let a = self.regs[rs.index()];
-                    self.write_reg(rd.index(), op.apply(a, imm));
-                    if DETAILED {
-                        let t = self.issue_at(self.reg_ready[rs.index()]);
-                        self.reg_ready[rd.index()] = t + u64::from(alu_latency(op, lat));
-                    }
-                }
-                Instr::Li { rd, imm } => {
-                    self.write_reg(rd.index(), imm);
-                    if DETAILED {
-                        let t = self.issue_at(0);
-                        self.reg_ready[rd.index()] = t + u64::from(lat.alu);
-                    }
-                }
-                Instr::Fpu { op, fd, fs, ft } => {
-                    let a = self.fregs[fs.index()];
-                    let b = self.fregs[ft.index()];
-                    self.fregs[fd.index()] = op.apply(a, b);
-                    if DETAILED {
-                        let ready =
-                            self.reg_ready[32 + fs.index()].max(self.reg_ready[32 + ft.index()]);
-                        let t = self.issue_at(ready);
-                        self.reg_ready[32 + fd.index()] = t + u64::from(fpu_latency(op, lat));
-                    }
-                }
-                Instr::Load { rd, base, offset } => {
-                    let addr = self.effective(base.index(), offset);
-                    let value = self.mem[addr as usize];
-                    self.write_reg(rd.index(), value);
-                    if DETAILED {
-                        let l = self.memsys.load_latency(addr * 8);
-                        let done = self.issue_mem(self.reg_ready[base.index()], l, l > lat.l1_hit);
-                        self.reg_ready[rd.index()] = done;
-                    } else if WARM {
-                        self.memsys.warm_data(addr * 8);
-                    }
-                }
-                Instr::Store { rs, base, offset } => {
-                    let addr = self.effective(base.index(), offset);
-                    self.mem[addr as usize] = self.regs[rs.index()];
-                    if DETAILED {
-                        let ready = self.reg_ready[rs.index()].max(self.reg_ready[base.index()]);
-                        let l = self.memsys.store_latency(addr * 8);
-                        let _ = self.issue_mem(ready, 0, l > 0);
-                    } else if WARM {
-                        self.memsys.warm_data(addr * 8);
-                    }
-                }
-                Instr::FLoad { fd, base, offset } => {
-                    let addr = self.effective(base.index(), offset);
-                    self.fregs[fd.index()] = f64::from_bits(self.mem[addr as usize] as u64);
-                    if DETAILED {
-                        let l = self.memsys.load_latency(addr * 8);
-                        let done = self.issue_mem(self.reg_ready[base.index()], l, l > lat.l1_hit);
-                        self.reg_ready[32 + fd.index()] = done;
-                    } else if WARM {
-                        self.memsys.warm_data(addr * 8);
-                    }
-                }
-                Instr::FStore { fs, base, offset } => {
-                    let addr = self.effective(base.index(), offset);
-                    self.mem[addr as usize] = self.fregs[fs.index()].to_bits() as i64;
-                    if DETAILED {
-                        let ready =
-                            self.reg_ready[32 + fs.index()].max(self.reg_ready[base.index()]);
-                        let l = self.memsys.store_latency(addr * 8);
-                        let _ = self.issue_mem(ready, 0, l > 0);
-                    } else if WARM {
-                        self.memsys.warm_data(addr * 8);
-                    }
-                }
-                Instr::Branch {
-                    cond,
-                    rs,
-                    rt,
-                    target,
-                } => {
-                    let a = self.regs[rs.index()];
-                    let b = self.regs[rt.index()];
-                    taken = cond.eval(a, b);
+            let taken: bool;
+            // Branch conditions are resolved in the opcode (one dispatch);
+            // the shared issue/predict tail is `branch_timing`.
+            macro_rules! branch {
+                ($cmp:expr) => {{
+                    let b = (op.b & 31) as usize;
+                    let c = (op.c & 31) as usize;
+                    let cmp = $cmp;
+                    taken = cmp(self.regs[b], self.regs[c]);
                     if taken {
-                        next_pc = target;
+                        next_pc = op.target();
                     }
-                    if DETAILED {
-                        let ready = self.reg_ready[rs.index()].max(self.reg_ready[rt.index()]);
-                        let t = self.issue_at(ready);
-                        let correct = self.bpred.predict_and_update(pc, taken);
-                        if !correct {
-                            self.fetch_ready = t + u64::from(lat.mispredict);
-                        }
-                    } else if WARM {
-                        self.bpred.predict_and_update(pc, taken);
-                    }
-                }
-                Instr::Jump { target } => {
-                    next_pc = target;
+                    self.branch_timing::<DETAILED, WARM>(pc, b, c, taken);
+                }};
+            }
+            match op.kind {
+                OpKind::BranchEq => branch!(|x: i64, y: i64| x == y),
+                OpKind::BranchNe => branch!(|x: i64, y: i64| x != y),
+                OpKind::BranchLt => branch!(|x: i64, y: i64| x < y),
+                OpKind::BranchGe => branch!(|x: i64, y: i64| x >= y),
+                OpKind::Jump => {
+                    next_pc = op.target();
                     taken = true;
                     if DETAILED {
                         let _ = self.issue_at(0);
                     }
                 }
-                Instr::Jal { target, link } => {
-                    self.write_reg(link.index(), i64::from(pc) + 1);
-                    next_pc = target;
+                OpKind::Jal => {
+                    let a = (op.a & 63) as usize;
+                    self.regs[a] = i64::from(pc) + 1;
+                    next_pc = op.target();
                     taken = true;
                     if DETAILED {
                         let t = self.issue_at(0);
-                        self.reg_ready[link.index()] = t + u64::from(lat.alu);
+                        self.reg_ready[(op.a & 31) as usize] =
+                            t + self.class_cycles[LatClass::Alu.index()];
                     }
                 }
-                Instr::Jr { rs } => {
-                    let target = self.regs[rs.index()] as u32;
-                    assert!(
-                        (target as usize) < self.instrs.len(),
-                        "indirect jump at {pc} to out-of-range address {target}"
-                    );
+                OpKind::Jr => {
+                    let b = (op.b & 31) as usize;
+                    let target = self.regs[b] as u32;
+                    if target >= self.num_instrs {
+                        // Structured halt instead of a panic: the faulting
+                        // op does not retire, and the campaign path
+                        // surfaces the reason as a typed cell error.
+                        self.fault = Some(MachineFault::IndirectJumpOutOfRange { pc, target });
+                        self.halted = true;
+                        break;
+                    }
                     next_pc = target;
                     taken = true;
                     if DETAILED {
-                        let t = self.issue_at(self.reg_ready[rs.index()]);
+                        let t = self.issue_at(self.reg_ready[b]);
                         let correct = self.btb.predict_and_update(pc, target);
                         if !correct {
-                            self.fetch_ready = t + u64::from(lat.mispredict);
+                            self.fetch_ready = t + u64::from(self.config.lat.mispredict);
                         }
                     } else if WARM {
                         self.btb.predict_and_update(pc, target);
                     }
                 }
-                Instr::Halt => {
+                OpKind::Halt => {
                     self.halted = true;
                     if DETAILED {
                         let _ = self.issue_at(0);
@@ -676,6 +934,7 @@ impl Machine {
                     sink.retire(pc);
                     break;
                 }
+                _ => unreachable!("straight-line op terminates a superblock"),
             }
 
             ops += 1;
@@ -690,37 +949,14 @@ impl Machine {
         ops
     }
 
+    /// Effective word address: base register plus offset, wrapped to the
+    /// memory size. The mask is derived from `mem.len()` inline (rather
+    /// than the cached `addr_mask`) so the optimizer can prove
+    /// `addr < mem.len()` and drop the bounds check on every
+    /// architectural memory access.
     #[inline(always)]
     fn effective(&self, base: usize, offset: i64) -> u64 {
-        (self.regs[base].wrapping_add(offset)) as u64 & self.addr_mask
-    }
-
-    #[inline(always)]
-    fn write_reg(&mut self, index: usize, value: i64) {
-        // r0 is hardwired to zero.
-        if index != 0 {
-            self.regs[index] = value;
-        }
-    }
-}
-
-#[inline(always)]
-fn alu_latency(op: pgss_isa::AluOp, lat: crate::config::LatencyConfig) -> u32 {
-    use pgss_isa::AluOp;
-    match op {
-        AluOp::Mul => lat.mul,
-        AluOp::Div | AluOp::Rem => lat.div,
-        _ => lat.alu,
-    }
-}
-
-#[inline(always)]
-fn fpu_latency(op: pgss_isa::FpuOp, lat: crate::config::LatencyConfig) -> u32 {
-    use pgss_isa::FpuOp;
-    match op {
-        FpuOp::Add | FpuOp::Sub => lat.fp_add,
-        FpuOp::Mul => lat.fp_mul,
-        FpuOp::Div => lat.fp_div,
+        (self.regs[base].wrapping_add(offset)) as u64 & (self.mem.len() as u64 - 1)
     }
 }
 
@@ -1140,6 +1376,71 @@ mod tests {
         let mut m = Machine::new(small_config(), &p);
         m.run(Mode::Functional, u64::MAX);
         assert_eq!(m.reg(0), 0);
+    }
+
+    #[test]
+    fn jr_out_of_range_faults_instead_of_panicking() {
+        let mut asm = Assembler::new();
+        asm.li(Reg::R1, 9_999);
+        asm.jr(Reg::R1);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        for mode in [Mode::FastForward, Mode::Functional, Mode::DetailedMeasured] {
+            let mut m = Machine::new(small_config(), &p);
+            let r = m.run(mode, u64::MAX);
+            assert!(m.halted());
+            assert_eq!(
+                m.fault(),
+                Some(MachineFault::IndirectJumpOutOfRange {
+                    pc: 1,
+                    target: 9_999
+                })
+            );
+            // The faulting jump does not retire: only the li counts.
+            assert_eq!(r.ops, 1);
+            assert_eq!(m.retired(), 1);
+            // The machine stops (halted is how callers observe that), and
+            // `fault()` distinguishes the structured abort from a clean Halt.
+            assert!(r.halted);
+            let msg = m.fault().unwrap().to_string();
+            assert!(
+                msg.contains("9999"),
+                "fault display names the target: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_clears_fault() {
+        let mut asm = Assembler::new();
+        asm.li(Reg::R1, 1 << 20);
+        asm.jr(Reg::R1);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let mut m = Machine::new(small_config(), &p);
+        let clean = m.snapshot();
+        m.run(Mode::Functional, u64::MAX);
+        assert!(m.fault().is_some());
+        // Faults are derived runtime state, never serialized: the snapshot
+        // taken before the fault restores a machine with no fault, and the
+        // rerun reproduces it deterministically.
+        m.restore(&clean);
+        assert_eq!(m.fault(), None);
+        assert!(!m.halted());
+        m.run(Mode::Functional, u64::MAX);
+        assert!(m.fault().is_some());
+    }
+
+    #[test]
+    fn decoded_program_is_shared_across_machines() {
+        let p = dependent_alu_program(16, 50);
+        let code = std::sync::Arc::new(pgss_isa::DecodedProgram::decode(&p));
+        let mut a = Machine::with_decoded(small_config(), Arc::clone(&code));
+        let mut b = Machine::with_decoded(small_config(), Arc::clone(&code));
+        assert!(Arc::ptr_eq(a.decoded(), b.decoded()));
+        a.run(Mode::Functional, u64::MAX);
+        b.run(Mode::Functional, u64::MAX);
+        assert_eq!(a.snapshot(), b.snapshot());
     }
 
     #[test]

@@ -24,13 +24,30 @@ pub trait RetireSink {
     fn taken_branch(&mut self, pc: u32, ops_since_last: u64) {
         let _ = (pc, ops_since_last);
     }
+
+    /// Called when a straight-line run of `len` instructions starting at
+    /// `start_pc` retires as one superblock, equivalent to `len`
+    /// consecutive [`RetireSink::retire`] calls (the default body *is*
+    /// that loop). Sinks that can absorb a whole run at once — or ignore
+    /// per-op retirement entirely, like the hashed-BBV tracker — override
+    /// this so the decoded core pays one call per run instead of one per
+    /// op.
+    #[inline]
+    fn retire_run(&mut self, start_pc: u32, len: u32) {
+        for k in 0..len {
+            self.retire(start_pc + k);
+        }
+    }
 }
 
 /// A sink that ignores every event; the default for [`crate::Machine::run`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NoopSink;
 
-impl RetireSink for NoopSink {}
+impl RetireSink for NoopSink {
+    #[inline]
+    fn retire_run(&mut self, _start_pc: u32, _len: u32) {}
+}
 
 impl<S: RetireSink + ?Sized> RetireSink for &mut S {
     #[inline]
@@ -41,6 +58,11 @@ impl<S: RetireSink + ?Sized> RetireSink for &mut S {
     #[inline]
     fn taken_branch(&mut self, pc: u32, ops_since_last: u64) {
         (**self).taken_branch(pc, ops_since_last);
+    }
+
+    #[inline]
+    fn retire_run(&mut self, start_pc: u32, len: u32) {
+        (**self).retire_run(start_pc, len);
     }
 }
 
@@ -59,6 +81,12 @@ impl<A: RetireSink, B: RetireSink> RetireSink for (A, B) {
     fn taken_branch(&mut self, pc: u32, ops_since_last: u64) {
         self.0.taken_branch(pc, ops_since_last);
         self.1.taken_branch(pc, ops_since_last);
+    }
+
+    #[inline]
+    fn retire_run(&mut self, start_pc: u32, len: u32) {
+        self.0.retire_run(start_pc, len);
+        self.1.retire_run(start_pc, len);
     }
 }
 
@@ -80,6 +108,13 @@ impl<S: RetireSink> RetireSink for Vec<S> {
             s.taken_branch(pc, ops_since_last);
         }
     }
+
+    #[inline]
+    fn retire_run(&mut self, start_pc: u32, len: u32) {
+        for s in self.iter_mut() {
+            s.retire_run(start_pc, len);
+        }
+    }
 }
 
 /// An absent sink is a no-op, so "maybe track BBVs" is `Option<Tracker>`
@@ -97,6 +132,13 @@ impl<S: RetireSink> RetireSink for Option<S> {
     fn taken_branch(&mut self, pc: u32, ops_since_last: u64) {
         if let Some(s) = self {
             s.taken_branch(pc, ops_since_last);
+        }
+    }
+
+    #[inline]
+    fn retire_run(&mut self, start_pc: u32, len: u32) {
+        if let Some(s) = self {
+            s.retire_run(start_pc, len);
         }
     }
 }
@@ -170,6 +212,27 @@ mod tests {
         }
         let mut empty: Vec<Counting> = Vec::new();
         empty.retire(1); // harmless
+    }
+
+    #[test]
+    fn retire_run_default_equals_per_op_retires() {
+        let mut a = Counting::default();
+        a.retire_run(10, 4);
+        let mut b = Counting::default();
+        for pc in 10..14 {
+            b.retire(pc);
+        }
+        assert_eq!(a.retired, b.retired);
+
+        // Forwarding impls deliver runs too.
+        let mut pair = (Counting::default(), Some(Counting::default()));
+        pair.retire_run(0, 3);
+        assert_eq!(pair.0.retired, 3);
+        assert_eq!(pair.1.as_ref().unwrap().retired, 3);
+        let mut v = vec![Counting::default()];
+        v.retire_run(5, 2);
+        assert_eq!(v[0].retired, 2);
+        NoopSink.retire_run(0, 100);
     }
 
     #[test]

@@ -1,0 +1,622 @@
+//! Pre-decoded micro-op IR: a flat, cache-friendly lowering of a
+//! [`Program`] for fast interpretation.
+//!
+//! [`Program`] stores [`Instr`]s — a nested enum that is convenient to
+//! assemble and disassemble but expensive to dispatch on every retired
+//! op: each execution re-extracts register operands, re-classifies the
+//! latency class, and re-discovers where straight-line runs end. The
+//! [`DecodedProgram`] produced by [`DecodedProgram::decode`] pays all of
+//! that once, at load time:
+//!
+//! - every instruction becomes one fixed-size [`DecodedOp`] with
+//!   pre-resolved register *indices* (not enum variants), its operator
+//!   selectors, its static branch-target slot, and its [`LatClass`];
+//! - `run_len[pc]` records, for every address, how many straight-line
+//!   (non-control-flow) ops start there — the superblock length a
+//!   dispatch loop can execute without re-checking for control flow.
+//!
+//! Decoding is semantically lossless and configuration-independent: the
+//! decoded form is *derived* state, cheap to rebuild from the `Program`,
+//! and is therefore never serialized into snapshots or checkpoints.
+
+use crate::instr::{AluOp, Cond, FpuOp, Instr};
+use crate::program::Program;
+
+/// Fully-resolved operation of a [`DecodedOp`] — the *single* dispatch
+/// discriminant an interpreter matches on.
+///
+/// Where [`Instr`] needs two dispatches per op (the instruction kind,
+/// then the operator selector inside [`AluOp::apply`] / [`Cond::eval`] /
+/// [`FpuOp::apply`]), the decoder folds both levels into one opcode, so
+/// the hot loop executes exactly one indirect branch per op. Variants
+/// ending in `I` take the second operand from [`DecodedOp::imm`].
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    // Register-register integer ALU ops (semantics of [`AluOp::apply`]).
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Wrapping signed division; division by zero yields `0`.
+    Div,
+    /// Signed remainder; remainder by zero yields `0`.
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (shift amount modulo 64).
+    Sll,
+    /// Logical shift right (shift amount modulo 64).
+    Srl,
+    /// Arithmetic shift right (shift amount modulo 64).
+    Sra,
+    /// Set-if-less-than (signed).
+    Slt,
+    // Register-immediate forms of the same twelve operators.
+    /// `Add` with an immediate second operand.
+    AddI,
+    /// `Sub` with an immediate second operand.
+    SubI,
+    /// `Mul` with an immediate second operand.
+    MulI,
+    /// `Div` with an immediate second operand.
+    DivI,
+    /// `Rem` with an immediate second operand.
+    RemI,
+    /// `And` with an immediate second operand.
+    AndI,
+    /// `Or` with an immediate second operand.
+    OrI,
+    /// `Xor` with an immediate second operand.
+    XorI,
+    /// `Sll` with an immediate second operand.
+    SllI,
+    /// `Srl` with an immediate second operand.
+    SrlI,
+    /// `Sra` with an immediate second operand.
+    SraI,
+    /// `Slt` with an immediate second operand.
+    SltI,
+    /// Load immediate into an integer register.
+    Li,
+    // Floating-point ops (semantics of [`FpuOp::apply`]).
+    /// IEEE-754 addition.
+    FAdd,
+    /// IEEE-754 subtraction.
+    FSub,
+    /// IEEE-754 multiplication.
+    FMul,
+    /// IEEE-754 division.
+    FDiv,
+    /// Integer load: `a <- mem[b + imm]`.
+    Load,
+    /// Integer store: `mem[b + imm] <- c`.
+    Store,
+    /// Floating-point load: `f[a] <- mem[b + imm]`.
+    FLoad,
+    /// Floating-point store: `mem[b + imm] <- f[c]`.
+    FStore,
+    // Conditional branches (semantics of [`Cond::eval`]), destination in
+    // [`DecodedOp::target`].
+    /// Taken when `b == c`.
+    BranchEq,
+    /// Taken when `b != c`.
+    BranchNe,
+    /// Taken when `b < c` (signed).
+    BranchLt,
+    /// Taken when `b >= c` (signed).
+    BranchGe,
+    /// Unconditional jump to [`DecodedOp::target`].
+    Jump,
+    /// Jump-and-link: writes `pc + 1` to register `a` (link slot, see
+    /// [`DecodedOp::a`]), jumps to [`DecodedOp::target`].
+    Jal,
+    /// Indirect jump to the address in register `b`.
+    Jr,
+    /// Stops execution.
+    Halt,
+}
+
+/// Static latency class of a [`DecodedOp`], pre-resolved at decode time.
+///
+/// The class is configuration-independent; an executing core maps each
+/// class to cycles from its own latency configuration (see
+/// [`LatClass::COUNT`] for building a lookup table indexed by
+/// [`LatClass::index`]). Memory ops carry [`LatClass::Alu`] — their
+/// latency comes from the cache hierarchy, not this table.
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatClass {
+    /// Single-cycle-class integer op (also the placeholder class).
+    Alu = 0,
+    /// Integer multiply.
+    Mul = 1,
+    /// Integer divide / remainder.
+    Div = 2,
+    /// Floating-point add / subtract.
+    FpAdd = 3,
+    /// Floating-point multiply.
+    FpMul = 4,
+    /// Floating-point divide.
+    FpDiv = 5,
+}
+
+impl LatClass {
+    /// Number of latency classes, for sizing class→cycles lookup tables.
+    pub const COUNT: usize = 6;
+
+    /// This class's index into a class→cycles lookup table.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Destination slot that integer writes to the hardwired-zero `r0` are
+/// redirected to at decode time.
+///
+/// An executing core sized for `R0_SINK + 1` (or more) integer register
+/// slots can then write every integer destination unconditionally — the
+/// architectural `r0` (slot 0) is never written, and the sink slot is
+/// scratch that is never read. Source register fields are never remapped.
+pub const R0_SINK: u8 = 32;
+
+/// One pre-decoded micro-op: a fixed-size, [`Copy`] record with every
+/// operand pre-resolved so an interpreter's hot loop does no further
+/// field extraction.
+///
+/// Register fields `a`/`b`/`c` hold *indices* (the file — integer or
+/// floating-point — is implied by [`DecodedOp::kind`]): `a` is the
+/// destination (or `Jal` link register), `b` the first source or address
+/// base, `c` the second source or stored value. Sources are always
+/// `< 32`; integer destinations are `1..=32`, with writes to the
+/// hardwired-zero `r0` pre-redirected to the [`R0_SINK`] scratch slot.
+/// Fields not used by a kind are zero.
+///
+/// Control-flow ops overlay their static target on the immediate slot
+/// (read it via [`DecodedOp::target`]) to keep the record at 16 bytes —
+/// four ops per 64-byte line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodedOp {
+    /// Fully-resolved dispatch discriminant.
+    pub kind: OpKind,
+    /// Destination register slot (integer dests: `1..=32`, `r0` writes
+    /// pre-redirected to [`R0_SINK`]), or the `Jal` link slot.
+    pub a: u8,
+    /// First source / address-base register index.
+    pub b: u8,
+    /// Second source / stored-value register index.
+    pub c: u8,
+    /// Pre-resolved latency class.
+    pub lat: LatClass,
+    /// Immediate operand / memory word offset; for conditional branches,
+    /// [`OpKind::Jump`] and [`OpKind::Jal`] this slot holds the static
+    /// branch target instead (see [`DecodedOp::target`]).
+    pub imm: i64,
+}
+
+impl DecodedOp {
+    fn new(kind: OpKind) -> DecodedOp {
+        DecodedOp {
+            kind,
+            a: 0,
+            b: 0,
+            c: 0,
+            lat: LatClass::Alu,
+            imm: 0,
+        }
+    }
+
+    /// Static branch/jump target (valid for the conditional branches,
+    /// [`OpKind::Jump`], [`OpKind::Jal`]), overlaid on the immediate slot.
+    #[inline(always)]
+    pub fn target(&self) -> u32 {
+        self.imm as u32
+    }
+}
+
+/// Redirects an integer *destination* register to its decoded slot:
+/// `r0` writes go to the [`R0_SINK`] scratch slot, everything else keeps
+/// its architectural index.
+#[inline]
+fn dst(index: usize) -> u8 {
+    if index == 0 {
+        R0_SINK
+    } else {
+        index as u8
+    }
+}
+
+#[inline]
+fn alu_class(op: AluOp) -> LatClass {
+    match op {
+        AluOp::Mul => LatClass::Mul,
+        AluOp::Div | AluOp::Rem => LatClass::Div,
+        _ => LatClass::Alu,
+    }
+}
+
+#[inline]
+fn fpu_class(op: FpuOp) -> LatClass {
+    match op {
+        FpuOp::Add | FpuOp::Sub => LatClass::FpAdd,
+        FpuOp::Mul => LatClass::FpMul,
+        FpuOp::Div => LatClass::FpDiv,
+    }
+}
+
+/// The register-register opcode for an integer operator.
+fn alu_kind(op: AluOp) -> OpKind {
+    match op {
+        AluOp::Add => OpKind::Add,
+        AluOp::Sub => OpKind::Sub,
+        AluOp::Mul => OpKind::Mul,
+        AluOp::Div => OpKind::Div,
+        AluOp::Rem => OpKind::Rem,
+        AluOp::And => OpKind::And,
+        AluOp::Or => OpKind::Or,
+        AluOp::Xor => OpKind::Xor,
+        AluOp::Sll => OpKind::Sll,
+        AluOp::Srl => OpKind::Srl,
+        AluOp::Sra => OpKind::Sra,
+        AluOp::Slt => OpKind::Slt,
+    }
+}
+
+/// The register-immediate opcode for an integer operator.
+fn alu_imm_kind(op: AluOp) -> OpKind {
+    match op {
+        AluOp::Add => OpKind::AddI,
+        AluOp::Sub => OpKind::SubI,
+        AluOp::Mul => OpKind::MulI,
+        AluOp::Div => OpKind::DivI,
+        AluOp::Rem => OpKind::RemI,
+        AluOp::And => OpKind::AndI,
+        AluOp::Or => OpKind::OrI,
+        AluOp::Xor => OpKind::XorI,
+        AluOp::Sll => OpKind::SllI,
+        AluOp::Srl => OpKind::SrlI,
+        AluOp::Sra => OpKind::SraI,
+        AluOp::Slt => OpKind::SltI,
+    }
+}
+
+fn lower(instr: Instr) -> DecodedOp {
+    match instr {
+        Instr::Alu { op, rd, rs, rt } => {
+            let mut d = DecodedOp::new(alu_kind(op));
+            d.lat = alu_class(op);
+            d.a = dst(rd.index());
+            d.b = rs.index() as u8;
+            d.c = rt.index() as u8;
+            d
+        }
+        Instr::AluImm { op, rd, rs, imm } => {
+            let mut d = DecodedOp::new(alu_imm_kind(op));
+            d.lat = alu_class(op);
+            d.a = dst(rd.index());
+            d.b = rs.index() as u8;
+            d.imm = imm;
+            d
+        }
+        Instr::Li { rd, imm } => {
+            let mut d = DecodedOp::new(OpKind::Li);
+            d.a = dst(rd.index());
+            d.imm = imm;
+            d
+        }
+        Instr::Fpu { op, fd, fs, ft } => {
+            let mut d = DecodedOp::new(match op {
+                FpuOp::Add => OpKind::FAdd,
+                FpuOp::Sub => OpKind::FSub,
+                FpuOp::Mul => OpKind::FMul,
+                FpuOp::Div => OpKind::FDiv,
+            });
+            d.lat = fpu_class(op);
+            d.a = fd.index() as u8;
+            d.b = fs.index() as u8;
+            d.c = ft.index() as u8;
+            d
+        }
+        Instr::Load { rd, base, offset } => {
+            let mut d = DecodedOp::new(OpKind::Load);
+            d.a = dst(rd.index());
+            d.b = base.index() as u8;
+            d.imm = offset;
+            d
+        }
+        Instr::Store { rs, base, offset } => {
+            let mut d = DecodedOp::new(OpKind::Store);
+            d.c = rs.index() as u8;
+            d.b = base.index() as u8;
+            d.imm = offset;
+            d
+        }
+        Instr::FLoad { fd, base, offset } => {
+            let mut d = DecodedOp::new(OpKind::FLoad);
+            d.a = fd.index() as u8;
+            d.b = base.index() as u8;
+            d.imm = offset;
+            d
+        }
+        Instr::FStore { fs, base, offset } => {
+            let mut d = DecodedOp::new(OpKind::FStore);
+            d.c = fs.index() as u8;
+            d.b = base.index() as u8;
+            d.imm = offset;
+            d
+        }
+        Instr::Branch {
+            cond,
+            rs,
+            rt,
+            target,
+        } => {
+            let mut d = DecodedOp::new(match cond {
+                Cond::Eq => OpKind::BranchEq,
+                Cond::Ne => OpKind::BranchNe,
+                Cond::Lt => OpKind::BranchLt,
+                Cond::Ge => OpKind::BranchGe,
+            });
+            d.b = rs.index() as u8;
+            d.c = rt.index() as u8;
+            d.imm = i64::from(target);
+            d
+        }
+        Instr::Jump { target } => {
+            let mut d = DecodedOp::new(OpKind::Jump);
+            d.imm = i64::from(target);
+            d
+        }
+        Instr::Jal { target, link } => {
+            let mut d = DecodedOp::new(OpKind::Jal);
+            d.a = dst(link.index());
+            d.imm = i64::from(target);
+            d
+        }
+        Instr::Jr { rs } => {
+            let mut d = DecodedOp::new(OpKind::Jr);
+            d.b = rs.index() as u8;
+            d
+        }
+        Instr::Halt => DecodedOp::new(OpKind::Halt),
+    }
+}
+
+/// A one-shot, lossless lowering of a [`Program`] into a flat
+/// [`DecodedOp`] array plus superblock metadata.
+///
+/// Decoded state is derived: rebuild it from the `Program` wherever a
+/// core is constructed; never serialize it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedProgram {
+    ops: Box<[DecodedOp]>,
+    /// `run_len[pc]` = number of consecutive non-control-flow ops
+    /// starting at `pc` (0 when `pc` holds a control-flow op).
+    run_len: Box<[u32]>,
+}
+
+impl DecodedProgram {
+    /// Lowers `program` into its decoded form.
+    ///
+    /// All static targets were validated by [`Program::new`], so decoded
+    /// `target` slots are always in range; only indirect (`Jr`) targets
+    /// need a runtime check.
+    pub fn decode(program: &Program) -> DecodedProgram {
+        let instrs = program.instrs();
+        let ops: Box<[DecodedOp]> = instrs.iter().map(|&i| lower(i)).collect();
+        // Straight-line run lengths, computed back-to-front: a control
+        // op ends a run; anything else extends the successor's run.
+        let mut run_len = vec![0u32; instrs.len()].into_boxed_slice();
+        for pc in (0..instrs.len()).rev() {
+            if !instrs[pc].is_control_flow() {
+                run_len[pc] = if pc + 1 < instrs.len() {
+                    run_len[pc + 1] + 1
+                } else {
+                    1
+                };
+            }
+        }
+        DecodedProgram { ops, run_len }
+    }
+
+    /// Number of decoded ops (equals the source program's length).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the program has no ops (never true for a decoded
+    /// [`Program`]; present for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The flat decoded-op array.
+    #[inline]
+    pub fn ops(&self) -> &[DecodedOp] {
+        &self.ops
+    }
+
+    /// Number of straight-line (non-control-flow) ops starting at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    #[inline]
+    pub fn run_len(&self, pc: u32) -> u32 {
+        self.run_len[pc as usize]
+    }
+
+    /// The full `run_len` array (`run_len[pc]` per address).
+    #[inline]
+    pub fn run_lens(&self) -> &[u32] {
+        &self.run_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Reg;
+
+    fn nop() -> Instr {
+        Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::R0,
+            rs: Reg::R0,
+            rt: Reg::R0,
+        }
+    }
+
+    #[test]
+    fn run_lengths_count_to_next_control_op() {
+        // 0: nop  1: nop  2: jump->0  3: nop  4: halt
+        let p = Program::new(vec![
+            nop(),
+            nop(),
+            Instr::Jump { target: 0 },
+            nop(),
+            Instr::Halt,
+        ]);
+        let d = DecodedProgram::decode(&p);
+        assert_eq!(d.run_lens(), &[2, 1, 0, 1, 0]);
+        assert_eq!(d.run_len(0), 2);
+        assert_eq!(d.len(), p.len());
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn trailing_straight_line_op_has_run_one() {
+        // A program whose last instruction is not control flow: the run
+        // must stop at the program end, not read past it.
+        let p = Program::new(vec![Instr::Halt, nop(), nop()]);
+        let d = DecodedProgram::decode(&p);
+        assert_eq!(d.run_lens(), &[0, 2, 1]);
+    }
+
+    #[test]
+    fn operands_are_pre_resolved() {
+        let p = Program::new(vec![
+            Instr::Alu {
+                op: AluOp::Mul,
+                rd: Reg::R3,
+                rs: Reg::R7,
+                rt: Reg::R31,
+            },
+            Instr::Store {
+                rs: Reg::R5,
+                base: Reg::R6,
+                offset: -8,
+            },
+            Instr::Branch {
+                cond: Cond::Lt,
+                rs: Reg::R1,
+                rt: Reg::R2,
+                target: 0,
+            },
+            Instr::Jal {
+                target: 4,
+                link: Reg::R31,
+            },
+            Instr::Halt,
+        ]);
+        let d = DecodedProgram::decode(&p);
+        let mul = d.ops()[0];
+        assert_eq!(mul.kind, OpKind::Mul);
+        assert_eq!(mul.lat, LatClass::Mul);
+        assert_eq!((mul.a, mul.b, mul.c), (3, 7, 31));
+        let st = d.ops()[1];
+        assert_eq!(st.kind, OpKind::Store);
+        assert_eq!((st.b, st.c, st.imm), (6, 5, -8));
+        let br = d.ops()[2];
+        assert_eq!(br.kind, OpKind::BranchLt);
+        assert_eq!((br.b, br.c, br.target()), (1, 2, 0));
+        let jal = d.ops()[3];
+        assert_eq!(jal.kind, OpKind::Jal);
+        assert_eq!((jal.a, jal.target()), (31, 4));
+    }
+
+    #[test]
+    fn operator_selectors_fold_into_the_opcode() {
+        // One dispatch level: the operator and the imm-vs-register form
+        // are both resolved in the opcode itself.
+        let p = Program::new(vec![
+            Instr::Alu {
+                op: AluOp::Xor,
+                rd: Reg::R1,
+                rs: Reg::R2,
+                rt: Reg::R3,
+            },
+            Instr::AluImm {
+                op: AluOp::Xor,
+                rd: Reg::R1,
+                rs: Reg::R2,
+                imm: 5,
+            },
+            Instr::Fpu {
+                op: FpuOp::Div,
+                fd: Reg::R1,
+                fs: Reg::R2,
+                ft: Reg::R3,
+            },
+            Instr::Branch {
+                cond: Cond::Ge,
+                rs: Reg::R1,
+                rt: Reg::R2,
+                target: 0,
+            },
+            Instr::Halt,
+        ]);
+        let d = DecodedProgram::decode(&p);
+        assert_eq!(d.ops()[0].kind, OpKind::Xor);
+        assert_eq!(d.ops()[1].kind, OpKind::XorI);
+        assert_eq!(d.ops()[2].kind, OpKind::FDiv);
+        assert_eq!(d.ops()[2].lat, LatClass::FpDiv);
+        assert_eq!(d.ops()[3].kind, OpKind::BranchGe);
+    }
+
+    #[test]
+    fn r0_destinations_are_redirected_to_the_sink_slot() {
+        let p = Program::new(vec![
+            nop(), // rd = r0
+            Instr::Li {
+                rd: Reg::R1,
+                imm: 7,
+            },
+            Instr::Halt,
+        ]);
+        let d = DecodedProgram::decode(&p);
+        assert_eq!(d.ops()[0].a, R0_SINK);
+        // Sources keep their architectural index.
+        assert_eq!((d.ops()[0].b, d.ops()[0].c), (0, 0));
+        assert_eq!(d.ops()[1].a, 1);
+    }
+
+    #[test]
+    fn latency_classes_cover_every_operator() {
+        assert_eq!(alu_class(AluOp::Mul), LatClass::Mul);
+        assert_eq!(alu_class(AluOp::Div), LatClass::Div);
+        assert_eq!(alu_class(AluOp::Rem), LatClass::Div);
+        assert_eq!(alu_class(AluOp::Xor), LatClass::Alu);
+        assert_eq!(fpu_class(FpuOp::Sub), LatClass::FpAdd);
+        assert_eq!(fpu_class(FpuOp::Mul), LatClass::FpMul);
+        assert_eq!(fpu_class(FpuOp::Div), LatClass::FpDiv);
+        assert!(LatClass::FpDiv.index() < LatClass::COUNT);
+    }
+
+    #[test]
+    fn decoded_op_is_compact() {
+        // The hot array must stay cache-friendly; 16 bytes = 4 ops per
+        // 64-byte line (targets overlay the immediate slot to get here).
+        // Regressing this is a deliberate decision.
+        assert!(std::mem::size_of::<DecodedOp>() <= 16);
+    }
+}

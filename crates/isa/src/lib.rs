@@ -18,6 +18,9 @@
 //!   basic-block structure (used for full basic-block vectors).
 //! * [`Assembler`] — a label-based builder that resolves forward references
 //!   and produces a [`Program`].
+//! * [`DecodedProgram`] — a one-shot lowering of a [`Program`] into a flat
+//!   [`DecodedOp`] array with pre-resolved operands and superblock run
+//!   lengths, the input format of the fast interpreter in `pgss-cpu`.
 //!
 //! # Example
 //!
@@ -47,9 +50,11 @@
 #![warn(missing_docs)]
 
 mod asm;
+mod decoded;
 mod instr;
 mod program;
 
 pub use asm::{AsmError, Assembler, Label};
+pub use decoded::{DecodedOp, DecodedProgram, LatClass, OpKind, R0_SINK};
 pub use instr::{AluOp, Cond, FpuOp, Instr, Reg};
 pub use program::{BasicBlock, Program};

@@ -9,7 +9,7 @@
 //! segment has its own static basic blocks, so phase structure is visible to
 //! basic-block vectors exactly as it would be in compiled code.
 
-use pgss_cpu::{Machine, MachineConfig};
+use pgss_cpu::{Machine, MachineConfig, ReferenceMachine};
 use pgss_isa::{Assembler, Cond, FpuOp, Label, Program, Reg};
 use pgss_stats::DetRng;
 
@@ -179,6 +179,7 @@ pub struct WorkloadBuilder {
     /// jump back here. Bound in `finish`.
     driver_loop: Label,
     emitted_driver: bool,
+    poison_dispatch: bool,
 }
 
 /// Words per schedule entry: `[segment, iterations, reserved, reserved]`.
@@ -207,7 +208,22 @@ impl WorkloadBuilder {
             driver_init,
             driver_loop,
             emitted_driver: false,
+            poison_dispatch: false,
         }
+    }
+
+    /// Corrupts the first schedule entry's segment index so the dispatch
+    /// driver's first indirect jump targets an address far outside the
+    /// program and the machine faults
+    /// ([`pgss_cpu::MachineFault::IndirectJumpOutOfRange`]) instead of
+    /// running.
+    ///
+    /// This exists for fault-path tests: it is the only way to produce a
+    /// *workload* (not a hand-assembled program) whose execution aborts,
+    /// which is what campaign- and driver-level tests need to prove that
+    /// machine faults surface as typed errors end to end.
+    pub fn poison_dispatch(&mut self) {
+        self.poison_dispatch = true;
     }
 
     /// Reserves `words` of data memory and returns the base word address.
@@ -294,6 +310,11 @@ impl WorkloadBuilder {
             nominal_ops += iters * s.ops_per_iter + s.overhead_ops + DISPATCH_OPS;
         }
         table.extend_from_slice(&[-1, 0, 0, 0]);
+        if self.poison_dispatch {
+            // A segment index far past the jump table; must stay positive
+            // so the driver's `segment < 0 → done` check doesn't mask it.
+            table[0] = 1 << 20;
+        }
         self.memory.push(sched_base, table);
 
         // Driver: initialise the cursor once, then walk the schedule and
@@ -596,13 +617,31 @@ pub(crate) fn machine_for(
     program: &Program,
     memory: &MemoryImage,
     required_words: usize,
-    mut config: MachineConfig,
+    config: MachineConfig,
 ) -> Machine {
+    let mut machine = Machine::new(grown(config, required_words), program);
+    memory.apply(machine.memory_mut());
+    machine
+}
+
+/// Builds the reference-interpreter twin of [`machine_for`]: same grown
+/// configuration, same initial memory image, so the two cores execute
+/// identical programs over identical state.
+pub(crate) fn reference_machine_for(
+    program: &Program,
+    memory: &MemoryImage,
+    required_words: usize,
+    config: MachineConfig,
+) -> ReferenceMachine {
+    let mut machine = ReferenceMachine::new(grown(config, required_words), program);
+    memory.apply(machine.memory_mut());
+    machine
+}
+
+fn grown(mut config: MachineConfig, required_words: usize) -> MachineConfig {
     let needed = required_words.next_power_of_two();
     if config.memory_words < needed {
         config.memory_words = needed;
     }
-    let mut machine = Machine::new(config, program);
-    memory.apply(machine.memory_mut());
-    machine
+    config
 }

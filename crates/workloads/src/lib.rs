@@ -52,7 +52,7 @@ pub use benchmarks::{
 };
 pub use builder::{Kernel, MemoryImage, SegmentId, WorkloadBuilder};
 
-use pgss_cpu::{Machine, MachineConfig};
+use pgss_cpu::{Machine, MachineConfig, ReferenceMachine};
 use pgss_isa::Program;
 
 /// A generated benchmark: program, initial memory image, and metadata.
@@ -122,6 +122,14 @@ impl Workload {
     pub fn machine_with(&self, config: MachineConfig) -> Machine {
         builder::machine_for(&self.program, &self.memory, self.required_words, config)
     }
+
+    /// Builds the reference-interpreter twin of [`Workload::machine_with`]:
+    /// same grown configuration and the same initial memory image, so the
+    /// two cores execute the identical workload from op 0 (the contract
+    /// the differential tests and the `perf` harness rely on).
+    pub fn reference_machine_with(&self, config: MachineConfig) -> ReferenceMachine {
+        builder::reference_machine_for(&self.program, &self.memory, self.required_words, config)
+    }
 }
 
 /// Reads the global scale factor from the `PGSS_SCALE` environment variable
@@ -172,6 +180,29 @@ mod tests {
         let w = art(0.004); // art has a large chase ring
         let m = w.machine();
         assert!(m.memory().len() >= w.required_memory_words());
+    }
+
+    #[test]
+    fn poisoned_dispatch_faults_instead_of_running() {
+        let mut b = WorkloadBuilder::new("poisoned", 7);
+        let seg = b.add_segment(Kernel::ComputeInt {
+            chains: 2,
+            ops_per_chain: 4,
+        });
+        b.run(seg, 10_000);
+        b.poison_dispatch();
+        let w = b.finish();
+        let mut m = w.machine();
+        let r = m.run(Mode::Functional, u64::MAX);
+        assert!(r.halted);
+        assert!(
+            matches!(
+                m.fault(),
+                Some(pgss_cpu::MachineFault::IndirectJumpOutOfRange { .. })
+            ),
+            "expected an out-of-range indirect jump, got {:?}",
+            m.fault()
+        );
     }
 
     #[test]

@@ -55,6 +55,47 @@ else
     echo "cargo-llvm-cov not installed; skipping coverage ratchet"
 fi
 
+echo "== perf ratchet (decoded core vs reference interpreter, when python3 is available)"
+if command -v python3 >/dev/null 2>&1; then
+    perf_out=$(mktemp -d)
+    trap 'rm -rf "$perf_out"' EXIT
+    cargo run --release -q -p pgss-bench --bin perf -- --smoke --out "$perf_out"
+    baseline=$(grep -v '^#' scripts/perf-baseline.txt | tail -1)
+    python3 - "$baseline" "$perf_out"/BENCH_*.json <<'EOF'
+import json, math, sys
+
+base = float(sys.argv[1])
+speedups = []
+for path in sys.argv[2:]:
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["schema"] == 1, f"{path}: unknown schema {doc['schema']!r}"
+    assert isinstance(doc["name"], str) and doc["name"], f"{path}: missing name"
+    assert doc["modes"], f"{path}: empty modes array"
+    for m in doc["modes"]:
+        for key in ("mode", "ops", "decoded_wall_ns", "reference_wall_ns",
+                    "decoded_ops_per_sec", "reference_ops_per_sec", "speedup"):
+            assert key in m, f"{path}: mode entry missing {key!r}"
+        assert m["ops"] > 0 and m["decoded_wall_ns"] and m["reference_wall_ns"], \
+            f"{path}: degenerate {m['mode']} entry"
+        if m["mode"] == "functional":
+            speedups.append(m["speedup"])
+assert speedups, "no functional-mode entries found"
+geo = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+floor = base - 0.25
+print(f"functional speedup geomean {geo:.2f}x over {len(speedups)} workloads "
+      f"(baseline {base:.2f}x, ratchet floor {floor:.2f}x)")
+if geo < floor:
+    sys.exit("decoded-core throughput regressed below the ratchet floor")
+if geo > base + 0.25:
+    print(f"speedup grew; consider raising scripts/perf-baseline.txt to {geo:.2f}")
+EOF
+    rm -rf "$perf_out"
+    trap - EXIT
+else
+    echo "python3 not installed; skipping perf ratchet"
+fi
+
 echo "== cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
