@@ -146,13 +146,17 @@ fn main() {
     // prefix is captured once (or restored from the on-disk store) and
     // every cell jumps through it instead of re-executing it.
     let store = pgss_bench::checkpoint_store();
-    let campaign_report = match campaign::run_checkpointed(&jobs, 1_000_000, store.as_ref()) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("fig12 campaign failed to run: {e}");
-            std::process::exit(1);
-        }
-    };
+    // PGSS_WORKERS is resolved here at the harness boundary; the
+    // library takes an explicit worker count.
+    let config = pgss::CampaignConfig::with_workers(campaign::worker_threads());
+    let campaign_report =
+        match campaign::run_checkpointed_with(&jobs, 1_000_000, store.as_ref(), &config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fig12 campaign failed to run: {e}");
+                std::process::exit(1);
+            }
+        };
     for fault in &campaign_report.checkpoint_faults {
         eprintln!("checkpoint fault healed: {fault}");
     }

@@ -44,7 +44,10 @@ fn main() {
         jobs.len()
     );
     let store = pgss_bench::checkpoint_store();
-    let report = match campaign::run_checkpointed(&jobs, 1_000_000, store.as_ref()) {
+    // Resolve PGSS_WORKERS once, here at the CLI boundary; the library
+    // itself never reads the environment.
+    let config = pgss::CampaignConfig::with_workers(campaign::worker_threads());
+    let report = match campaign::run_checkpointed_with(&jobs, 1_000_000, store.as_ref(), &config) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("campaign failed to run: {e}");

@@ -1,0 +1,80 @@
+//! Key namespace for durable campaign-job records.
+//!
+//! The campaign server (`pgss-serve`) persists job state — spec, status,
+//! per-cell results, the job index — in the same content-addressed
+//! [`crate::Store`] that holds checkpoint rungs. This module carves out a
+//! distinct key namespace for those records so a job record can never
+//! alias a snapshot: every job key is the FNV of a magic prefix, a record
+//! kind, the job id, and a per-kind index, none of which feed the
+//! checkpoint-key derivation in `pgss::ckpt`.
+//!
+//! The store stays payload-agnostic: what goes *inside* a job record
+//! (versioned, checksummed encodings of specs, statuses, and cell
+//! results) is defined by the server layer, exactly as the snapshot
+//! encoding is defined by `pgss::ckpt`.
+
+use crate::codec::{fnv1a64, Encoder};
+
+/// Magic mixed into every job-record key, keeping the namespace disjoint
+/// from checkpoint content addresses.
+const JOB_KEY_MAGIC: &[u8] = b"PGSSJOB1";
+
+/// The kinds of durable record a campaign job is made of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobRecordKind {
+    /// The singleton index of every job the store knows (job id list plus
+    /// the submit-sequence counter). Keyed with `job_id = 0, index = 0`.
+    Index,
+    /// A job's immutable submission: tenant, canonical spec, sequence.
+    Spec,
+    /// A job's mutable status: phase, retry count, failure ledger.
+    /// Rewritten (atomically, via the store's write-then-rename) on every
+    /// phase transition.
+    Status,
+    /// One completed cell's result and metric frame; `index` is the cell's
+    /// job-order index. Written exactly once, when the cell finishes.
+    Cell,
+}
+
+impl JobRecordKind {
+    fn tag(self) -> u8 {
+        match self {
+            JobRecordKind::Index => 0,
+            JobRecordKind::Spec => 1,
+            JobRecordKind::Status => 2,
+            JobRecordKind::Cell => 3,
+        }
+    }
+}
+
+/// The content address of a job record: `kind` × `job_id` × `index`
+/// (cell index for [`JobRecordKind::Cell`], 0 otherwise).
+pub fn job_key(kind: JobRecordKind, job_id: u64, index: u64) -> u64 {
+    let mut e = Encoder::new();
+    e.put_bytes(JOB_KEY_MAGIC);
+    e.put_u8(kind.tag());
+    e.put_u64(job_id);
+    e.put_u64(index);
+    fnv1a64(&e.into_bytes())
+}
+
+/// The key of the singleton job index record.
+pub fn index_key() -> u64 {
+    job_key(JobRecordKind::Index, 0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_separate_kind_job_and_index() {
+        let base = job_key(JobRecordKind::Cell, 7, 3);
+        assert_eq!(job_key(JobRecordKind::Cell, 7, 3), base);
+        assert_ne!(job_key(JobRecordKind::Cell, 7, 4), base);
+        assert_ne!(job_key(JobRecordKind::Cell, 8, 3), base);
+        assert_ne!(job_key(JobRecordKind::Status, 7, 3), base);
+        assert_ne!(job_key(JobRecordKind::Spec, 7, 3), base);
+        assert_eq!(index_key(), job_key(JobRecordKind::Index, 0, 0));
+    }
+}

@@ -20,7 +20,9 @@
 pub mod codec;
 #[cfg(feature = "fault-inject")]
 pub mod faults;
+pub mod job;
 pub mod store;
 
 pub use codec::{fnv1a64, CodecError, Decoder, Encoder};
+pub use job::{index_key, job_key, JobRecordKind};
 pub use store::{Quarantined, RecordError, RecordFault, Store, VerifyReport, STORE_FORMAT_VERSION};

@@ -241,6 +241,60 @@ impl RetryPolicy {
     }
 }
 
+/// Execution configuration for a campaign: worker count and retry policy.
+///
+/// The worker count is an **explicit field**, never read from the
+/// environment inside the library: callers that want the `PGSS_WORKERS`
+/// override resolve it once at their own boundary (see
+/// [`worker_threads`]) and pass the result here. That keeps every
+/// `run*` entry point a pure function of its arguments — embedders like
+/// the campaign server pick worker counts per job without touching
+/// process-global state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Worker threads for the claim loop; must be at least 1.
+    pub workers: usize,
+    /// Retry policy for failed cells.
+    pub retry: RetryPolicy,
+}
+
+impl Default for CampaignConfig {
+    /// Host parallelism and the default [`RetryPolicy`] — deliberately
+    /// **not** consulting `PGSS_WORKERS`.
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// `workers` workers with the default retry policy.
+    pub fn with_workers(workers: usize) -> CampaignConfig {
+        CampaignConfig {
+            workers,
+            ..CampaignConfig::default()
+        }
+    }
+
+    fn validate(&self) -> Result<(), CampaignError> {
+        if self.workers == 0 {
+            return Err(CampaignError::InvalidConfig {
+                param: "threads",
+                reason: "campaign needs at least one worker thread".to_string(),
+            });
+        }
+        if self.retry.max_attempts == 0 {
+            return Err(CampaignError::InvalidConfig {
+                param: "retry.max_attempts",
+                reason: "every cell needs at least one attempt".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// What a campaign produced: every successful cell (in job order), the
 /// failure ledger for everything else, and checkpointing accounting.
 ///
@@ -270,7 +324,7 @@ pub struct CampaignReport {
     /// job order, each carrying that cell's driver counters. Per-worker
     /// frames are merged at join in job order, so the report — and its
     /// [`MetricsReport::to_jsonl`] export — is byte-identical regardless
-    /// of `PGSS_WORKERS` (span wall times are excluded from comparison
+    /// of the worker count (span wall times are excluded from comparison
     /// and export; see `pgss_obs`).
     pub metrics: MetricsReport,
 }
@@ -330,6 +384,51 @@ impl CampaignReport {
         }
         out
     }
+
+    /// The *canonical campaign artifact*: a JSONL rendering of everything
+    /// in the report that is a pure function of the job grid — header
+    /// counts, every successful cell's estimate and trace (in job order),
+    /// the failure ledger, and the per-cell metric scopes on the pinned
+    /// `pgss-obs` schema.
+    ///
+    /// Execution-path accounting — the `"campaign"` metric scope, the
+    /// ladder report, healed checkpoint faults — is deliberately
+    /// excluded: it legitimately differs between, say, a cold-store run
+    /// and a warm-store rerun. The remainder is **byte-identical** across
+    /// worker counts, checkpoint acceleration, store temperature, and a
+    /// campaign-server run resumed after a crash, which is exactly the
+    /// equivalence the server's tests pin. Line formats live in
+    /// [`crate::wire`].
+    pub fn canonical_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&crate::wire::canonical_header(
+            self.cells.len(),
+            self.failures.len(),
+            self.retries,
+        ));
+        out.push('\n');
+        for cell in &self.cells {
+            out.push_str(&crate::wire::canonical_cell_line(cell));
+            out.push('\n');
+        }
+        for f in &self.failures {
+            out.push_str(&crate::wire::canonical_failure_line(
+                f.job_index,
+                &f.workload,
+                &f.technique,
+                f.attempts,
+                &f.error.to_string(),
+            ));
+            out.push('\n');
+        }
+        for (name, frame) in &self.metrics.scopes {
+            if name != "campaign" {
+                out.push_str(&pgss_obs::scope_line(name, frame));
+                out.push('\n');
+            }
+        }
+        out
+    }
 }
 
 /// Builds the full `workloads × techniques` matrix in workload-major order
@@ -352,11 +451,15 @@ pub fn grid<'a>(
         .collect()
 }
 
-/// Worker-thread count for [`run`] and [`run_checkpointed`]: the
-/// `PGSS_WORKERS` environment variable when it parses as a positive
-/// integer, otherwise the host's available parallelism. A set-but-invalid
-/// `PGSS_WORKERS` is reported once to stderr instead of being silently
-/// ignored.
+/// The **CLI-boundary** worker-count resolver: the `PGSS_WORKERS`
+/// environment variable when it parses as a positive integer, otherwise
+/// the host's available parallelism. A set-but-invalid `PGSS_WORKERS` is
+/// reported once to stderr instead of being silently ignored.
+///
+/// The library's `run*` entry points never call this — they take the
+/// worker count from [`CampaignConfig`]. Binaries and examples that want
+/// the environment override resolve it here, once, and pass the result
+/// in: `CampaignConfig::with_workers(worker_threads())`.
 pub fn worker_threads() -> usize {
     worker_threads_from(std::env::var("PGSS_WORKERS").ok().as_deref())
 }
@@ -423,16 +526,77 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Runs the cells named by `order` (indices into `jobs`) on up to
-/// `threads` claim-loop workers, isolating each cell with `catch_unwind`.
-/// Successes are appended to `results` together with the cell's metric
-/// frame, panics to `failed` (with their message); both keyed by job
-/// index, so callers can merge passes and sort once at the end.
+/// Runs **one** campaign cell in full isolation: fresh recorder, fresh
+/// fault slot, `catch_unwind` around the technique, typed-fault-outranks-
+/// panic resolution. This is the single execution path for a cell — the
+/// claim-loop workers here and the campaign server's workers both call
+/// it, so a cell's result and metric frame are bit-identical no matter
+/// which scheduler ran it.
 ///
-/// Every *attempt* gets a fresh [`MetricsRecorder`]; only the successful
-/// attempt's frame survives. A cell healed by retry therefore carries
-/// exactly the metrics of its clean run — byte-identical to a fault-free
-/// campaign.
+/// The returned frame is the cell's **raw** driver frame; the
+/// estimate-derived counters are layered on separately (at finalize
+/// time here, at assembly time in the server) by
+/// [`annotate_cell_frame`].
+///
+/// Only `ctx`'s ladder is inherited: the recorder and fault slot are
+/// per-attempt, so faults never leak between cells or retries and a cell
+/// healed by retry carries exactly the metrics of its clean run.
+pub fn run_cell(job: &Job<'_>, ctx: &SimContext) -> Result<(CellResult, MetricsFrame), CellError> {
+    let workload = job.workload.name().to_string();
+    let technique = job.technique.name();
+    let rec = Arc::new(MetricsRecorder::new());
+    let cell_ctx = SimContext {
+        ladder: ctx.ladder.clone(),
+        recorder: Arc::clone(&rec) as Arc<dyn Recorder>,
+        // Fresh per cell: faults must not leak between cells or retry
+        // attempts.
+        fault: Arc::new(std::sync::OnceLock::new()),
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(feature = "fault-inject")]
+        crate::faults::maybe_panic_cell(&workload, &technique);
+        let _span = Span::enter(&*rec, "cell.run");
+        job.technique
+            .run_traced_ctx(job.workload, &job.config, &cell_ctx)
+    }));
+    match (cell_ctx.first_fault(), outcome) {
+        // A driver pass that aborts on a machine fault deposits it before
+        // anything else happens: the typed fault outranks both a
+        // normally-returned (truncated) estimate and any downstream panic
+        // the truncation causes in the technique (e.g. an empty sample
+        // population).
+        (Some(fault), _) => Err(CellError::MachineFault(fault)),
+        (None, Ok((estimate, trace))) => Ok((
+            CellResult {
+                workload,
+                technique,
+                estimate,
+                trace,
+            },
+            rec.frame(),
+        )),
+        (None, Err(payload)) => Err(CellError::Panicked(panic_message(payload))),
+    }
+}
+
+/// Layers the estimate-derived counters (logical mode ops, sample count)
+/// onto a cell's raw metric frame — the deterministic annotation every
+/// assembled report applies, whether the cell ran here or in the campaign
+/// server.
+pub fn annotate_cell_frame(cell: &CellResult, frame: &mut MetricsFrame) {
+    let ops = cell.estimate.mode_ops;
+    frame.add("cell.ops.fast_forward", ops.fast_forward);
+    frame.add("cell.ops.functional", ops.functional);
+    frame.add("cell.ops.warm", ops.detailed_warming);
+    frame.add("cell.ops.detail", ops.detailed_measured);
+    frame.add("cell.samples", cell.estimate.samples);
+}
+
+/// Runs the cells named by `order` (indices into `jobs`) on up to
+/// `threads` claim-loop workers, isolating each cell via [`run_cell`].
+/// Successes are appended to `results` together with the cell's metric
+/// frame, failures to `failed`; both keyed by job index, so callers can
+/// merge passes and sort once at the end.
 fn run_cells(
     jobs: &[Job<'_>],
     order: &[usize],
@@ -455,47 +619,9 @@ fn run_cells(
                     loop {
                         let k = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&i) = order.get(k) else { break };
-                        let job = &jobs[i];
-                        let workload = job.workload.name().to_string();
-                        let technique = job.technique.name();
-                        let rec = Arc::new(MetricsRecorder::new());
-                        let cell_ctx = SimContext {
-                            ladder: ctx.ladder.clone(),
-                            recorder: Arc::clone(&rec) as Arc<dyn Recorder>,
-                            // Fresh per cell: faults must not leak between
-                            // cells or retry attempts.
-                            fault: Arc::new(std::sync::OnceLock::new()),
-                        };
-                        let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            #[cfg(feature = "fault-inject")]
-                            crate::faults::maybe_panic_cell(&workload, &technique);
-                            let _span = Span::enter(&*rec, "cell.run");
-                            job.technique
-                                .run_traced_ctx(job.workload, &job.config, &cell_ctx)
-                        }));
-                        match (cell_ctx.first_fault(), outcome) {
-                            // A driver pass that aborts on a machine fault
-                            // deposits it before anything else happens: the
-                            // typed fault outranks both a normally-returned
-                            // (truncated) estimate and any downstream panic
-                            // the truncation causes in the technique (e.g.
-                            // an empty sample population).
-                            (Some(fault), _) => {
-                                bad.push((i, CellError::MachineFault(fault)));
-                            }
-                            (None, Ok((estimate, trace))) => ok.push((
-                                i,
-                                CellResult {
-                                    workload,
-                                    technique,
-                                    estimate,
-                                    trace,
-                                },
-                                rec.frame(),
-                            )),
-                            (None, Err(payload)) => {
-                                bad.push((i, CellError::Panicked(panic_message(payload))));
-                            }
+                        match run_cell(&jobs[i], ctx) {
+                            Ok((cell, frame)) => ok.push((i, cell, frame)),
+                            Err(error) => bad.push((i, error)),
                         }
                     }
                     (ok, bad)
@@ -585,11 +711,7 @@ fn finalize(
     campaign_rec.register_hist("campaign.detail_share", 0.0, 1.0, 20);
     for (_, cell, frame) in &mut results {
         let ops = cell.estimate.mode_ops;
-        frame.add("cell.ops.fast_forward", ops.fast_forward);
-        frame.add("cell.ops.functional", ops.functional);
-        frame.add("cell.ops.warm", ops.detailed_warming);
-        frame.add("cell.ops.detail", ops.detailed_measured);
-        frame.add("cell.samples", cell.estimate.samples);
+        annotate_cell_frame(cell, frame);
         if ops.total() > 0 {
             let share = ops.detailed() as f64 / ops.total() as f64;
             campaign_rec.observe("campaign.detail_share", share);
@@ -608,10 +730,9 @@ fn finalize(
     report.metrics = metrics;
 }
 
-/// Runs `jobs` on [`worker_threads`] threads with the default
-/// [`RetryPolicy`]. See [`run_on`]; infallible because the thread count
-/// is host-derived and therefore valid.
-pub fn run(jobs: &[Job<'_>]) -> CampaignReport {
+/// The plain-campaign core shared by [`run`], [`run_on`], and
+/// [`run_on_with`]; assumes a validated config.
+fn run_validated(jobs: &[Job<'_>], config: &CampaignConfig) -> CampaignReport {
     let mut report = CampaignReport::default();
     let campaign_rec = MetricsRecorder::new();
     campaign_rec.add("campaign.jobs", jobs.len() as u64);
@@ -622,9 +743,9 @@ pub fn run(jobs: &[Job<'_>]) -> CampaignReport {
         execute(
             jobs,
             &order,
-            worker_threads().max(1),
+            config.workers.max(1),
             &SimContext::none(),
-            &RetryPolicy::default(),
+            &config.retry,
             &mut results,
             &mut report,
         );
@@ -633,56 +754,49 @@ pub fn run(jobs: &[Job<'_>]) -> CampaignReport {
     report
 }
 
-/// Runs `jobs` on `threads` worker threads with the default
-/// [`RetryPolicy`], returning a [`CampaignReport`] whose successful cells
-/// are **in job order** — output is identical for any thread count.
+/// Runs `jobs` with the default [`CampaignConfig`] (host parallelism,
+/// default retry). See [`run_with`]; infallible because the default
+/// config is valid by construction.
+pub fn run(jobs: &[Job<'_>]) -> CampaignReport {
+    run_validated(jobs, &CampaignConfig::default())
+}
+
+/// Runs `jobs` under an explicit [`CampaignConfig`], returning a
+/// [`CampaignReport`] whose successful cells are **in job order** —
+/// output is identical for any worker count.
 ///
 /// Workers claim the next unclaimed job from an atomic cursor, so long
 /// cells (FullDetailed on the largest workload) never leave other workers
 /// idle behind a static partition. A panicking technique costs only its
-/// own cell (see the module docs); `threads == 0` is reported as
-/// [`CampaignError::InvalidConfig`].
+/// own cell (see the module docs); `workers == 0` or a zero-attempt retry
+/// policy is reported as [`CampaignError::InvalidConfig`].
+pub fn run_with(
+    jobs: &[Job<'_>],
+    config: &CampaignConfig,
+) -> Result<CampaignReport, CampaignError> {
+    config.validate()?;
+    Ok(run_validated(jobs, config))
+}
+
+/// Runs `jobs` on `threads` worker threads with the default
+/// [`RetryPolicy`]. See [`run_with`].
 pub fn run_on(jobs: &[Job<'_>], threads: usize) -> Result<CampaignReport, CampaignError> {
     run_on_with(jobs, threads, &RetryPolicy::default())
 }
 
-/// [`run_on`] with an explicit [`RetryPolicy`].
+/// [`run_on`] with an explicit [`RetryPolicy`]. See [`run_with`].
 pub fn run_on_with(
     jobs: &[Job<'_>],
     threads: usize,
     retry: &RetryPolicy,
 ) -> Result<CampaignReport, CampaignError> {
-    if threads == 0 {
-        return Err(CampaignError::InvalidConfig {
-            param: "threads",
-            reason: "campaign needs at least one worker thread".to_string(),
-        });
-    }
-    if retry.max_attempts == 0 {
-        return Err(CampaignError::InvalidConfig {
-            param: "retry.max_attempts",
-            reason: "every cell needs at least one attempt".to_string(),
-        });
-    }
-    let mut report = CampaignReport::default();
-    let campaign_rec = MetricsRecorder::new();
-    campaign_rec.add("campaign.jobs", jobs.len() as u64);
-    let order: Vec<usize> = (0..jobs.len()).collect();
-    let mut results = Vec::with_capacity(jobs.len());
-    {
-        let _span = Span::enter(&campaign_rec, "campaign.run");
-        execute(
-            jobs,
-            &order,
-            threads,
-            &SimContext::none(),
-            retry,
-            &mut results,
-            &mut report,
-        );
-    }
-    finalize(&mut report, results, &campaign_rec);
-    Ok(report)
+    run_with(
+        jobs,
+        &CampaignConfig {
+            workers: threads,
+            retry: *retry,
+        },
+    )
 }
 
 /// Runs `jobs` with checkpoint acceleration: each distinct
@@ -707,8 +821,8 @@ pub fn run_on_with(
 /// its group to unaccelerated execution — each event is recorded in
 /// [`CampaignReport::checkpoint_faults`], and none of them changes any
 /// cell's bits. Groups are processed sequentially so at most one
-/// workload's ladder is resident; cells within a group run on
-/// [`worker_threads`] threads.
+/// workload's ladder is resident; cells within a group run on the
+/// configured worker count ([`CampaignConfig::workers`]).
 ///
 /// `stride == 0` is reported as [`CampaignError::InvalidConfig`].
 pub fn run_checkpointed(
@@ -716,6 +830,19 @@ pub fn run_checkpointed(
     stride: u64,
     store: Option<&Store>,
 ) -> Result<CampaignReport, CampaignError> {
+    run_checkpointed_with(jobs, stride, store, &CampaignConfig::default())
+}
+
+/// [`run_checkpointed`] under an explicit [`CampaignConfig`] — the fully
+/// parameterised checkpoint-accelerated entry point (no environment
+/// reads; see [`CampaignConfig`]).
+pub fn run_checkpointed_with(
+    jobs: &[Job<'_>],
+    stride: u64,
+    store: Option<&Store>,
+    config: &CampaignConfig,
+) -> Result<CampaignReport, CampaignError> {
+    config.validate()?;
     if stride == 0 {
         return Err(CampaignError::InvalidConfig {
             param: "stride",
@@ -733,8 +860,8 @@ pub fn run_checkpointed(
     // are processed sequentially), so the counters are deterministic.
     let store = store.map(|st| st.clone().with_recorder(Arc::clone(&campaign_rec) as _));
     let store = store.as_ref();
-    let threads = worker_threads().max(1);
-    let retry = RetryPolicy::default();
+    let threads = config.workers.max(1);
+    let retry = config.retry;
     // Group cells sharing a workload and configuration; each group shares
     // one ladder.
     let mut groups: Vec<Vec<usize>> = Vec::new();

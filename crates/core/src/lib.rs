@@ -70,10 +70,12 @@ mod simpoint;
 mod smarts;
 pub mod timing;
 mod turbo;
+pub mod wire;
 
 pub use adaptive::AdaptivePgss;
 pub use campaign::{
-    CampaignError, CampaignReport, CellError, CellFailure, CellResult, Job, RetryPolicy,
+    CampaignConfig, CampaignError, CampaignReport, CellError, CellFailure, CellResult, Job,
+    RetryPolicy,
 };
 pub use ckpt::{
     CheckpointKey, CheckpointLadder, LadderReport, LadderSpec, SimContext, SNAPSHOT_FORMAT_VERSION,

@@ -477,6 +477,19 @@ impl MetricsReport {
     }
 }
 
+/// Serializes one named scope as a single JSON line (no trailing
+/// newline), on exactly the schema [`MetricsReport::to_jsonl`] emits —
+/// [`METRICS_SCHEMA_VERSION`]-tagged, sorted keys, span wall times
+/// excluded. This is the streaming building block: the campaign server
+/// uses it to fold live counters into each frame it streams, and the
+/// canonical campaign artifact uses it to export per-cell scopes without
+/// assembling a whole report first.
+pub fn scope_line(name: &str, frame: &MetricsFrame) -> String {
+    let mut out = String::new();
+    export_scope(&mut out, name, frame);
+    out
+}
+
 fn export_scope(out: &mut String, name: &str, frame: &MetricsFrame) {
     use fmt::Write as _;
     out.push_str("{\"v\":");
@@ -537,8 +550,11 @@ fn export_scope(out: &mut String, name: &str, frame: &MetricsFrame) {
     out.push_str("}}");
 }
 
-/// Appends `s` as a JSON string literal.
-fn json_string(out: &mut String, s: &str) {
+/// Appends `s` as a JSON string literal — the exporter's escaping rules,
+/// public so the other JSON emitters in the workspace (the campaign
+/// server's wire protocol, the canonical campaign artifact) escape
+/// byte-identically to this crate.
+pub fn json_string(out: &mut String, s: &str) {
     use fmt::Write as _;
     out.push('"');
     for c in s.chars() {
@@ -559,8 +575,9 @@ fn json_string(out: &mut String, s: &str) {
 
 /// Appends a finite f64 in Rust's shortest-roundtrip decimal form (which
 /// is valid JSON and deterministic for identical bits); non-finite
-/// values, which JSON cannot carry, export as `null`.
-fn json_f64(out: &mut String, x: f64) {
+/// values, which JSON cannot carry, export as `null`. Public for the same
+/// reason as [`json_string`].
+pub fn json_f64(out: &mut String, x: f64) {
     use fmt::Write as _;
     if x.is_finite() {
         let _ = write!(out, "{x}");
@@ -722,6 +739,19 @@ mod tests {
              \"hists\":{\"h\":{\"min\":0,\"max\":1,\"total\":1,\"counts\":[1,0]}}}\n"
         );
         assert!(!line.contains("123"), "span wall time must not export");
+    }
+
+    #[test]
+    fn scope_line_matches_report_export() {
+        let rec = MetricsRecorder::with_clock(Arc::new(ManualClock::new()));
+        rec.add("cells", 3);
+        rec.observe("ipc", 1.25);
+        let frame = rec.into_frame();
+        let mut report = MetricsReport::new();
+        report.push_scope("serve", frame.clone());
+        let line = scope_line("serve", &frame);
+        assert!(!line.ends_with('\n'));
+        assert_eq!(format!("{line}\n"), report.to_jsonl());
     }
 
     #[test]

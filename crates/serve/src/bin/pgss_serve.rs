@@ -1,0 +1,119 @@
+//! Command-line entry point for the campaign server.
+//!
+//! ```text
+//! pgss_serve --store ckpt-store --listen tcp:127.0.0.1:7071 --workers 4
+//! ```
+//!
+//! Prints the bound address on stdout (useful with `tcp:127.0.0.1:0`),
+//! then serves until a client sends `{"op":"shutdown"}`. `PGSS_WORKERS`
+//! is honoured here — at the CLI boundary, like the bench binaries — as
+//! the default for `--workers`.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use pgss::campaign;
+use pgss_serve::{Listen, ServeConfig, Server, TenantQuota};
+
+struct Args {
+    store: String,
+    listen: Listen,
+    workers: usize,
+    quota: TenantQuota,
+}
+
+fn usage() -> String {
+    "usage: pgss_serve --store DIR [--listen tcp:ADDR|unix:PATH] [--workers N]\n\
+     \x20                 [--max-concurrent-cells N] [--max-queued-jobs N]"
+        .to_string()
+}
+
+fn parse_listen(s: &str) -> Result<Listen, String> {
+    if let Some(addr) = s.strip_prefix("tcp:") {
+        return Ok(Listen::Tcp(addr.to_string()));
+    }
+    #[cfg(unix)]
+    if let Some(path) = s.strip_prefix("unix:") {
+        return Ok(Listen::Unix(path.into()));
+    }
+    Err(format!("unsupported --listen value {s:?}"))
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut store: Option<String> = None;
+    let mut listen = Listen::Tcp("127.0.0.1:7071".to_string());
+    // PGSS_WORKERS is a CLI-boundary convenience; the server config
+    // itself is explicit (see `pgss::CampaignConfig`).
+    let mut workers = campaign::worker_threads();
+    let mut quota = TenantQuota::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--store" => store = Some(value("--store")?),
+            "--listen" => listen = parse_listen(&value("--listen")?)?,
+            "--workers" => {
+                workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--max-concurrent-cells" => {
+                quota.max_concurrent_cells = value("--max-concurrent-cells")?
+                    .parse()
+                    .map_err(|e| format!("--max-concurrent-cells: {e}"))?;
+            }
+            "--max-queued-jobs" => {
+                quota.max_queued_jobs = value("--max-queued-jobs")?
+                    .parse()
+                    .map_err(|e| format!("--max-queued-jobs: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    let store = store.ok_or_else(|| format!("--store is required\n{}", usage()))?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    Ok(Args {
+        store,
+        listen,
+        workers,
+        quota,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = ServeConfig {
+        workers: args.workers,
+        default_quota: args.quota,
+        quotas: BTreeMap::new(),
+        ..ServeConfig::default()
+    };
+    let server = match Server::start(&args.store, args.listen, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pgss_serve: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("pgss_serve listening on {}", server.addr());
+    // Blocks until a client issues `{"op":"shutdown"}` (or the process
+    // is killed — which is fine: all state is already durable).
+    server.wait();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,287 @@
+//! A small blocking client for the campaign server's line-delimited JSON
+//! protocol. Used by the tests and examples; also a precise description
+//! of the protocol itself.
+//!
+//! # Protocol
+//!
+//! One request per line, one (or, for streaming ops, several) response
+//! lines back. Every response object carries `"ok"`; failures carry an
+//! `"error"` string. Streaming responses (`report`, `metrics`) announce
+//! `"lines":N` and are followed by exactly N raw payload lines. `watch`
+//! streams `"event":"cell"` lines until an `"event":"end"` line.
+//!
+//! ```text
+//! → {"op":"submit","tenant":"ci","spec":{"suite":[{"name":"164.gzip","scale":0.01}],
+//!    "techniques":[{"kind":"smarts"}]}}
+//! ← {"ok":true,"job":"91b2f00c1d9aa3e7","cells":1}
+//! → {"op":"status","job":"91b2f00c1d9aa3e7"}
+//! ← {"ok":true,"phase":"running","done":0,"total":1,"failed":0,"retries":0}
+//! ```
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use pgss_obs::json_string;
+
+use crate::json::{self, Value};
+use crate::server::{dial, BoundAddr, Stream};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's bytes didn't parse as the protocol.
+    Protocol(String),
+    /// The server answered `"ok":false` with this error.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A `status` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// `"queued"`, `"running"`, `"done"`, or `"cancelled"`.
+    pub phase: String,
+    /// Cells completed successfully.
+    pub done: u64,
+    /// Total cells in the grid.
+    pub total: u64,
+    /// Cells that exhausted their retries.
+    pub failed: u64,
+    /// Retry attempts so far.
+    pub retries: u64,
+}
+
+/// One `watch` stream event (a completed cell).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellEvent {
+    /// Cell index in canonical grid order.
+    pub index: u64,
+    /// Cells done so far (out-of-order completion means this is the
+    /// count at send time, not `index + 1`).
+    pub done: u64,
+    /// Total cells.
+    pub total: u64,
+    /// Workload name.
+    pub workload: String,
+    /// Technique name.
+    pub technique: String,
+    /// The cell's IPC estimate.
+    pub ipc: f64,
+}
+
+/// Blocking protocol client over one connection.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Client {
+    fn from_stream(stream: Stream) -> Result<Client, ClientError> {
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: stream,
+        })
+    }
+
+    /// Connects to a started [`crate::server::Server`]'s address.
+    pub fn connect(addr: &BoundAddr) -> Result<Client, ClientError> {
+        Client::from_stream(dial(addr)?)
+    }
+
+    /// Connects to a TCP address such as `127.0.0.1:7071`.
+    pub fn connect_tcp(addr: &str) -> Result<Client, ClientError> {
+        Client::from_stream(Stream::Tcp(TcpStream::connect(addr)?))
+    }
+
+    /// Connects to a Unix-domain socket path.
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<Path>) -> Result<Client, ClientError> {
+        Client::from_stream(Stream::Unix(UnixStream::connect(path)?))
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_raw_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol("connection closed".to_string()));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    fn read_response(&mut self) -> Result<Value, ClientError> {
+        let line = self.read_raw_line()?;
+        let v = json::parse(&line)
+            .map_err(|e| ClientError::Protocol(format!("bad response line: {e}")))?;
+        match v.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(v),
+            Some(false) => Err(ClientError::Server(
+                v.get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unspecified")
+                    .to_string(),
+            )),
+            None => Err(ClientError::Protocol("response without \"ok\"".to_string())),
+        }
+    }
+
+    fn round_trip(&mut self, request: &str) -> Result<Value, ClientError> {
+        self.send(request)?;
+        self.read_response()
+    }
+
+    fn field_u64(v: &Value, name: &str) -> Result<u64, ClientError> {
+        v.get(name)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol(format!("response missing {name:?}")))
+    }
+
+    fn field_str(v: &Value, name: &str) -> Result<String, ClientError> {
+        Ok(v.get(name)
+            .and_then(Value::as_str)
+            .ok_or_else(|| ClientError::Protocol(format!("response missing {name:?}")))?
+            .to_string())
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.round_trip("{\"op\":\"ping\"}").map(|_| ())
+    }
+
+    /// Submits a campaign spec (a JSON object; see
+    /// [`crate::spec::CampaignSpec::from_json`] for the schema) and
+    /// returns the 16-hex-digit job id.
+    ///
+    /// The spec may be pretty-printed: the protocol is line-delimited,
+    /// and raw newlines are illegal inside JSON strings, so flattening
+    /// them away cannot change the spec's meaning.
+    pub fn submit(&mut self, tenant: &str, spec_json: &str) -> Result<String, ClientError> {
+        let mut req = String::from("{\"op\":\"submit\",\"tenant\":");
+        json_string(&mut req, tenant);
+        req.push_str(",\"spec\":");
+        req.extend(spec_json.chars().filter(|c| *c != '\n' && *c != '\r'));
+        req.push('}');
+        let v = self.round_trip(&req)?;
+        Self::field_str(&v, "job")
+    }
+
+    fn job_request(op: &str, job: &str) -> String {
+        let mut req = format!("{{\"op\":\"{op}\",\"job\":");
+        json_string(&mut req, job);
+        req.push('}');
+        req
+    }
+
+    /// Fetches a job's progress.
+    pub fn status(&mut self, job: &str) -> Result<JobStatus, ClientError> {
+        let v = self.round_trip(&Self::job_request("status", job))?;
+        Ok(JobStatus {
+            phase: Self::field_str(&v, "phase")?,
+            done: Self::field_u64(&v, "done")?,
+            total: Self::field_u64(&v, "total")?,
+            failed: Self::field_u64(&v, "failed")?,
+            retries: Self::field_u64(&v, "retries")?,
+        })
+    }
+
+    /// Requests cooperative cancellation.
+    pub fn cancel(&mut self, job: &str) -> Result<(), ClientError> {
+        self.round_trip(&Self::job_request("cancel", job))
+            .map(|_| ())
+    }
+
+    /// Fetches a finished job's canonical campaign artifact — the exact
+    /// lines [`pgss::CampaignReport::canonical_jsonl`] would produce.
+    pub fn report(&mut self, job: &str) -> Result<Vec<String>, ClientError> {
+        let v = self.round_trip(&Self::job_request("report", job))?;
+        let n = Self::field_u64(&v, "lines")?;
+        let mut lines = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            lines.push(self.read_raw_line()?);
+        }
+        Ok(lines)
+    }
+
+    /// Fetches the server's own metric frame as one pinned-schema scope
+    /// line (scope `serve`).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let v = self.round_trip("{\"op\":\"metrics\"}")?;
+        let n = Self::field_u64(&v, "lines")?;
+        let mut line = String::new();
+        for _ in 0..n {
+            line = self.read_raw_line()?;
+        }
+        Ok(line)
+    }
+
+    /// Watches a job: replays already-completed cells, then streams live
+    /// completions until the job ends. `on_event` returning `false`
+    /// stops watching early (the connection is consumed either way).
+    /// Returns the job's final phase (or `"detached"` on server
+    /// shutdown, `"stopped"` on early stop).
+    pub fn watch(
+        mut self,
+        job: &str,
+        mut on_event: impl FnMut(&CellEvent) -> bool,
+    ) -> Result<String, ClientError> {
+        self.send(&Self::job_request("watch", job))?;
+        loop {
+            let v = self.read_response()?;
+            match v.get("event").and_then(Value::as_str) {
+                Some("cell") => {
+                    let ev = CellEvent {
+                        index: Self::field_u64(&v, "index")?,
+                        done: Self::field_u64(&v, "done")?,
+                        total: Self::field_u64(&v, "total")?,
+                        workload: Self::field_str(&v, "workload")?,
+                        technique: Self::field_str(&v, "technique")?,
+                        ipc: v.get("ipc").and_then(Value::as_f64).unwrap_or(f64::NAN),
+                    };
+                    if !on_event(&ev) {
+                        return Ok("stopped".to_string());
+                    }
+                }
+                Some("end") => return Self::field_str(&v, "phase"),
+                _ => return Err(ClientError::Protocol("unexpected watch line".to_string())),
+            }
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.round_trip("{\"op\":\"shutdown\"}").map(|_| ())
+    }
+}

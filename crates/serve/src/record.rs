@@ -1,0 +1,291 @@
+//! Durable job records: the versioned payloads the server persists in
+//! the checkpoint store so a killed process resumes mid-campaign.
+//!
+//! A job is made durable as four record kinds, addressed by
+//! [`pgss_ckpt::job_key`]:
+//!
+//! * **Index** (singleton) — every job id the store knows, its tenant,
+//!   and the submit-sequence counter. Rewritten on submit.
+//! * **Spec** — the immutable submission: tenant, sequence, canonical
+//!   [`CampaignSpec`] bytes. Written once.
+//! * **Status** — the mutable phase, retry count, and failure ledger.
+//!   Rewritten (atomically, via the store's write-then-rename) on every
+//!   transition.
+//! * **Cell** — one completed cell's result + raw metric frame, encoded
+//!   by [`pgss::wire::encode_cell_record`]. Written exactly once per
+//!   cell; their presence *is* the completion set, so resume never
+//!   trusts a stale summary over the ground truth.
+//!
+//! Every payload starts with [`JOB_RECORD_VERSION`]; the store layer
+//! additionally checksums and versions the container, so torn or corrupt
+//! records surface as typed faults, get quarantined, and the affected
+//! work is simply re-run.
+
+use pgss::wire::WireFailure;
+use pgss_ckpt::{CodecError, Decoder, Encoder};
+
+use crate::spec::CampaignSpec;
+
+/// Version of every job-record payload in this module.
+pub const JOB_RECORD_VERSION: u32 = 1;
+
+fn check_version(d: &mut Decoder<'_>) -> Result<(), CodecError> {
+    if d.get_u32()? != JOB_RECORD_VERSION {
+        return Err(CodecError::Malformed("job record version mismatch"));
+    }
+    Ok(())
+}
+
+/// Where a job is in its lifecycle. `Done` and `Cancelled` are terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Accepted, no cell has started (possibly quota-gated).
+    Queued,
+    /// At least one cell has started.
+    Running,
+    /// Every cell finished or exhausted its retries.
+    Done,
+    /// Cancelled by the client; no further cells will run.
+    Cancelled,
+}
+
+impl JobPhase {
+    /// Protocol rendering (`"queued"`, `"running"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Cancelled => "cancelled",
+        }
+    }
+
+    /// True for `Done` and `Cancelled`.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobPhase::Done | JobPhase::Cancelled)
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            JobPhase::Queued => 0,
+            JobPhase::Running => 1,
+            JobPhase::Done => 2,
+            JobPhase::Cancelled => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<JobPhase, CodecError> {
+        Ok(match tag {
+            0 => JobPhase::Queued,
+            1 => JobPhase::Running,
+            2 => JobPhase::Done,
+            3 => JobPhase::Cancelled,
+            _ => return Err(CodecError::Malformed("unknown job phase")),
+        })
+    }
+}
+
+/// The singleton job index: submit-sequence counter plus every job's id
+/// and tenant.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IndexRecord {
+    /// Next submission sequence number.
+    pub next_seq: u64,
+    /// `(job id, tenant)` in submission order.
+    pub jobs: Vec<(u64, String)>,
+}
+
+impl IndexRecord {
+    /// Serialises the index.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u32(JOB_RECORD_VERSION);
+        e.put_u64(self.next_seq);
+        e.put_u64(self.jobs.len() as u64);
+        for (id, tenant) in &self.jobs {
+            e.put_u64(*id);
+            e.put_str(tenant);
+        }
+        e.into_bytes()
+    }
+
+    /// Deserialises [`IndexRecord::encode`]'s bytes.
+    pub fn decode(bytes: &[u8]) -> Result<IndexRecord, CodecError> {
+        let mut d = Decoder::new(bytes);
+        check_version(&mut d)?;
+        let next_seq = d.get_u64()?;
+        let n = d.get_u64()?;
+        if n > d.remaining() as u64 {
+            return Err(CodecError::Truncated);
+        }
+        let mut jobs = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let id = d.get_u64()?;
+            jobs.push((id, d.get_str()?));
+        }
+        d.finish()?;
+        Ok(IndexRecord { next_seq, jobs })
+    }
+}
+
+/// A job's immutable submission record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecRecord {
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Submission sequence number (feeds the job-id digest).
+    pub seq: u64,
+    /// The validated spec.
+    pub spec: CampaignSpec,
+}
+
+impl SpecRecord {
+    /// Serialises the record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u32(JOB_RECORD_VERSION);
+        e.put_str(&self.tenant);
+        e.put_u64(self.seq);
+        e.put_bytes(&self.spec.encode());
+        e.into_bytes()
+    }
+
+    /// Deserialises [`SpecRecord::encode`]'s bytes.
+    pub fn decode(bytes: &[u8]) -> Result<SpecRecord, CodecError> {
+        let mut d = Decoder::new(bytes);
+        check_version(&mut d)?;
+        let tenant = d.get_str()?;
+        let seq = d.get_u64()?;
+        let spec_bytes = d.get_bytes()?;
+        d.finish()?;
+        let mut sd = Decoder::new(&spec_bytes);
+        let spec = CampaignSpec::decode(&mut sd)?;
+        sd.finish()?;
+        Ok(SpecRecord { tenant, seq, spec })
+    }
+}
+
+/// A job's mutable status record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusRecord {
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// Total retry attempts performed so far.
+    pub retries: u64,
+    /// Terminal failures, in job-index order; these cells are settled
+    /// and are **not** re-run on resume.
+    pub failures: Vec<WireFailure>,
+}
+
+impl StatusRecord {
+    /// Serialises the record.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u32(JOB_RECORD_VERSION);
+        e.put_u8(self.phase.tag());
+        e.put_u64(self.retries);
+        e.put_u64(self.failures.len() as u64);
+        for f in &self.failures {
+            // Same field layout as `pgss::wire::put_failure`, but from
+            // the already-rendered ledger entry.
+            e.put_u64(f.job_index as u64);
+            e.put_str(&f.workload);
+            e.put_str(&f.technique);
+            e.put_u32(f.attempts);
+            e.put_str(&f.error);
+        }
+        e.into_bytes()
+    }
+
+    /// Deserialises [`StatusRecord::encode`]'s bytes.
+    pub fn decode(bytes: &[u8]) -> Result<StatusRecord, CodecError> {
+        let mut d = Decoder::new(bytes);
+        check_version(&mut d)?;
+        let phase = JobPhase::from_tag(d.get_u8()?)?;
+        let retries = d.get_u64()?;
+        let n = d.get_u64()?;
+        if n > d.remaining() as u64 {
+            return Err(CodecError::Truncated);
+        }
+        let mut failures = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            failures.push(pgss::wire::get_failure(&mut d)?);
+        }
+        d.finish()?;
+        Ok(StatusRecord {
+            phase,
+            retries,
+            failures,
+        })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn spec() -> CampaignSpec {
+        let v = json::parse(
+            r#"{"suite":[{"name":"164.gzip","scale":0.01}],
+                "techniques":[{"kind":"smarts","period_ops":50000}],"stride":50000}"#,
+        )
+        .unwrap();
+        CampaignSpec::from_json(&v).unwrap()
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let idx = IndexRecord {
+            next_seq: 3,
+            jobs: vec![(0xdead, "t0".into()), (0xbeef, "t1".into())],
+        };
+        assert_eq!(IndexRecord::decode(&idx.encode()).unwrap(), idx);
+
+        let sr = SpecRecord {
+            tenant: "t0".into(),
+            seq: 2,
+            spec: spec(),
+        };
+        assert_eq!(SpecRecord::decode(&sr.encode()).unwrap(), sr);
+
+        let st = StatusRecord {
+            phase: JobPhase::Running,
+            retries: 4,
+            failures: vec![WireFailure {
+                job_index: 1,
+                workload: "164.gzip".into(),
+                technique: "SMARTS(50k)".into(),
+                attempts: 2,
+                error: "technique panicked: boom".into(),
+            }],
+        };
+        assert_eq!(StatusRecord::decode(&st.encode()).unwrap(), st);
+    }
+
+    #[test]
+    fn corrupt_records_are_rejected() {
+        let st = StatusRecord {
+            phase: JobPhase::Done,
+            retries: 0,
+            failures: vec![],
+        };
+        let bytes = st.encode();
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff; // version
+        assert!(StatusRecord::decode(&bad).is_err());
+        assert!(StatusRecord::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad_phase = bytes.clone();
+        bad_phase[4] = 9;
+        assert!(StatusRecord::decode(&bad_phase).is_err());
+    }
+
+    #[test]
+    fn phase_protocol_names() {
+        assert_eq!(JobPhase::Queued.as_str(), "queued");
+        assert!(JobPhase::Done.is_terminal());
+        assert!(JobPhase::Cancelled.is_terminal());
+        assert!(!JobPhase::Running.is_terminal());
+    }
+}

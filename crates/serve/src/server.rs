@@ -1,0 +1,1285 @@
+//! The campaign server: listener, scheduler, worker pool, durable job
+//! state, and the resume protocol.
+//!
+//! # Architecture
+//!
+//! One accept thread hands connections to per-connection handler threads
+//! speaking the line-delimited JSON protocol (see [`crate::client`]). A
+//! fixed pool of worker threads shares a single scheduler state under one
+//! mutex: workers claim *cells* (or checkpoint-ladder builds) from the
+//! job that the round-robin cursor reaches first, so a long campaign
+//! never starves a short one — idle workers steal whatever runnable cell
+//! any job has, subject to per-tenant concurrency quotas.
+//!
+//! Every cell executes through [`pgss::campaign::run_cell`] — the same
+//! isolation + typed-fault path the library's own campaign runner uses —
+//! with the cell's group ladder attached, so a server-side cell is
+//! bit-identical to a library-side one. Completed cells are persisted
+//! immediately ([`pgss::wire::encode_cell_record`] under the job-record
+//! key namespace) and streamed to any watchers out of order.
+//!
+//! # Durability and resume
+//!
+//! All job state lives in the same content-addressed store as the
+//! checkpoint ladders (see [`crate::record`] for the record kinds). On
+//! startup the server reads the index, re-materialises every non-terminal
+//! job from its spec record, probes the job's cell records — present and
+//! decodable means **done**, corrupt means quarantine-and-re-run — and
+//! enqueues only the remainder. A SIGKILL therefore costs at most the
+//! cells that were in flight; finished cells are never recomputed, which
+//! the resilience tests assert via the `serve.cells.executed` /
+//! `serve.cells.resumed` counters.
+//!
+//! # Cancellation
+//!
+//! Cancellation is cooperative: pending cells are dropped immediately,
+//! in-flight cells finish (their results are discarded, freeing the
+//! worker), and once the job drains a durable `Cancelled` status is
+//! written. A cancelled job still answers `status` and `report` from
+//! whatever it completed before the cancel.
+
+// A server embeds the fault-isolating campaign path; an unwrap here
+// would turn one bad record or request into a dead daemon.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use pgss::campaign::{annotate_cell_frame, run_cell, CellResult};
+use pgss::wire::{self, WireFailure};
+use pgss::{CheckpointLadder, LadderSpec, RetryPolicy, SimContext, Track};
+use pgss_ckpt::{index_key, job_key, JobRecordKind, RecordError, Store};
+use pgss_obs::{json_string, scope_line, MetricsFrame, MetricsRecorder, Recorder};
+
+use crate::json::{self, Value};
+use crate::record::{IndexRecord, JobPhase, SpecRecord, StatusRecord};
+use crate::spec::{CampaignSpec, Materialized};
+
+/// Per-tenant limits. The defaults are unlimited; a limit of zero
+/// concurrent cells parks the tenant's jobs in `Queued` indefinitely
+/// (useful for drains and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Cells of this tenant allowed to run concurrently across all of
+    /// its jobs.
+    pub max_concurrent_cells: usize,
+    /// Active (queued or running) jobs this tenant may have; submits
+    /// beyond it are rejected.
+    pub max_queued_jobs: usize,
+}
+
+impl Default for TenantQuota {
+    fn default() -> TenantQuota {
+        TenantQuota {
+            max_concurrent_cells: usize::MAX,
+            max_queued_jobs: usize::MAX,
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing cells and ladder builds. Like
+    /// [`pgss::CampaignConfig`], this is explicit — resolve
+    /// `PGSS_WORKERS` at the CLI boundary if you want the override.
+    pub workers: usize,
+    /// Retry policy applied to failing cells (the retry *count*
+    /// semantics match the library runner's).
+    pub retry: RetryPolicy,
+    /// Quota for tenants without an explicit entry in `quotas`.
+    pub default_quota: TenantQuota,
+    /// Per-tenant quota overrides.
+    pub quotas: BTreeMap<String, TenantQuota>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            retry: RetryPolicy::default(),
+            default_quota: TenantQuota::default(),
+            quotas: BTreeMap::new(),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn quota_for(&self, tenant: &str) -> TenantQuota {
+        self.quotas
+            .get(tenant)
+            .copied()
+            .unwrap_or(self.default_quota)
+    }
+}
+
+/// Where the server should listen.
+#[derive(Debug, Clone)]
+pub enum Listen {
+    /// A TCP address such as `127.0.0.1:0` (port 0 picks a free port).
+    Tcp(String),
+    /// A Unix-domain socket path (created on bind, removed on stop).
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// The address a started server is reachable at.
+#[derive(Debug, Clone)]
+pub enum BoundAddr {
+    /// Bound TCP socket address.
+    Tcp(SocketAddr),
+    /// Bound Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for BoundAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundAddr::Tcp(a) => write!(f, "tcp:{a}"),
+            #[cfg(unix)]
+            BoundAddr::Unix(p) => write!(f, "unix:{}", p.display()),
+        }
+    }
+}
+
+/// A bidirectional protocol stream (TCP or Unix).
+pub(crate) enum Stream {
+    /// TCP connection.
+    Tcp(TcpStream),
+    /// Unix-domain connection.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    pub(crate) fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Listener::Tcp(l) => Stream::Tcp(l.accept()?.0),
+            #[cfg(unix)]
+            Listener::Unix(l) => Stream::Unix(l.accept()?.0),
+        })
+    }
+}
+
+/// Connects to a bound address (shared with the client module).
+pub(crate) fn dial(addr: &BoundAddr) -> io::Result<Stream> {
+    Ok(match addr {
+        BoundAddr::Tcp(a) => Stream::Tcp(TcpStream::connect(a)?),
+        #[cfg(unix)]
+        BoundAddr::Unix(p) => Stream::Unix(UnixStream::connect(p)?),
+    })
+}
+
+/// A message to a `watch` subscriber: an event line, or the final line
+/// after which the subscription ends.
+enum WatchMsg {
+    Event(String),
+    End(String),
+}
+
+enum LadderState {
+    NotBuilt,
+    Building,
+    /// `None` means the build panicked and the group runs unaccelerated,
+    /// exactly like the library runner's degradation path.
+    Ready(Option<Arc<CheckpointLadder>>),
+}
+
+struct JobState {
+    tenant: String,
+    mat: Option<Arc<Materialized>>,
+    phase: JobPhase,
+    total: usize,
+    done: Vec<bool>,
+    done_count: usize,
+    pending: VecDeque<usize>,
+    /// Failed attempts so far, per still-retriable cell.
+    attempts: BTreeMap<usize, u32>,
+    inflight: usize,
+    cancelled: bool,
+    retries: u64,
+    failures: Vec<WireFailure>,
+    groups: Vec<LadderState>,
+    watchers: Vec<mpsc::Sender<WatchMsg>>,
+    started: Option<Instant>,
+}
+
+impl JobState {
+    fn settled(&self) -> bool {
+        self.done_count + self.failures.len() == self.total
+            && self.pending.is_empty()
+            && self.inflight == 0
+    }
+}
+
+struct State {
+    jobs: BTreeMap<u64, JobState>,
+    /// Non-terminal jobs in submission order — the scheduler's
+    /// round-robin ring.
+    order: Vec<u64>,
+    rr: usize,
+    next_seq: u64,
+}
+
+struct Inner {
+    store: Store,
+    rec: Arc<MetricsRecorder>,
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    work: Condvar,
+    shutdown: AtomicBool,
+    addr: OnceLock<BoundAddr>,
+}
+
+enum WorkItem {
+    Build { id: u64, group: usize },
+    Cell { id: u64, cell: usize },
+}
+
+/// The cell's [`pgss::Job`]: canonical order is workload-major, then
+/// configuration, then technique.
+fn cell_job(mat: &Materialized, i: usize) -> pgss::Job<'_> {
+    let t = mat.techniques.len();
+    let c = mat.configs.len();
+    let (w, rem) = (i / (c * t), i % (c * t));
+    pgss::Job {
+        workload: &mat.workloads[w],
+        technique: &*mat.techniques[rem % t],
+        config: mat.configs[rem / t],
+    }
+}
+
+/// The (workload × config) ladder group a cell belongs to; cells of a
+/// group are contiguous in cell order.
+fn cell_group(mat: &Materialized, i: usize) -> usize {
+    i / mat.techniques.len()
+}
+
+fn group_count(mat: &Materialized) -> usize {
+    mat.workloads.len() * mat.configs.len()
+}
+
+/// The ladder spec shared by every group of a job: BBV tracks collected
+/// over the techniques in first-appearance order, mirroring the library
+/// runner so ladder content addresses (and rungs) are identical.
+fn ladder_spec(mat: &Materialized) -> LadderSpec {
+    let mut hashed_seeds: Vec<u64> = Vec::new();
+    let mut with_full = false;
+    for t in &mat.techniques {
+        for track in t.tracks() {
+            match track {
+                Track::Hashed(s) if !hashed_seeds.contains(&s) => hashed_seeds.push(s),
+                Track::Full => with_full = true,
+                _ => {}
+            }
+        }
+    }
+    LadderSpec {
+        stride: mat.stride,
+        hashed_seeds,
+        with_full,
+    }
+}
+
+fn render_job_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+fn parse_job_id(s: &str) -> Option<u64> {
+    (s.len() == 16).then(|| u64::from_str_radix(s, 16).ok())?
+}
+
+impl Inner {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(g) => g,
+            // A worker that panicked while holding the lock has already
+            // been isolated (cells run under catch_unwind); the state
+            // itself is guarded by per-step writes, so keep serving.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn write_status(&self, id: u64, job: &JobState) {
+        let record = StatusRecord {
+            phase: job.phase,
+            retries: job.retries,
+            failures: job.failures.clone(),
+        };
+        if self
+            .store
+            .put(job_key(JobRecordKind::Status, id, 0), &record.encode())
+            .is_err()
+        {
+            self.rec.add("serve.store.put_failed", 1);
+        }
+    }
+
+    fn running_cells(&self, st: &State, tenant: &str) -> usize {
+        st.jobs
+            .values()
+            .filter(|j| j.tenant == tenant)
+            .map(|j| j.inflight)
+            .sum()
+    }
+
+    fn active_jobs(&self, st: &State, tenant: &str) -> usize {
+        st.jobs
+            .values()
+            .filter(|j| j.tenant == tenant && !j.phase.is_terminal())
+            .count()
+    }
+
+    fn find_work(&self, st: &mut State) -> Option<WorkItem> {
+        let n = st.order.len();
+        for k in 0..n {
+            let idx = (st.rr + k) % n;
+            let id = st.order[idx];
+            let Some(job) = st.jobs.get(&id) else {
+                continue;
+            };
+            if job.phase.is_terminal() || job.cancelled || job.pending.is_empty() {
+                continue;
+            }
+            let quota = self.cfg.quota_for(&job.tenant);
+            if self.running_cells(st, &job.tenant) >= quota.max_concurrent_cells {
+                continue;
+            }
+            let Some(mat) = job.mat.clone() else { continue };
+            // Prefer a cell whose ladder is ready; otherwise start
+            // building the first pending cell's ladder.
+            let ready_pos = job
+                .pending
+                .iter()
+                .position(|&i| matches!(job.groups[cell_group(&mat, i)], LadderState::Ready(_)));
+            let Some(job) = st.jobs.get_mut(&id) else {
+                continue;
+            };
+            if let Some(pos) = ready_pos {
+                let Some(cell) = job.pending.remove(pos) else {
+                    continue;
+                };
+                job.inflight += 1;
+                if job.phase == JobPhase::Queued {
+                    job.phase = JobPhase::Running;
+                    if job.started.is_none() {
+                        job.started = Some(Instant::now());
+                    }
+                    let snapshot = &st.jobs[&id];
+                    self.write_status(id, snapshot);
+                }
+                st.rr = (idx + 1) % n;
+                return Some(WorkItem::Cell { id, cell });
+            }
+            let build = job
+                .pending
+                .iter()
+                .map(|&i| cell_group(&mat, i))
+                .find(|&g| matches!(job.groups[g], LadderState::NotBuilt));
+            if let Some(g) = build {
+                job.groups[g] = LadderState::Building;
+                st.rr = (idx + 1) % n;
+                return Some(WorkItem::Build { id, group: g });
+            }
+        }
+        None
+    }
+
+    fn notify_watchers(&self, job: &mut JobState, line: &str) {
+        let mut sent = 0u64;
+        job.watchers
+            .retain(|w| match w.send(WatchMsg::Event(line.to_string())) {
+                Ok(()) => {
+                    sent += 1;
+                    true
+                }
+                Err(_) => false,
+            });
+        self.rec.add("serve.cells.streamed", sent);
+    }
+
+    fn end_watchers(&self, job: &mut JobState) {
+        let line = format!(
+            "{{\"ok\":true,\"event\":\"end\",\"phase\":\"{}\"}}",
+            job.phase.as_str()
+        );
+        for w in job.watchers.drain(..) {
+            let _ = w.send(WatchMsg::End(line.clone()));
+        }
+    }
+
+    /// Renders one completed cell as a watch-event line: cell identity,
+    /// progress, and the cell's annotated metric frame folded in as a
+    /// pinned-schema scope line.
+    fn event_line(
+        &self,
+        id: u64,
+        cell: usize,
+        result: &CellResult,
+        frame: &MetricsFrame,
+        done: usize,
+        total: usize,
+    ) -> String {
+        let frame_line = scope_line(&format!("{}/{}", result.workload, result.technique), frame);
+        let mut out = String::new();
+        out.push_str("{\"ok\":true,\"event\":\"cell\",\"job\":\"");
+        out.push_str(&render_job_id(id));
+        out.push_str("\",\"index\":");
+        out.push_str(&cell.to_string());
+        out.push_str(",\"done\":");
+        out.push_str(&done.to_string());
+        out.push_str(",\"total\":");
+        out.push_str(&total.to_string());
+        out.push_str(",\"workload\":");
+        json_string(&mut out, &result.workload);
+        out.push_str(",\"technique\":");
+        json_string(&mut out, &result.technique);
+        out.push_str(",\"ipc\":");
+        pgss_obs::json_f64(&mut out, result.estimate.ipc);
+        out.push_str(",\"frame\":");
+        json_string(&mut out, &frame_line);
+        out.push('}');
+        out
+    }
+
+    fn complete_job(&self, id: u64, job: &mut JobState) {
+        job.phase = JobPhase::Done;
+        job.failures.sort_unstable_by_key(|f| f.job_index);
+        self.write_status(id, job);
+        self.rec.add("serve.jobs.completed", 1);
+        if let Some(t0) = job.started {
+            self.rec
+                .span_closed("serve.job.run", t0.elapsed().as_nanos() as u64);
+        }
+        self.end_watchers(job);
+    }
+
+    fn finish_cancel(&self, id: u64, job: &mut JobState) {
+        job.phase = JobPhase::Cancelled;
+        job.pending.clear();
+        self.write_status(id, job);
+        self.rec.add("serve.jobs.cancelled", 1);
+        self.end_watchers(job);
+    }
+
+    fn worker_loop(self: &Arc<Inner>) {
+        loop {
+            let item = {
+                let mut st = self.lock();
+                loop {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if let Some(item) = self.find_work(&mut st) {
+                        break item;
+                    }
+                    st = match self.work.wait(st) {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                }
+            };
+            match item {
+                WorkItem::Build { id, group } => self.run_build(id, group),
+                WorkItem::Cell { id, cell } => self.run_one_cell(id, cell),
+            }
+            self.work.notify_all();
+        }
+    }
+
+    fn run_build(&self, id: u64, group: usize) {
+        let mat = {
+            let st = self.lock();
+            st.jobs.get(&id).and_then(|j| j.mat.clone())
+        };
+        let ladder = mat.as_ref().and_then(|mat| {
+            let spec = ladder_spec(mat);
+            let w = group / mat.configs.len();
+            let c = group % mat.configs.len();
+            let workload = &mat.workloads[w];
+            let config = &mat.configs[c];
+            // The capture pass runs arbitrary simulation; isolate it and
+            // degrade to unaccelerated on panic, like the library runner.
+            catch_unwind(AssertUnwindSafe(|| {
+                CheckpointLadder::load_or_capture(&self.store, workload, config, &spec)
+            }))
+            .ok()
+            .map(Arc::new)
+        });
+        if ladder.is_none() {
+            self.rec.add("serve.ladders.degraded", 1);
+        }
+        let mut st = self.lock();
+        if let Some(job) = st.jobs.get_mut(&id) {
+            job.groups[group] = LadderState::Ready(ladder);
+        }
+    }
+
+    fn run_one_cell(&self, id: u64, cell: usize) {
+        let Some(mat) = ({
+            let st = self.lock();
+            st.jobs.get(&id).and_then(|j| j.mat.clone())
+        }) else {
+            return;
+        };
+        let ladder = {
+            let st = self.lock();
+            match st.jobs.get(&id).map(|j| &j.groups[cell_group(&mat, cell)]) {
+                Some(LadderState::Ready(l)) => l.clone(),
+                _ => None,
+            }
+        };
+        let job_desc = cell_job(&mat, cell);
+        let ctx = match ladder {
+            Some(l) => SimContext::with_ladder(l),
+            None => SimContext::none(),
+        };
+        let outcome = run_cell(&job_desc, &ctx);
+
+        let mut st = self.lock();
+        let Some(job) = st.jobs.get_mut(&id) else {
+            return;
+        };
+        job.inflight -= 1;
+        if job.cancelled {
+            // Result discarded; the worker is free again.
+            if job.inflight == 0 && !job.phase.is_terminal() {
+                self.finish_cancel(id, job);
+            }
+            return;
+        }
+        match outcome {
+            Ok((result, frame)) => {
+                let bytes = wire::encode_cell_record(&result, &frame);
+                if self
+                    .store
+                    .put(job_key(JobRecordKind::Cell, id, cell as u64), &bytes)
+                    .is_err()
+                {
+                    self.rec.add("serve.store.put_failed", 1);
+                }
+                job.done[cell] = true;
+                job.done_count += 1;
+                job.attempts.remove(&cell);
+                self.rec.add("serve.cells.executed", 1);
+                let mut annotated = frame;
+                annotate_cell_frame(&result, &mut annotated);
+                let line =
+                    self.event_line(id, cell, &result, &annotated, job.done_count, job.total);
+                self.notify_watchers(job, &line);
+            }
+            Err(error) => {
+                let attempts = job.attempts.entry(cell).or_insert(0);
+                *attempts += 1;
+                if *attempts < self.cfg.retry.max_attempts {
+                    job.retries += 1;
+                    job.pending.push_back(cell);
+                    self.rec.add("serve.cells.retried", 1);
+                } else {
+                    let attempts = *attempts;
+                    job.attempts.remove(&cell);
+                    job.failures.push(WireFailure {
+                        job_index: cell,
+                        workload: job_desc.workload.name().to_string(),
+                        technique: job_desc.technique.name(),
+                        attempts,
+                        error: error.to_string(),
+                    });
+                    self.rec.add("serve.cells.failed", 1);
+                    let snapshot = &st.jobs[&id];
+                    self.write_status(id, snapshot);
+                    // Reborrow after the read-only snapshot.
+                    let Some(job) = st.jobs.get_mut(&id) else {
+                        return;
+                    };
+                    if job.settled() {
+                        self.complete_job(id, job);
+                    }
+                    return;
+                }
+            }
+        }
+        if job.settled() {
+            self.complete_job(id, job);
+        }
+    }
+
+    fn initiate_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut st = self.lock();
+            // Unblock watchers so their handler threads can exit.
+            let ids: Vec<u64> = st.jobs.keys().copied().collect();
+            for id in ids {
+                if let Some(job) = st.jobs.get_mut(&id) {
+                    job.watchers.clear();
+                    let _ = job;
+                }
+            }
+        }
+        self.work.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        if let Some(addr) = self.addr.get() {
+            let _ = dial(addr);
+        }
+    }
+}
+
+/// A running campaign server. Dropping the handle does **not** stop the
+/// daemon; call [`Server::stop`] for a graceful shutdown (workers finish
+/// their in-flight cells; all durable state is already on disk at every
+/// instant, which is the point).
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: BoundAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Opens (or creates) the store at `store_dir`, resumes every
+    /// non-terminal job found in it, binds `listen`, and starts the
+    /// worker pool and accept loop.
+    pub fn start(
+        store_dir: impl Into<PathBuf>,
+        listen: Listen,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        let rec = Arc::new(MetricsRecorder::new());
+        let store = Store::open(store_dir)?.with_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
+        let inner = Arc::new(Inner {
+            store,
+            rec,
+            cfg,
+            state: Mutex::new(State {
+                jobs: BTreeMap::new(),
+                order: Vec::new(),
+                rr: 0,
+                next_seq: 0,
+            }),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            addr: OnceLock::new(),
+        });
+        resume_jobs(&inner);
+
+        let listener = match &listen {
+            Listen::Tcp(addr) => Listener::Tcp(TcpListener::bind(addr.as_str())?),
+            #[cfg(unix)]
+            Listen::Unix(path) => {
+                // A stale socket file from a killed process would make
+                // bind fail; a fresh server owns the path.
+                let _ = std::fs::remove_file(path);
+                Listener::Unix(UnixListener::bind(path)?)
+            }
+        };
+        let addr = match &listener {
+            Listener::Tcp(l) => BoundAddr::Tcp(l.local_addr()?),
+            #[cfg(unix)]
+            Listener::Unix(_) => match listen {
+                #[cfg(unix)]
+                Listen::Unix(path) => BoundAddr::Unix(path),
+                Listen::Tcp(_) => unreachable!("listener/listen variants match"),
+            },
+        };
+        let _ = inner.addr.set(addr.clone());
+
+        let mut threads = Vec::new();
+        for _ in 0..inner.cfg.workers.max(1) {
+            let inner = Arc::clone(&inner);
+            threads.push(std::thread::spawn(move || inner.worker_loop()));
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(std::thread::spawn(move || accept_loop(&inner, listener)));
+        }
+        Ok(Server {
+            inner,
+            addr,
+            threads,
+        })
+    }
+
+    /// The bound address clients should dial.
+    pub fn addr(&self) -> &BoundAddr {
+        &self.addr
+    }
+
+    /// Graceful shutdown: stops accepting, lets workers finish their
+    /// in-flight cells, joins every thread. Durable state needs no
+    /// flushing — every record was written when it happened.
+    pub fn stop(self) {
+        self.inner.initiate_shutdown();
+        self.wait();
+    }
+
+    /// Blocks until something else stops the server — a client-issued
+    /// `shutdown` op, typically — then joins every thread. The CLI's
+    /// serve-forever mode.
+    pub fn wait(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        #[cfg(unix)]
+        if let BoundAddr::Unix(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Startup resume: rebuild scheduler state from the store's job records.
+fn resume_jobs(inner: &Arc<Inner>) {
+    let index = match inner.store.get_checked(index_key()) {
+        Ok(bytes) => match IndexRecord::decode(&bytes) {
+            Ok(idx) => idx,
+            Err(_) => {
+                let _ = inner.store.quarantine(index_key());
+                inner.rec.add("serve.store.index_corrupt", 1);
+                IndexRecord::default()
+            }
+        },
+        Err(RecordError::Missing) => IndexRecord::default(),
+        Err(_) => {
+            let _ = inner.store.quarantine(index_key());
+            inner.rec.add("serve.store.index_corrupt", 1);
+            IndexRecord::default()
+        }
+    };
+    let mut st = inner.lock();
+    st.next_seq = index.next_seq;
+    for (id, tenant) in index.jobs {
+        let spec_rec = match inner
+            .store
+            .get_checked(job_key(JobRecordKind::Spec, id, 0))
+            .ok()
+            .and_then(|b| SpecRecord::decode(&b).ok())
+        {
+            Some(r) => r,
+            None => {
+                inner.rec.add("serve.jobs.unresumable", 1);
+                continue;
+            }
+        };
+        let status = inner
+            .store
+            .get_checked(job_key(JobRecordKind::Status, id, 0))
+            .ok()
+            .and_then(|b| StatusRecord::decode(&b).ok())
+            .unwrap_or(StatusRecord {
+                phase: JobPhase::Queued,
+                retries: 0,
+                failures: Vec::new(),
+            });
+        let Ok(mat) = spec_rec.spec.materialize() else {
+            inner.rec.add("serve.jobs.unresumable", 1);
+            continue;
+        };
+        let mat = Arc::new(mat);
+        let total = spec_rec.spec.cell_count();
+        let mut done = vec![false; total];
+        let mut done_count = 0usize;
+        for (i, slot) in done.iter_mut().enumerate() {
+            match inner
+                .store
+                .get_checked(job_key(JobRecordKind::Cell, id, i as u64))
+            {
+                Ok(bytes) => match wire::decode_cell_record(&bytes) {
+                    Ok(_) => {
+                        *slot = true;
+                        done_count += 1;
+                    }
+                    Err(_) => {
+                        // Store checksum passed but the payload didn't
+                        // decode: quarantine and re-run the cell.
+                        let _ = inner
+                            .store
+                            .quarantine(job_key(JobRecordKind::Cell, id, i as u64));
+                        inner.rec.add("serve.cells.requeued_corrupt", 1);
+                    }
+                },
+                Err(RecordError::Missing) => {}
+                Err(_) => {
+                    let _ = inner
+                        .store
+                        .quarantine(job_key(JobRecordKind::Cell, id, i as u64));
+                    inner.rec.add("serve.cells.requeued_corrupt", 1);
+                }
+            }
+        }
+        let failed: Vec<usize> = status.failures.iter().map(|f| f.job_index).collect();
+        let terminal = status.phase.is_terminal();
+        let pending: VecDeque<usize> = if terminal {
+            VecDeque::new()
+        } else {
+            (0..total)
+                .filter(|i| !done[*i] && !failed.contains(i))
+                .collect()
+        };
+        let mut job = JobState {
+            tenant: tenant.clone(),
+            mat: Some(mat),
+            phase: status.phase,
+            total,
+            done,
+            done_count,
+            pending,
+            attempts: BTreeMap::new(),
+            inflight: 0,
+            cancelled: status.phase == JobPhase::Cancelled,
+            retries: status.retries,
+            failures: status.failures,
+            groups: Vec::new(),
+            watchers: Vec::new(),
+            started: None,
+        };
+        if let Some(mat) = &job.mat {
+            job.groups = (0..group_count(mat))
+                .map(|_| LadderState::NotBuilt)
+                .collect();
+        }
+        if !terminal {
+            inner.rec.add("serve.jobs.resumed", 1);
+            inner.rec.add("serve.cells.resumed", done_count as u64);
+            if job.settled() {
+                // Everything finished before the kill, but the Done
+                // status never landed: settle it now.
+                inner.complete_job(id, &mut job);
+            } else {
+                st.order.push(id);
+            }
+        }
+        st.jobs.insert(id, job);
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: Listener) {
+    loop {
+        let conn = listener.accept();
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match conn {
+            Ok(stream) => {
+                let inner = Arc::clone(inner);
+                // Handler threads are detached: they exit on EOF from the
+                // peer, or when shutdown drops their watch senders.
+                std::thread::spawn(move || handle_conn(&inner, stream));
+            }
+            Err(_) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn ok_line(fields: &str) -> String {
+    if fields.is_empty() {
+        "{\"ok\":true}".to_string()
+    } else {
+        format!("{{\"ok\":true,{fields}}}")
+    }
+}
+
+fn err_line(message: &str) -> String {
+    let mut out = String::from("{\"ok\":false,\"error\":");
+    json_string(&mut out, message);
+    out.push('}');
+    out
+}
+
+fn write_line(w: &mut Stream, line: &str) -> io::Result<()> {
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+fn handle_conn(inner: &Arc<Inner>, stream: Stream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match dispatch(inner, &line, &mut writer) {
+            Ok(true) => {}
+            _ => return,
+        }
+    }
+}
+
+/// Handles one request line; `Ok(false)` closes the connection.
+fn dispatch(inner: &Arc<Inner>, line: &str, w: &mut Stream) -> io::Result<bool> {
+    let req = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            write_line(w, &err_line(&format!("bad request: {e}")))?;
+            return Ok(true);
+        }
+    };
+    let op = req.get("op").and_then(Value::as_str).unwrap_or("");
+    match op {
+        "ping" => write_line(w, &ok_line("\"pong\":true"))?,
+        "submit" => {
+            let resp = handle_submit(inner, &req);
+            write_line(w, &resp)?;
+        }
+        "status" => {
+            let resp = handle_status(inner, &req);
+            write_line(w, &resp)?;
+        }
+        "cancel" => {
+            let resp = handle_cancel(inner, &req);
+            write_line(w, &resp)?;
+        }
+        "report" => match assemble_report(inner, &req) {
+            Ok(lines) => {
+                write_line(
+                    w,
+                    &ok_line(&format!("\"kind\":\"report\",\"lines\":{}", lines.len())),
+                )?;
+                for l in &lines {
+                    write_line(w, l)?;
+                }
+            }
+            Err(e) => write_line(w, &err_line(&e))?,
+        },
+        "metrics" => {
+            let line = scope_line("serve", &inner.rec.frame());
+            write_line(w, &ok_line("\"kind\":\"metrics\",\"lines\":1"))?;
+            write_line(w, &line)?;
+        }
+        "watch" => return handle_watch(inner, &req, w).map(|()| true),
+        "shutdown" => {
+            write_line(w, &ok_line("\"stopping\":true"))?;
+            inner.initiate_shutdown();
+            return Ok(false);
+        }
+        other => write_line(w, &err_line(&format!("unknown op {other:?}")))?,
+    }
+    Ok(true)
+}
+
+fn job_from_req<'a>(req: &Value, st: &'a mut State) -> Result<(u64, &'a mut JobState), String> {
+    let id = req
+        .get("job")
+        .and_then(Value::as_str)
+        .and_then(parse_job_id)
+        .ok_or("request needs a \"job\" id (16 hex digits)")?;
+    match st.jobs.get_mut(&id) {
+        Some(job) => Ok((id, job)),
+        None => Err(format!("unknown job {}", render_job_id(id))),
+    }
+}
+
+fn handle_submit(inner: &Arc<Inner>, req: &Value) -> String {
+    let tenant = req
+        .get("tenant")
+        .and_then(Value::as_str)
+        .unwrap_or("default")
+        .to_string();
+    let Some(spec_json) = req.get("spec") else {
+        return err_line("submit needs a \"spec\" object");
+    };
+    let spec = match CampaignSpec::from_json(spec_json) {
+        Ok(s) => s,
+        Err(e) => {
+            inner.rec.add("serve.jobs.rejected", 1);
+            return err_line(&e);
+        }
+    };
+    let mat = match spec.materialize() {
+        Ok(m) => Arc::new(m),
+        Err(e) => {
+            inner.rec.add("serve.jobs.rejected", 1);
+            return err_line(&e);
+        }
+    };
+    let mut st = inner.lock();
+    let quota = inner.cfg.quota_for(&tenant);
+    if inner.active_jobs(&st, &tenant) >= quota.max_queued_jobs {
+        drop(st);
+        inner.rec.add("serve.jobs.rejected", 1);
+        return err_line(&format!(
+            "tenant {tenant:?} is at its queued-job quota ({})",
+            quota.max_queued_jobs
+        ));
+    }
+    let seq = st.next_seq;
+    st.next_seq += 1;
+    let id = {
+        let mut e = pgss_ckpt::Encoder::new();
+        e.put_str(&tenant);
+        e.put_u64(seq);
+        e.put_bytes(&spec.encode());
+        pgss_ckpt::fnv1a64(&e.into_bytes())
+    };
+    let total = spec.cell_count();
+    let job = JobState {
+        tenant: tenant.clone(),
+        mat: Some(Arc::clone(&mat)),
+        phase: JobPhase::Queued,
+        total,
+        done: vec![false; total],
+        done_count: 0,
+        pending: (0..total).collect(),
+        attempts: BTreeMap::new(),
+        inflight: 0,
+        cancelled: false,
+        retries: 0,
+        failures: Vec::new(),
+        groups: (0..group_count(&mat))
+            .map(|_| LadderState::NotBuilt)
+            .collect(),
+        watchers: Vec::new(),
+        started: None,
+    };
+    // Durable order matters: spec and status first, then the index that
+    // names them — a crash between writes leaves an unnamed record, not
+    // a dangling index entry.
+    let spec_record = SpecRecord {
+        tenant: tenant.clone(),
+        seq,
+        spec,
+    };
+    let mut put_failed = inner
+        .store
+        .put(job_key(JobRecordKind::Spec, id, 0), &spec_record.encode())
+        .is_err();
+    inner.write_status(id, &job);
+    let index = IndexRecord {
+        next_seq: st.next_seq,
+        jobs: {
+            let mut jobs: Vec<(u64, String)> = st
+                .jobs
+                .iter()
+                .map(|(jid, j)| (*jid, j.tenant.clone()))
+                .collect();
+            jobs.push((id, tenant));
+            jobs
+        },
+    };
+    put_failed |= inner.store.put(index_key(), &index.encode()).is_err();
+    if put_failed {
+        inner.rec.add("serve.store.put_failed", 1);
+    }
+    st.jobs.insert(id, job);
+    st.order.push(id);
+    drop(st);
+    inner.rec.add("serve.jobs.submitted", 1);
+    inner.work.notify_all();
+    ok_line(&format!(
+        "\"job\":\"{}\",\"cells\":{total}",
+        render_job_id(id)
+    ))
+}
+
+fn handle_status(inner: &Arc<Inner>, req: &Value) -> String {
+    let mut st = inner.lock();
+    match job_from_req(req, &mut st) {
+        Ok((_, job)) => ok_line(&format!(
+            "\"phase\":\"{}\",\"done\":{},\"total\":{},\"failed\":{},\"retries\":{}",
+            job.phase.as_str(),
+            job.done_count,
+            job.total,
+            job.failures.len(),
+            job.retries
+        )),
+        Err(e) => err_line(&e),
+    }
+}
+
+fn handle_cancel(inner: &Arc<Inner>, req: &Value) -> String {
+    let mut st = inner.lock();
+    let resp = match job_from_req(req, &mut st) {
+        Ok((id, job)) => {
+            if job.phase.is_terminal() {
+                err_line(&format!("job is already {}", job.phase.as_str()))
+            } else {
+                job.cancelled = true;
+                job.pending.clear();
+                if job.inflight == 0 {
+                    inner.finish_cancel(id, job);
+                }
+                ok_line("\"cancelled\":true")
+            }
+        }
+        Err(e) => err_line(&e),
+    };
+    drop(st);
+    inner.work.notify_all();
+    resp
+}
+
+/// Re-assembles a terminal job's canonical campaign artifact from its
+/// durable records. Line-for-line the same bytes as
+/// [`pgss::CampaignReport::canonical_jsonl`] on an equivalent library
+/// run: header, cells in job order, failure ledger, per-cell scopes.
+fn assemble_report(inner: &Arc<Inner>, req: &Value) -> Result<Vec<String>, String> {
+    let mut st = inner.lock();
+    let (id, job) = job_from_req(req, &mut st)?;
+    if !job.phase.is_terminal() {
+        return Err(format!(
+            "job is {}; report needs a finished job",
+            job.phase.as_str()
+        ));
+    }
+    let (total, retries) = (job.total, job.retries);
+    let failures = job.failures.clone();
+    let mut cell_lines = Vec::new();
+    let mut scope_lines = Vec::new();
+    for i in 0..total {
+        let bytes = match inner
+            .store
+            .get_checked(job_key(JobRecordKind::Cell, id, i as u64))
+        {
+            Ok(b) => b,
+            Err(RecordError::Missing) => continue,
+            Err(e) => return Err(format!("cell {i} record unreadable: {e:?}")),
+        };
+        let (cell, mut frame) =
+            wire::decode_cell_record(&bytes).map_err(|e| format!("cell {i} corrupt: {e}"))?;
+        annotate_cell_frame(&cell, &mut frame);
+        scope_lines.push(scope_line(
+            &format!("{}/{}", cell.workload, cell.technique),
+            &frame,
+        ));
+        cell_lines.push(wire::canonical_cell_line(&cell));
+    }
+    let mut lines = Vec::with_capacity(1 + cell_lines.len() * 2 + failures.len());
+    lines.push(wire::canonical_header(
+        cell_lines.len(),
+        failures.len(),
+        retries,
+    ));
+    lines.extend(cell_lines);
+    for f in &failures {
+        lines.push(wire::canonical_failure_line(
+            f.job_index,
+            &f.workload,
+            &f.technique,
+            f.attempts,
+            &f.error,
+        ));
+    }
+    lines.extend(scope_lines);
+    Ok(lines)
+}
+
+fn handle_watch(inner: &Arc<Inner>, req: &Value, w: &mut Stream) -> io::Result<()> {
+    let (rx, replay) = {
+        let mut st = inner.lock();
+        let (id, job) = match job_from_req(req, &mut st) {
+            Ok(x) => x,
+            Err(e) => return write_line(w, &err_line(&e)),
+        };
+        // Replay what already finished, in job order, before going live.
+        let mut replay = Vec::new();
+        let done_count = job.done_count;
+        let total = job.total;
+        let done = job.done.clone();
+        for (i, is_done) in done.iter().enumerate() {
+            if !is_done {
+                continue;
+            }
+            if let Ok(bytes) = inner
+                .store
+                .get_checked(job_key(JobRecordKind::Cell, id, i as u64))
+            {
+                if let Ok((cell, mut frame)) = wire::decode_cell_record(&bytes) {
+                    annotate_cell_frame(&cell, &mut frame);
+                    replay.push(inner.event_line(id, i, &cell, &frame, done_count, total));
+                }
+            }
+        }
+        inner.rec.add("serve.cells.streamed", replay.len() as u64);
+        let Some(job) = st.jobs.get_mut(&id) else {
+            return write_line(w, &err_line("job vanished"));
+        };
+        if job.phase.is_terminal() {
+            let end = format!(
+                "{{\"ok\":true,\"event\":\"end\",\"phase\":\"{}\"}}",
+                job.phase.as_str()
+            );
+            drop(st);
+            for line in &replay {
+                write_line(w, line)?;
+            }
+            return write_line(w, &end);
+        }
+        let (tx, rx) = mpsc::channel();
+        job.watchers.push(tx);
+        (rx, replay)
+    };
+    for line in &replay {
+        write_line(w, line)?;
+    }
+    loop {
+        match rx.recv() {
+            Ok(WatchMsg::Event(line)) => write_line(w, &line)?,
+            Ok(WatchMsg::End(line)) => return write_line(w, &line),
+            // Sender dropped without an end event: server shutting down.
+            Err(_) => {
+                return write_line(w, "{\"ok\":true,\"event\":\"end\",\"phase\":\"detached\"}")
+            }
+        }
+    }
+}

@@ -1,0 +1,587 @@
+//! Campaign specifications: what a client submits, validated, canonically
+//! encoded (for durable records and job-id digests), and materialised
+//! into the workloads / techniques / machine configurations a campaign
+//! actually runs.
+//!
+//! A spec is a *grid*: `suite × configs × techniques`, flattened in
+//! workload-major order (for each workload, for each configuration, every
+//! technique). With a single configuration this is exactly the order of
+//! [`pgss::campaign::grid`], which is what makes a server-side run
+//! byte-comparable to a direct library run of the same grid.
+
+use pgss::{
+    AdaptivePgss, FullDetailed, OnlineSimPoint, PgssSim, SimPointOffline, Smarts, Technique,
+    TurboSmarts,
+};
+use pgss_ckpt::{CodecError, Decoder, Encoder};
+use pgss_cpu::MachineConfig;
+use pgss_workloads::Workload;
+
+use crate::json::Value;
+
+/// One technique of the grid: a named kind plus the parameter overrides
+/// the protocol exposes (everything else keeps the paper's defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TechSpec {
+    /// [`Smarts`] with an optional sampling-period override.
+    Smarts {
+        /// `period_ops` override.
+        period_ops: Option<u64>,
+    },
+    /// [`TurboSmarts`] with an optional sampling-period override.
+    TurboSmarts {
+        /// `smarts.period_ops` override.
+        period_ops: Option<u64>,
+    },
+    /// [`PgssSim`] with optional fast-forward / spacing overrides.
+    Pgss {
+        /// `ff_ops` override.
+        ff_ops: Option<u64>,
+        /// `spacing_ops` override.
+        spacing_ops: Option<u64>,
+    },
+    /// [`AdaptivePgss`] with the paper's defaults.
+    AdaptivePgss,
+    /// [`SimPointOffline`] with optional interval / cluster overrides.
+    SimPoint {
+        /// `interval_ops` override.
+        interval_ops: Option<u64>,
+        /// `k` override.
+        k: Option<u64>,
+    },
+    /// [`OnlineSimPoint`] with an optional interval override.
+    OnlineSimPoint {
+        /// `interval_ops` override.
+        interval_ops: Option<u64>,
+    },
+    /// [`FullDetailed`] — the ground truth, at ground-truth cost.
+    Full,
+}
+
+impl TechSpec {
+    /// Builds the runnable technique this spec names.
+    pub fn build(&self) -> Box<dyn Technique + Send + Sync> {
+        match *self {
+            TechSpec::Smarts { period_ops } => Box::new(Smarts {
+                period_ops: period_ops.unwrap_or(Smarts::default().period_ops),
+                ..Smarts::default()
+            }),
+            TechSpec::TurboSmarts { period_ops } => Box::new(TurboSmarts {
+                smarts: Smarts {
+                    period_ops: period_ops.unwrap_or(Smarts::default().period_ops),
+                    ..Smarts::default()
+                },
+                ..TurboSmarts::default()
+            }),
+            TechSpec::Pgss {
+                ff_ops,
+                spacing_ops,
+            } => Box::new(PgssSim {
+                ff_ops: ff_ops.unwrap_or(PgssSim::default().ff_ops),
+                spacing_ops: spacing_ops.unwrap_or(PgssSim::default().spacing_ops),
+                ..PgssSim::default()
+            }),
+            TechSpec::AdaptivePgss => Box::new(AdaptivePgss::default()),
+            TechSpec::SimPoint { interval_ops, k } => Box::new(SimPointOffline {
+                interval_ops: interval_ops.unwrap_or(SimPointOffline::default().interval_ops),
+                k: k.map_or(SimPointOffline::default().k, |k| k as usize),
+                ..SimPointOffline::default()
+            }),
+            TechSpec::OnlineSimPoint { interval_ops } => Box::new(OnlineSimPoint {
+                interval_ops: interval_ops.unwrap_or(OnlineSimPoint::default().interval_ops),
+                ..OnlineSimPoint::default()
+            }),
+            TechSpec::Full => Box::new(FullDetailed::new()),
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            TechSpec::Smarts { .. } => 0,
+            TechSpec::TurboSmarts { .. } => 1,
+            TechSpec::Pgss { .. } => 2,
+            TechSpec::AdaptivePgss => 3,
+            TechSpec::SimPoint { .. } => 4,
+            TechSpec::OnlineSimPoint { .. } => 5,
+            TechSpec::Full => 6,
+        }
+    }
+
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u8(self.tag());
+        let opt = |e: &mut Encoder, v: Option<u64>| {
+            e.put_bool(v.is_some());
+            if let Some(v) = v {
+                e.put_u64(v);
+            }
+        };
+        match *self {
+            TechSpec::Smarts { period_ops } | TechSpec::TurboSmarts { period_ops } => {
+                opt(e, period_ops);
+            }
+            TechSpec::Pgss {
+                ff_ops,
+                spacing_ops,
+            } => {
+                opt(e, ff_ops);
+                opt(e, spacing_ops);
+            }
+            TechSpec::SimPoint { interval_ops, k } => {
+                opt(e, interval_ops);
+                opt(e, k);
+            }
+            TechSpec::OnlineSimPoint { interval_ops } => opt(e, interval_ops),
+            TechSpec::AdaptivePgss | TechSpec::Full => {}
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<TechSpec, CodecError> {
+        let opt = |d: &mut Decoder<'_>| -> Result<Option<u64>, CodecError> {
+            Ok(if d.get_bool()? {
+                Some(d.get_u64()?)
+            } else {
+                None
+            })
+        };
+        Ok(match d.get_u8()? {
+            0 => TechSpec::Smarts {
+                period_ops: opt(d)?,
+            },
+            1 => TechSpec::TurboSmarts {
+                period_ops: opt(d)?,
+            },
+            2 => TechSpec::Pgss {
+                ff_ops: opt(d)?,
+                spacing_ops: opt(d)?,
+            },
+            3 => TechSpec::AdaptivePgss,
+            4 => TechSpec::SimPoint {
+                interval_ops: opt(d)?,
+                k: opt(d)?,
+            },
+            5 => TechSpec::OnlineSimPoint {
+                interval_ops: opt(d)?,
+            },
+            6 => TechSpec::Full,
+            _ => return Err(CodecError::Malformed("unknown technique tag")),
+        })
+    }
+
+    fn from_json(v: &Value) -> Result<TechSpec, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("technique needs a \"kind\" string")?;
+        let u = |key: &str| -> Result<Option<u64>, String> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(x) => x.as_u64().map(Some).ok_or_else(|| {
+                    format!("technique field {key:?} must be a non-negative integer")
+                }),
+            }
+        };
+        match kind {
+            "smarts" => Ok(TechSpec::Smarts {
+                period_ops: u("period_ops")?,
+            }),
+            "turbo_smarts" => Ok(TechSpec::TurboSmarts {
+                period_ops: u("period_ops")?,
+            }),
+            "pgss" => Ok(TechSpec::Pgss {
+                ff_ops: u("ff_ops")?,
+                spacing_ops: u("spacing_ops")?,
+            }),
+            "adaptive_pgss" => Ok(TechSpec::AdaptivePgss),
+            "simpoint" => Ok(TechSpec::SimPoint {
+                interval_ops: u("interval_ops")?,
+                k: u("k")?,
+            }),
+            "online_simpoint" => Ok(TechSpec::OnlineSimPoint {
+                interval_ops: u("interval_ops")?,
+            }),
+            "full" => Ok(TechSpec::Full),
+            other => Err(format!("unknown technique kind {other:?}")),
+        }
+    }
+}
+
+/// One machine configuration of the grid: the default machine with the
+/// overrides a design-space sweep typically varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfigSpec {
+    /// `issue_width` override.
+    pub issue_width: Option<u32>,
+    /// `mshrs` override.
+    pub mshrs: Option<u32>,
+}
+
+impl ConfigSpec {
+    /// The concrete [`MachineConfig`] this spec describes.
+    pub fn build(&self) -> MachineConfig {
+        let mut c = MachineConfig::default();
+        if let Some(w) = self.issue_width {
+            c.issue_width = w;
+        }
+        if let Some(m) = self.mshrs {
+            c.mshrs = m;
+        }
+        c
+    }
+
+    fn encode(&self, e: &mut Encoder) {
+        let opt = |e: &mut Encoder, v: Option<u32>| {
+            e.put_bool(v.is_some());
+            if let Some(v) = v {
+                e.put_u32(v);
+            }
+        };
+        opt(e, self.issue_width);
+        opt(e, self.mshrs);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<ConfigSpec, CodecError> {
+        let opt = |d: &mut Decoder<'_>| -> Result<Option<u32>, CodecError> {
+            Ok(if d.get_bool()? {
+                Some(d.get_u32()?)
+            } else {
+                None
+            })
+        };
+        Ok(ConfigSpec {
+            issue_width: opt(d)?,
+            mshrs: opt(d)?,
+        })
+    }
+
+    fn from_json(v: &Value) -> Result<ConfigSpec, String> {
+        let u32_field = |key: &str| -> Result<Option<u32>, String> {
+            match v.get(key) {
+                None => Ok(None),
+                Some(x) => x
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .map(Some)
+                    .ok_or_else(|| format!("config field {key:?} must be a u32")),
+            }
+        };
+        Ok(ConfigSpec {
+            issue_width: u32_field("issue_width")?,
+            mshrs: u32_field("mshrs")?,
+        })
+    }
+}
+
+/// A validated campaign submission: the grid plus the checkpoint-ladder
+/// stride its groups share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// `(benchmark name, scale)` pairs; names must be known to
+    /// [`pgss_workloads::by_name`].
+    pub suite: Vec<(String, f64)>,
+    /// The techniques of the grid, in submission order.
+    pub techniques: Vec<TechSpec>,
+    /// The machine configurations of the grid; `[ConfigSpec::default()]`
+    /// when the submission omits them.
+    pub configs: Vec<ConfigSpec>,
+    /// Checkpoint-ladder rung stride in retired ops.
+    pub stride: u64,
+}
+
+impl CampaignSpec {
+    /// Parses and validates a submission's `"spec"` object.
+    pub fn from_json(v: &Value) -> Result<CampaignSpec, String> {
+        let suite_json = v
+            .get("suite")
+            .and_then(Value::as_arr)
+            .ok_or("spec needs a \"suite\" array")?;
+        let mut suite = Vec::new();
+        for w in suite_json {
+            let name = w
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("suite entry needs a \"name\" string")?;
+            let scale = w
+                .get("scale")
+                .and_then(Value::as_f64)
+                .ok_or("suite entry needs a numeric \"scale\"")?;
+            if !(scale > 0.0 && scale.is_finite()) {
+                return Err(format!("workload {name:?}: scale must be positive"));
+            }
+            if pgss_workloads::by_name(name, scale).is_none() {
+                return Err(format!("unknown workload {name:?}"));
+            }
+            suite.push((name.to_string(), scale));
+        }
+        if suite.is_empty() {
+            return Err("spec needs at least one workload".to_string());
+        }
+        let techs_json = v
+            .get("techniques")
+            .and_then(Value::as_arr)
+            .ok_or("spec needs a \"techniques\" array")?;
+        let techniques = techs_json
+            .iter()
+            .map(TechSpec::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if techniques.is_empty() {
+            return Err("spec needs at least one technique".to_string());
+        }
+        let configs = match v.get("configs") {
+            None => vec![ConfigSpec::default()],
+            Some(arr) => {
+                let arr = arr.as_arr().ok_or("\"configs\" must be an array")?;
+                if arr.is_empty() {
+                    return Err("\"configs\" must not be empty".to_string());
+                }
+                arr.iter()
+                    .map(ConfigSpec::from_json)
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        };
+        let stride = match v.get("stride") {
+            None => 1_000_000,
+            Some(s) => s.as_u64().ok_or("\"stride\" must be a positive integer")?,
+        };
+        if stride == 0 {
+            return Err("\"stride\" must be positive".to_string());
+        }
+        Ok(CampaignSpec {
+            suite,
+            techniques,
+            configs,
+            stride,
+        })
+    }
+
+    /// Canonical byte encoding: the digest input for job ids and the body
+    /// of the durable spec record. Equal specs encode equal bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u64(self.suite.len() as u64);
+        for (name, scale) in &self.suite {
+            e.put_str(name);
+            e.put_f64(*scale);
+        }
+        e.put_u64(self.techniques.len() as u64);
+        for t in &self.techniques {
+            t.encode(&mut e);
+        }
+        e.put_u64(self.configs.len() as u64);
+        for c in &self.configs {
+            c.encode(&mut e);
+        }
+        e.put_u64(self.stride);
+        e.into_bytes()
+    }
+
+    /// Decodes [`CampaignSpec::encode`]'s bytes.
+    pub fn decode(d: &mut Decoder<'_>) -> Result<CampaignSpec, CodecError> {
+        let n = d.get_u64()?;
+        if n > d.remaining() as u64 {
+            return Err(CodecError::Truncated);
+        }
+        let mut suite = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let name = d.get_str()?;
+            let scale = d.get_f64()?;
+            suite.push((name, scale));
+        }
+        let n = d.get_u64()?;
+        if n > d.remaining() as u64 {
+            return Err(CodecError::Truncated);
+        }
+        let mut techniques = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            techniques.push(TechSpec::decode(d)?);
+        }
+        let n = d.get_u64()?;
+        if n > d.remaining() as u64 {
+            return Err(CodecError::Truncated);
+        }
+        let mut configs = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            configs.push(ConfigSpec::decode(d)?);
+        }
+        Ok(CampaignSpec {
+            suite,
+            techniques,
+            configs,
+            stride: d.get_u64()?,
+        })
+    }
+
+    /// Cells in the grid: `suite × configs × techniques`.
+    pub fn cell_count(&self) -> usize {
+        self.suite.len() * self.configs.len() * self.techniques.len()
+    }
+
+    /// Instantiates the workloads and techniques this spec names.
+    ///
+    /// Fails only if a workload name became unknown between validation
+    /// and materialisation — possible when a spec record written by a
+    /// newer server is resumed by an older one.
+    pub fn materialize(&self) -> Result<Materialized, String> {
+        let mut workloads = Vec::with_capacity(self.suite.len());
+        for (name, scale) in &self.suite {
+            workloads.push(
+                pgss_workloads::by_name(name, *scale)
+                    .ok_or_else(|| format!("unknown workload {name:?}"))?,
+            );
+        }
+        Ok(Materialized {
+            workloads,
+            techniques: self.techniques.iter().map(TechSpec::build).collect(),
+            configs: self.configs.iter().map(ConfigSpec::build).collect(),
+            stride: self.stride,
+        })
+    }
+}
+
+/// A spec made runnable: owned workloads, boxed techniques, concrete
+/// machine configurations.
+pub struct Materialized {
+    /// Workloads, in suite order.
+    pub workloads: Vec<Workload>,
+    /// Techniques, in submission order.
+    pub techniques: Vec<Box<dyn Technique + Send + Sync>>,
+    /// Machine configurations, in submission order.
+    pub configs: Vec<MachineConfig>,
+    /// Checkpoint-ladder stride.
+    pub stride: u64,
+}
+
+impl Materialized {
+    /// The grid as [`pgss::Job`]s in canonical cell order: workload-major,
+    /// then configuration, then technique. With one configuration this is
+    /// [`pgss::campaign::grid`]'s order exactly.
+    pub fn jobs(&self) -> Vec<pgss::Job<'_>> {
+        let mut jobs =
+            Vec::with_capacity(self.workloads.len() * self.configs.len() * self.techniques.len());
+        for w in &self.workloads {
+            for c in &self.configs {
+                for t in &self.techniques {
+                    jobs.push(pgss::Job {
+                        workload: w,
+                        technique: &**t,
+                        config: *c,
+                    });
+                }
+            }
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> CampaignSpec {
+        let v = json::parse(
+            r#"{"suite":[{"name":"164.gzip","scale":0.01},{"name":"300.twolf","scale":0.01}],
+                "techniques":[{"kind":"smarts","period_ops":50000},{"kind":"pgss","ff_ops":50000,"spacing_ops":50000}],
+                "stride":50000}"#,
+        )
+        .unwrap();
+        CampaignSpec::from_json(&v).unwrap()
+    }
+
+    #[test]
+    fn parses_and_roundtrips() {
+        let spec = sample();
+        assert_eq!(spec.cell_count(), 4);
+        assert_eq!(spec.configs, vec![ConfigSpec::default()]);
+        let bytes = spec.encode();
+        let mut d = Decoder::new(&bytes);
+        let back = CampaignSpec::decode(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(spec, back);
+        assert_eq!(bytes, back.encode(), "canonical bytes are stable");
+    }
+
+    #[test]
+    fn jobs_match_library_grid_order() {
+        let spec = sample();
+        let m = spec.materialize().unwrap();
+        let jobs = m.jobs();
+        assert_eq!(jobs.len(), 4);
+        let techs: Vec<&(dyn Technique + Sync)> = m
+            .techniques
+            .iter()
+            .map(|t| &**t as &(dyn Technique + Sync))
+            .collect();
+        let grid = pgss::campaign::grid(&m.workloads, &techs, m.configs[0]);
+        for (a, b) in jobs.iter().zip(&grid) {
+            assert_eq!(a.workload.name(), b.workload.name());
+            assert_eq!(a.technique.name(), b.technique.name());
+            assert_eq!(a.config, b.config);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        for (doc, needle) in [
+            (r#"{"techniques":[{"kind":"full"}]}"#, "suite"),
+            (
+                r#"{"suite":[],"techniques":[{"kind":"full"}]}"#,
+                "at least one workload",
+            ),
+            (
+                r#"{"suite":[{"name":"nope","scale":0.01}],"techniques":[{"kind":"full"}]}"#,
+                "unknown workload",
+            ),
+            (
+                r#"{"suite":[{"name":"164.gzip","scale":0.01}],"techniques":[]}"#,
+                "at least one technique",
+            ),
+            (
+                r#"{"suite":[{"name":"164.gzip","scale":0.01}],"techniques":[{"kind":"warp"}]}"#,
+                "unknown technique",
+            ),
+            (
+                r#"{"suite":[{"name":"164.gzip","scale":0.01}],"techniques":[{"kind":"full"}],"stride":0}"#,
+                "stride",
+            ),
+            (
+                r#"{"suite":[{"name":"164.gzip","scale":-1}],"techniques":[{"kind":"full"}]}"#,
+                "scale",
+            ),
+            (
+                r#"{"suite":[{"name":"164.gzip","scale":0.01}],"techniques":[{"kind":"full"}],"configs":[]}"#,
+                "configs",
+            ),
+        ] {
+            let v = json::parse(doc).unwrap();
+            let err = CampaignSpec::from_json(&v).unwrap_err();
+            assert!(err.contains(needle), "{doc}: {err}");
+        }
+    }
+
+    #[test]
+    fn config_overrides_apply() {
+        let v = json::parse(
+            r#"{"suite":[{"name":"164.gzip","scale":0.01}],
+                "techniques":[{"kind":"full"}],
+                "configs":[{"issue_width":2},{"issue_width":8,"mshrs":16}]}"#,
+        )
+        .unwrap();
+        let spec = CampaignSpec::from_json(&v).unwrap();
+        assert_eq!(spec.cell_count(), 2);
+        let m = spec.materialize().unwrap();
+        assert_eq!(m.configs[0].issue_width, 2);
+        assert_eq!(m.configs[1].issue_width, 8);
+        assert_eq!(m.configs[1].mshrs, 16);
+        assert_eq!(m.configs[0].mshrs, MachineConfig::default().mshrs);
+    }
+
+    #[test]
+    fn corrupt_spec_bytes_are_rejected() {
+        let bytes = sample().encode();
+        for cut in [0, 3, bytes.len() / 2] {
+            let mut d = Decoder::new(&bytes[..cut]);
+            assert!(CampaignSpec::decode(&mut d).is_err());
+        }
+    }
+}

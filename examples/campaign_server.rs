@@ -1,0 +1,64 @@
+//! Campaign-as-a-service in one file: start an in-process `pgss-serve`
+//! daemon, submit a small suite × technique grid, stream per-cell
+//! results as they finish (out of order), and fetch the canonical
+//! campaign artifact at the end.
+//!
+//! ```sh
+//! cargo run --release --example campaign_server
+//! ```
+//!
+//! The same protocol works across processes: run the `pgss_serve` binary
+//! (`cargo run --release -p pgss-serve --bin pgss_serve -- --store DIR`)
+//! and point `Client::connect_tcp` at the printed address. Kill the
+//! daemon mid-campaign and restart it on the same store: the job resumes
+//! where it left off, never recomputing a finished cell.
+
+use pgss_serve::{Client, Listen, ServeConfig, Server};
+
+const SPEC: &str = r#"{
+    "suite":[{"name":"164.gzip","scale":0.01},{"name":"183.equake","scale":0.01}],
+    "techniques":[{"kind":"smarts","period_ops":100000},
+                  {"kind":"pgss","ff_ops":100000,"spacing_ops":200000}],
+    "stride":50000}"#;
+
+fn main() {
+    let store = std::env::temp_dir().join(format!("pgss-serve-example-{}", std::process::id()));
+
+    let cfg = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(&store, Listen::Tcp("127.0.0.1:0".into()), cfg)
+        .expect("server starts on an ephemeral port");
+    println!("server listening on {}", server.addr());
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let job = client.submit("example", SPEC).expect("submit");
+    println!("submitted job {job}");
+
+    // Watch streams completions as they happen — with two workers the
+    // indices arrive out of order; durability and the final artifact are
+    // unaffected.
+    let watcher = Client::connect(server.addr()).expect("connect watcher");
+    let phase = watcher
+        .watch(&job, |ev| {
+            println!(
+                "  cell {:>2} ({}/{})  {} × {}  ipc {:.4}",
+                ev.index, ev.done, ev.total, ev.workload, ev.technique, ev.ipc
+            );
+            true
+        })
+        .expect("watch");
+    println!("job finished: {phase}");
+
+    let report = client.report(&job).expect("report");
+    println!("canonical artifact ({} lines); header:", report.len());
+    println!("  {}", report[0]);
+
+    let metrics = client.metrics().expect("metrics");
+    println!("server metrics: {metrics}");
+
+    client.shutdown().expect("shutdown");
+    server.wait();
+    let _ = std::fs::remove_dir_all(&store);
+}

@@ -28,6 +28,12 @@ cargo test --release --test statistical_validation -q
 echo "== metrics goldens (JSONL byte-identical across worker counts, schema pin)"
 cargo test --release --test metrics_golden -q
 
+echo "== campaign server (pgss-serve: SIGKILL resume, quotas, byte-identical reports)"
+# Timeout-wrapped: a scheduler wedge in the daemon would otherwise hang
+# the whole gate instead of failing it.
+timeout 1800 cargo test --release -p pgss-serve -q
+timeout 1800 cargo test --release --test serve_resilience --test serve_equivalence -q
+
 echo "== pgss-stats property tests (merge algebra behind the metrics layer)"
 cargo test --release -p pgss-stats --test properties -q
 

@@ -6,3 +6,4 @@
 //! the member crates; the most useful entry point is the [`pgss`] crate.
 
 pub use pgss;
+pub use pgss_serve;

@@ -3,6 +3,8 @@
 //! reruns and across `PGSS_WORKERS` settings, with a pinned schema. Tools
 //! downstream (experiment logs, diffing, dashboards) rely on both.
 
+mod util;
+
 use pgss::{campaign, MetricsRecorder, MetricsReport, PgssSim, Recorder, Smarts, Technique};
 use pgss_cpu::MachineConfig;
 
@@ -53,6 +55,84 @@ fn jsonl_is_byte_identical_across_worker_counts_and_reruns() {
 #[test]
 fn schema_version_is_pinned() {
     assert_eq!(pgss::METRICS_SCHEMA_VERSION, METRICS_SCHEMA_VERSION);
+}
+
+/// The campaign server's own observability rides the same pinned
+/// schema: scope `serve`, a `"v"`-tagged line, and a pinned
+/// `serve.jobs.*` / `serve.cells.*` counter vocabulary plus the
+/// `serve.job.run` span. New counters are a deliberate schema change —
+/// extend the pinned list here when adding one.
+#[test]
+fn serve_scope_schema_is_pinned() {
+    use pgss_serve::{json, Client, Listen, ServeConfig, Server};
+
+    let tmp = util::TempDir::new("pgss-serve-schema");
+    let cfg = ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(tmp.path(), Listen::Tcp("127.0.0.1:0".into()), cfg).unwrap();
+    let addr = server.addr().clone();
+    let job = Client::connect(&addr)
+        .unwrap()
+        .submit(
+            "pin",
+            r#"{"suite":[{"name":"164.gzip","scale":0.003}],
+                "techniques":[{"kind":"smarts","period_ops":50000}],"stride":50000}"#,
+        )
+        .unwrap();
+    let mut events = 0;
+    let phase = Client::connect(&addr)
+        .unwrap()
+        .watch(&job, |_| {
+            events += 1;
+            true
+        })
+        .unwrap();
+    assert_eq!(phase, "done");
+    assert_eq!(events, 1, "one cell, one stream event");
+    let line = Client::connect(&addr).unwrap().metrics().unwrap();
+    server.stop();
+
+    assert!(
+        line.starts_with(&format!(
+            "{{\"v\":{METRICS_SCHEMA_VERSION},\"scope\":\"serve\","
+        )),
+        "serve metrics line left the pinned schema: {line}"
+    );
+    let v = json::parse(&line).unwrap();
+    let json::Value::Obj(counters) = v.get("counters").unwrap() else {
+        panic!("no counters object: {line}")
+    };
+    let serve_keys: Vec<&str> = counters
+        .keys()
+        .filter(|k| k.starts_with("serve."))
+        .map(String::as_str)
+        .collect();
+    assert_eq!(
+        serve_keys,
+        [
+            "serve.cells.executed",
+            "serve.cells.streamed",
+            "serve.jobs.completed",
+            "serve.jobs.submitted",
+        ],
+        "pinned serve counter vocabulary changed: {line}"
+    );
+    for key in &serve_keys {
+        assert_eq!(
+            counters[*key].as_u64(),
+            Some(1),
+            "one-job one-cell scenario: {key} should be exactly 1"
+        );
+    }
+    let json::Value::Obj(spans) = v.get("spans").unwrap() else {
+        panic!("no spans object: {line}")
+    };
+    assert!(
+        spans.contains_key("serve.job.run"),
+        "per-job span missing: {line}"
+    );
 }
 
 /// Pins the exact JSONL encoding of a hand-built frame, the way

@@ -1,0 +1,96 @@
+//! Server/library equivalence: a campaign grid run through `pgss-serve`
+//! — any worker count, out-of-order completion, and one injected server
+//! restart in the middle — must reassemble to the **byte-identical**
+//! canonical campaign artifact the library's
+//! [`pgss::CampaignReport::canonical_jsonl`] produces for the same grid.
+//!
+//! This is the subsystem's core promise: the daemon adds durability and
+//! streaming without perturbing a single result bit.
+
+mod util;
+
+use pgss::{campaign, CampaignConfig};
+use pgss_ckpt::Store;
+use pgss_serve::{json, CampaignSpec, Client, Listen, ServeConfig, Server};
+
+const SPEC_JSON: &str = r#"{
+    "suite":[{"name":"164.gzip","scale":0.01},{"name":"183.equake","scale":0.01}],
+    "techniques":[{"kind":"smarts","period_ops":100000},
+                  {"kind":"pgss","ff_ops":100000,"spacing_ops":200000}],
+    "stride":50000}"#;
+
+fn library_artifact() -> String {
+    let tmp = util::TempDir::new("pgss-serve-equiv-lib");
+    let store = Store::open(tmp.path()).unwrap();
+    let value = json::parse(SPEC_JSON).unwrap();
+    let spec = CampaignSpec::from_json(&value).unwrap();
+    let stride = spec.stride;
+    let mat = spec.materialize().unwrap();
+    let jobs = mat.jobs();
+    let config = CampaignConfig::with_workers(2);
+    let report = campaign::run_checkpointed_with(&jobs, stride, Some(&store), &config).unwrap();
+    report.canonical_jsonl()
+}
+
+fn wait_for_phase(addr: &pgss_serve::BoundAddr, job: &str, want: &str) -> pgss_serve::JobStatus {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(300);
+    loop {
+        let mut c = Client::connect(addr).unwrap();
+        let status = c.status(job).unwrap();
+        if status.phase == want {
+            return status;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job never reached {want:?}; stuck at {status:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn server_report_is_byte_identical_to_library_artifact() {
+    let expected = library_artifact();
+
+    let tmp = util::TempDir::new("pgss-serve-equiv-srv");
+    let cfg = ServeConfig {
+        workers: 3,
+        ..ServeConfig::default()
+    };
+
+    // Phase 1: submit, let at least one cell land, then stop the server
+    // mid-campaign (the durable store is the only thing that survives).
+    let server = Server::start(tmp.path(), Listen::Tcp("127.0.0.1:0".into()), cfg.clone()).unwrap();
+    let addr = server.addr().clone();
+    let mut client = Client::connect(&addr).unwrap();
+    let job = client.submit("equiv", SPEC_JSON).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(300);
+    loop {
+        let status = Client::connect(&addr).unwrap().status(&job).unwrap();
+        if status.done >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no cell ever finished"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    server.stop();
+
+    // Phase 2: a fresh server on the same store resumes the job and
+    // finishes the remaining cells.
+    let server = Server::start(tmp.path(), Listen::Tcp("127.0.0.1:0".into()), cfg).unwrap();
+    let addr = server.addr().clone();
+    wait_for_phase(&addr, &job, "done");
+
+    let lines = Client::connect(&addr).unwrap().report(&job).unwrap();
+    let mut actual = lines.join("\n");
+    actual.push('\n');
+    server.stop();
+
+    assert_eq!(
+        actual, expected,
+        "server-assembled artifact diverged from the library's"
+    );
+}
