@@ -38,9 +38,11 @@
 
 mod full;
 mod hashed;
+mod mav;
 
 pub use full::{FullBbv, FullBbvTracker};
 pub use hashed::{BbvHash, HashedBbv, HashedBbvTracker, HASHED_BBV_DIM};
+pub use mav::{MavTracker, MAV_REGIONS};
 
 /// Angle in radians between two non-negative vectors after L2
 /// normalisation: `acos(a·b / (‖a‖‖b‖))`, clamped into `[0, π/2]`.

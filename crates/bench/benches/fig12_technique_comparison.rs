@@ -15,7 +15,10 @@
 
 use std::ops::Range;
 
-use pgss::{campaign, OnlineSimPoint, PgssSim, SimPointOffline, Smarts, Technique, TurboSmarts};
+use pgss::{
+    campaign, OnlineSimPoint, PgssSim, RankedSet, Signature, SimPointOffline, Smarts, Technique,
+    TurboSmarts, TwoPhaseStratified,
+};
 use pgss_bench::{banner, cached_ground_truth, ops_fmt, pct, suite, Table};
 use pgss_cpu::MachineConfig;
 
@@ -70,6 +73,15 @@ fn main() {
         })
         .collect();
 
+    // The PR-8 estimators at their defaults, plus PGSS on the MAV
+    // signature — one cell each, compared against the sweeps' best.
+    let two_phase = TwoPhaseStratified::default();
+    let ranked = RankedSet::default();
+    let pgss_mav = PgssSim {
+        signature: Signature::Mav,
+        ..PgssSim::default()
+    };
+
     let mut techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &turbo];
     let sp_start = techs.len();
     techs.extend(simpoints.iter().map(|t| t as &(dyn Technique + Sync)));
@@ -80,6 +92,10 @@ fn main() {
     let pgss_start = techs.len();
     techs.extend(pgsss.iter().map(|t| t as &(dyn Technique + Sync)));
     let pgss_range = pgss_start..techs.len();
+    let extra_start = techs.len();
+    techs.push(&two_phase);
+    techs.push(&ranked);
+    techs.push(&pgss_mav);
     // The fixed best-overall configurations are members of their sweeps.
     let index_of = |range: &Range<usize>, name: &str| {
         range
@@ -131,6 +147,18 @@ fn main() {
         Column {
             name: "PGSS(1M/.05)",
             select: pgss_fixed..pgss_fixed + 1,
+        },
+        Column {
+            name: "TwoPhase(1M/b60)",
+            select: extra_start..extra_start + 1,
+        },
+        Column {
+            name: "RankedSet(1M/r2x5)",
+            select: extra_start + 1..extra_start + 2,
+        },
+        Column {
+            name: "PGSS-MAV(1M/.05)",
+            select: extra_start + 2..extra_start + 3,
         },
     ];
 
@@ -252,7 +280,10 @@ fn main() {
 
     // The paper's headline ratios.
     let mean_det = |c: usize| detailed[c].iter().sum::<u64>() as f64 / detailed[c].len() as f64;
-    let pgss_fixed_col = columns.len() - 1;
+    let pgss_fixed_col = columns
+        .iter()
+        .position(|c| c.name == "PGSS(1M/.05)")
+        .expect("fixed PGSS column exists");
     println!("\ndetailed-simulation ratios vs PGSS(1M/.05):");
     for (c, col) in columns.iter().enumerate() {
         if c != pgss_fixed_col {

@@ -12,7 +12,10 @@
 //! cargo run --release -p pgss-bench --bin campaign_metrics -- --jsonl metrics.jsonl
 //! ```
 
-use pgss::{campaign, OnlineSimPoint, PgssSim, SimPointOffline, Smarts, Technique, TurboSmarts};
+use pgss::{
+    campaign, OnlineSimPoint, PgssSim, RankedSet, Signature, SimPointOffline, Smarts, Technique,
+    TurboSmarts, TwoPhaseStratified,
+};
 use pgss_bench::{banner, ops_fmt, pct, suite, Table};
 use pgss_cpu::MachineConfig;
 
@@ -35,7 +38,15 @@ fn main() {
     };
     let olsp = OnlineSimPoint::new();
     let pgss = PgssSim::new();
-    let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &turbo, &simpoint, &olsp, &pgss];
+    let two_phase = TwoPhaseStratified::default();
+    let ranked = RankedSet::default();
+    let pgss_mav = PgssSim {
+        signature: Signature::Mav,
+        ..PgssSim::default()
+    };
+    let techs: Vec<&(dyn Technique + Sync)> = vec![
+        &smarts, &turbo, &simpoint, &olsp, &pgss, &two_phase, &ranked, &pgss_mav,
+    ];
 
     let workloads = suite();
     let jobs = campaign::grid(&workloads, &techs, MachineConfig::default());

@@ -43,7 +43,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use pgss_bbv::{BbvHash, FullBbv, FullBbvTracker, HashedBbv, HashedBbvTracker};
+use pgss_bbv::{BbvHash, FullBbv, FullBbvTracker, HashedBbv, HashedBbvTracker, MavTracker};
 use pgss_cpu::{Machine, MachineConfig, MachineFault, MachineSnapshot, Mode, ModeOps};
 use pgss_obs::{Recorder, Span};
 use pgss_workloads::Workload;
@@ -84,6 +84,56 @@ pub enum Track {
     Hashed(u64),
     /// SimPoint-style full per-static-block BBVs.
     Full,
+    /// Memory Access Vectors: per-interval counts of data accesses binned
+    /// into 32 memory regions ([`pgss_bbv::MavTracker`]). The vector is
+    /// [`HashedBbv`]-shaped and delivered as [`Bbv::Hashed`], so phase
+    /// tables and clustering consume either signature unchanged.
+    Mav,
+}
+
+/// Which phase-signature family a phase-aware technique collects —
+/// selectable per technique so offline/online SimPoint and PGSS can each
+/// run on either control-flow or data-access signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Signature {
+    /// The technique's native basic-block-vector signature: the paper's
+    /// hashed branch BBV for the online techniques, the full
+    /// per-static-block BBV for offline SimPoint.
+    #[default]
+    Bbv,
+    /// Memory Access Vector ([`Track::Mav`]): phases distinguished by
+    /// which memory regions the program touches rather than which
+    /// branches it takes.
+    Mav,
+}
+
+impl Signature {
+    /// The driver track for a hashed-BBV-native (online) technique whose
+    /// hash seed is `seed`.
+    pub fn hashed_track(self, seed: u64) -> Track {
+        match self {
+            Signature::Bbv => Track::Hashed(seed),
+            Signature::Mav => Track::Mav,
+        }
+    }
+
+    /// The driver track for a full-BBV-native (offline SimPoint) profile
+    /// pass.
+    pub fn full_track(self) -> Track {
+        match self {
+            Signature::Bbv => Track::Full,
+            Signature::Mav => Track::Mav,
+        }
+    }
+
+    /// Technique-name suffix distinguishing the MAV variant (`""` or
+    /// `"-MAV"`), so default names stay byte-identical.
+    pub fn name_suffix(self) -> &'static str {
+        match self {
+            Signature::Bbv => "",
+            Signature::Mav => "-MAV",
+        }
+    }
 }
 
 /// One unit of execution: run up to `max_ops` retired instructions in
@@ -256,9 +306,13 @@ pub trait SamplingPolicy {
     fn observe(&mut self, outcome: &SegmentOutcome, trace: &mut RunTrace);
 }
 
-/// The tracking sink composed into every segment execution: both trackers
+/// The tracking sink composed into every segment execution: all trackers
 /// optional, so one monomorphized `run_with` path covers all techniques.
-type TrackSink = (Option<HashedBbvTracker>, Option<FullBbvTracker>);
+type TrackSink = (
+    Option<HashedBbvTracker>,
+    Option<FullBbvTracker>,
+    Option<MavTracker>,
+);
 
 /// Everything needed to resume a driver pass exactly where another left
 /// off: the machine's architectural and warm state, the retired-op
@@ -276,7 +330,8 @@ pub struct DriverSnapshot {
     /// Cumulative retired instructions at the capture point.
     pub retired: u64,
     /// The hashed tracker's accumulated-but-untaken interval vector, when
-    /// the capturing driver tracked [`Track::Hashed`].
+    /// the capturing driver tracked [`Track::Hashed`] — or the MAV
+    /// tracker's (the MAV is [`HashedBbv`]-shaped) under [`Track::Mav`].
     pub hashed_current: Option<HashedBbv>,
     /// The full tracker's accumulated-but-untaken interval vector, when
     /// the capturing driver tracked [`Track::Full`].
@@ -324,9 +379,14 @@ impl SimDriver {
     pub fn new(workload: &Workload, config: &MachineConfig, track: Track) -> SimDriver {
         let machine = workload.machine_with(*config);
         let sink = match track {
-            Track::None => (None, None),
-            Track::Hashed(seed) => (Some(HashedBbvTracker::new(BbvHash::from_seed(seed))), None),
-            Track::Full => (None, Some(FullBbvTracker::new(workload.program()))),
+            Track::None => (None, None, None),
+            Track::Hashed(seed) => (
+                Some(HashedBbvTracker::new(BbvHash::from_seed(seed))),
+                None,
+                None,
+            ),
+            Track::Full => (None, Some(FullBbvTracker::new(workload.program())), None),
+            Track::Mav => (None, None, Some(MavTracker::new(machine.memory().len()))),
         };
         SimDriver {
             machine,
@@ -361,19 +421,26 @@ impl SimDriver {
         let mut d = SimDriver::new(workload, config, track);
         d.machine.restore(&snap.machine);
         d.retired = snap.retired;
-        if let (Some(t), _) = &mut d.sink {
+        if let (Some(t), _, _) = &mut d.sink {
             let cur = snap
                 .hashed_current
                 .as_ref()
                 .expect("snapshot lacks the hashed tracker state this track requires");
             t.set_current(*cur);
         }
-        if let (_, Some(t)) = &mut d.sink {
+        if let (_, Some(t), _) = &mut d.sink {
             let cur = snap
                 .full_current
                 .clone()
                 .expect("snapshot lacks the full tracker state this track requires");
             t.set_current(cur);
+        }
+        if let (_, _, Some(t)) = &mut d.sink {
+            let cur = snap
+                .hashed_current
+                .as_ref()
+                .expect("snapshot lacks the MAV tracker state this track requires");
+            t.set_current(*cur);
         }
         d
     }
@@ -384,7 +451,12 @@ impl SimDriver {
         DriverSnapshot {
             machine: self.machine.snapshot(),
             retired: self.retired,
-            hashed_current: self.sink.0.as_ref().map(|t| *t.current()),
+            hashed_current: self
+                .sink
+                .0
+                .as_ref()
+                .map(|t| *t.current())
+                .or_else(|| self.sink.2.as_ref().map(|t| *t.current())),
             full_current: self.sink.1.as_ref().map(|t| t.current().clone()),
         }
     }
@@ -409,6 +481,9 @@ impl SimDriver {
                 self.seed_idx.is_some()
             }
             Track::Full => ladder.has_full(),
+            // Ladders carry no region-access cumulatives, so MAV drivers
+            // charge executed ops but never jump.
+            Track::Mav => false,
         };
         self.jumps_ok = covers && (self.retired == 0 || matches!(self.track, Track::None));
         if self.jumps_ok {
@@ -484,11 +559,11 @@ impl SimDriver {
                         functional: pre.functional + skipped,
                         ..pre
                     });
-                    if let (Some(tr), _) = &mut self.sink {
+                    if let (Some(tr), _, _) = &mut self.sink {
                         let idx = self.seed_idx.expect("jumps_ok implies seed coverage");
                         tr.set_current(rung.hashed_cum[idx].diff(&self.hashed_taken));
                     }
-                    if let (_, Some(tr)) = &mut self.sink {
+                    if let (_, Some(tr), _) = &mut self.sink {
                         let cum = rung
                             .full_cum
                             .as_ref()
@@ -540,21 +615,22 @@ impl SimDriver {
         }
         let bbv = if segment.take_bbv {
             match &mut self.sink {
-                (Some(hashed), _) => {
+                (Some(hashed), _, _) => {
                     let v = hashed.take();
                     if self.jumps_ok {
                         self.hashed_taken.merge(&v);
                     }
                     Some(Bbv::Hashed(v))
                 }
-                (_, Some(full)) => {
+                (_, Some(full), _) => {
                     let v = full.take();
                     if let Some(taken) = &mut self.full_taken {
                         taken.merge(&v);
                     }
                     Some(Bbv::Full(v.normalized()))
                 }
-                (None, None) => {
+                (_, _, Some(mav)) => Some(Bbv::Hashed(mav.take())),
+                (None, None, None) => {
                     panic!("segment requested a BBV but the driver tracks nothing")
                 }
             }
@@ -759,6 +835,46 @@ mod tests {
         // defines it.
         let sum: f64 = row.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn mav_tracking_spans_segments_until_taken() {
+        let w = pgss_workloads::gzip(0.01);
+        let mut d = SimDriver::new(&w, &MachineConfig::default(), Track::Mav);
+        let mut p = Plan::new(vec![
+            Segment::new(Mode::Functional, 20_000),
+            Segment::with_bbv(Mode::Functional, 20_000),
+            Segment::with_bbv(Mode::Functional, 20_000),
+        ]);
+        d.run(&mut p);
+        assert!(p.outcomes[0].bbv.is_none());
+        let first = p.outcomes[1]
+            .bbv
+            .as_ref()
+            .expect("interval closed")
+            .hashed()
+            .total_ops();
+        let second = p.outcomes[2].bbv.as_ref().unwrap().hashed().total_ops();
+        // Accumulates across the untaken first segment, resets on take.
+        assert!(first > second, "first {first} vs second {second}");
+        assert!(second > 0, "gzip touches data memory every iteration");
+    }
+
+    #[test]
+    fn mav_snapshot_roundtrip_restores_tracker() {
+        let w = pgss_workloads::gzip(0.01);
+        let cfg = MachineConfig::default();
+        let mut a = SimDriver::new(&w, &cfg, Track::Mav);
+        a.execute(Segment::new(Mode::Functional, 25_000));
+        let snap = a.snapshot();
+        let mut b = SimDriver::from_snapshot(&w, &cfg, Track::Mav, &snap);
+        let oa = a.execute(Segment::with_bbv(Mode::Functional, 25_000));
+        let ob = b.execute(Segment::with_bbv(Mode::Functional, 25_000));
+        assert_eq!(
+            oa.bbv.as_ref().unwrap().hashed(),
+            ob.bbv.as_ref().unwrap().hashed(),
+            "snapshot carries the mid-interval MAV accumulator"
+        );
     }
 
     #[test]

@@ -26,6 +26,17 @@
 //!   online; SMARTS-style samples are taken only while a phase's own
 //!   confidence interval is unmet, with a spacing rule that spreads samples
 //!   across a phase's occurrences.
+//! * [`TwoPhaseStratified`] — two-phase stratified sampling (Ekman &
+//!   Stenström, ISPASS 2005): a pilot pass per phase stratum, then Neyman
+//!   allocation of the remaining detail budget by observed variance.
+//! * [`RankedSet`] — ranked-set sampling with repeated subsampling (ibid.):
+//!   intervals ranked by a cheap probe-CPI concomitant, rank-selected
+//!   representatives measured, replicate estimates averaged.
+//!
+//! The phase-aware techniques each accept a [`Signature`] selecting the
+//! phase signature they classify on: their native basic-block vector, or
+//! Memory Access Vectors ([`Track::Mav`]) that separate phases by data
+//! working set instead of control flow.
 //!
 //! Every technique returns an [`Estimate`] carrying the predicted IPC and
 //! the per-[`pgss_cpu::Mode`] instruction counts, so accuracy and cost can
@@ -66,10 +77,12 @@ mod full;
 mod online_simpoint;
 mod pgss_sim;
 mod phase;
+mod ranked_set;
 mod simpoint;
 mod smarts;
 pub mod timing;
 mod turbo;
+mod two_phase;
 pub mod wire;
 
 pub use adaptive::AdaptivePgss;
@@ -81,8 +94,8 @@ pub use ckpt::{
     CheckpointKey, CheckpointLadder, LadderReport, LadderSpec, SimContext, SNAPSHOT_FORMAT_VERSION,
 };
 pub use driver::{
-    Bbv, Directive, DriverSnapshot, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver,
-    Track,
+    Bbv, Directive, DriverSnapshot, RunTrace, SamplingPolicy, Segment, SegmentOutcome, Signature,
+    SimDriver, Track,
 };
 pub use estimate::{relative_error, Estimate, GroundTruth, PhaseSummary, Technique};
 // Observability surface: campaigns return `MetricsReport`s and drivers
@@ -94,9 +107,11 @@ pub use pgss_obs::{
 };
 pub use pgss_sim::PgssSim;
 pub use phase::{Classification, PhaseEntry, PhaseTable};
+pub use ranked_set::RankedSet;
 pub use simpoint::SimPointOffline;
 pub use smarts::Smarts;
 pub use turbo::TurboSmarts;
+pub use two_phase::TwoPhaseStratified;
 
 /// The paper's threshold notation: a fraction of π radians.
 ///

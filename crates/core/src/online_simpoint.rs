@@ -8,7 +8,7 @@ use pgss_workloads::Workload;
 
 use crate::ckpt::SimContext;
 use crate::driver::{
-    Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track,
+    Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, Signature, SimDriver, Track,
 };
 use crate::estimate::{Estimate, PhaseSummary, Technique};
 use crate::phase::PhaseTable;
@@ -49,6 +49,9 @@ pub struct OnlineSimPoint {
     pub threshold_rad: f64,
     /// Hash seed for the hashed BBV.
     pub hash_seed: u64,
+    /// Phase-signature family the oracle pass classifies on: the hashed
+    /// branch BBV (default) or Memory Access Vectors.
+    pub signature: Signature,
 }
 
 impl Default for OnlineSimPoint {
@@ -57,6 +60,7 @@ impl Default for OnlineSimPoint {
             interval_ops: 1_000_000,
             threshold_rad: crate::threshold(0.10),
             hash_seed: 0x0151,
+            signature: Signature::Bbv,
         }
     }
 }
@@ -147,7 +151,8 @@ impl SamplingPolicy for ChargedPolicy {
 impl Technique for OnlineSimPoint {
     fn name(&self) -> String {
         format!(
-            "OnlineSimPoint({}M/.{:02.0})",
+            "OnlineSimPoint{}({}M/.{:02.0})",
+            self.signature.name_suffix(),
             self.interval_ops / 1_000_000,
             self.threshold_rad / std::f64::consts::PI * 100.0
         )
@@ -162,7 +167,7 @@ impl Technique for OnlineSimPoint {
     }
 
     fn tracks(&self) -> Vec<Track> {
-        vec![Track::Hashed(self.hash_seed), Track::None]
+        vec![self.signature.hashed_track(self.hash_seed), Track::None]
     }
 
     fn run_traced_ctx(
@@ -175,7 +180,11 @@ impl Technique for OnlineSimPoint {
         let attach = |d: &mut SimDriver| ctx.bind(d);
         // Oracle pass (free, per the paper's perfect-predictor assumption):
         // classify every interval.
-        let mut oracle = SimDriver::new(workload, config, Track::Hashed(self.hash_seed));
+        let mut oracle = SimDriver::new(
+            workload,
+            config,
+            self.signature.hashed_track(self.hash_seed),
+        );
         attach(&mut oracle);
         let mut oracle_policy = OraclePolicy {
             interval_ops: self.interval_ops,

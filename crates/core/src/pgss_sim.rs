@@ -6,7 +6,7 @@ use pgss_workloads::Workload;
 
 use crate::ckpt::SimContext;
 use crate::driver::{
-    Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track,
+    Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, Signature, SimDriver, Track,
 };
 use crate::estimate::{Estimate, PhaseSummary, Technique};
 use crate::phase::PhaseTable;
@@ -77,6 +77,9 @@ pub struct PgssSim {
     pub spacing_ops: u64,
     /// Seed choosing the five hashed-BBV address bits.
     pub hash_seed: u64,
+    /// Phase-signature family the classifier runs on: the paper's hashed
+    /// branch BBV (default) or Memory Access Vectors.
+    pub signature: Signature,
 }
 
 impl Default for PgssSim {
@@ -91,6 +94,7 @@ impl Default for PgssSim {
             min_samples: 8,
             spacing_ops: 1_000_000,
             hash_seed: 0x5047_5353,
+            signature: Signature::Bbv,
         }
     }
 }
@@ -255,7 +259,8 @@ impl Technique for PgssSim {
             format!("{}k", self.ff_ops / 1_000)
         };
         format!(
-            "PGSS({}/.{:02.0})",
+            "PGSS{}({}/.{:02.0})",
+            self.signature.name_suffix(),
             period,
             self.threshold_rad / std::f64::consts::PI * 100.0
         )
@@ -270,7 +275,7 @@ impl Technique for PgssSim {
     }
 
     fn tracks(&self) -> Vec<Track> {
-        vec![Track::Hashed(self.hash_seed)]
+        vec![self.signature.hashed_track(self.hash_seed)]
     }
 
     fn run_traced_ctx(
@@ -283,7 +288,11 @@ impl Technique for PgssSim {
             self.unit_ops > 0 && self.ff_ops > 0,
             "unit_ops and ff_ops must be positive"
         );
-        let mut driver = SimDriver::new(workload, config, Track::Hashed(self.hash_seed));
+        let mut driver = SimDriver::new(
+            workload,
+            config,
+            self.signature.hashed_track(self.hash_seed),
+        );
         ctx.bind(&mut driver);
         let mut policy = PgssPolicy::new(*self);
         driver.run(&mut policy);

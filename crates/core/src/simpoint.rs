@@ -9,7 +9,7 @@ use pgss_workloads::Workload;
 
 use crate::ckpt::SimContext;
 use crate::driver::{
-    Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, SimDriver, Track,
+    Bbv, Directive, RunTrace, SamplingPolicy, Segment, SegmentOutcome, Signature, SimDriver, Track,
 };
 use crate::estimate::{Estimate, PhaseSummary, Technique};
 
@@ -47,6 +47,9 @@ pub struct SimPointOffline {
     pub projected_dims: usize,
     /// Seed for projection and clustering.
     pub seed: u64,
+    /// Profile-pass signature: the full per-static-block BBV (default) or
+    /// Memory Access Vectors.
+    pub signature: Signature,
 }
 
 impl Default for SimPointOffline {
@@ -56,6 +59,7 @@ impl Default for SimPointOffline {
             k: 10,
             projected_dims: 15,
             seed: 0x5150,
+            signature: Signature::Bbv,
         }
     }
 }
@@ -80,7 +84,7 @@ impl SimPointOffline {
         ctx: &SimContext,
     ) -> (Vec<Vec<f64>>, ModeOps, RunTrace) {
         assert!(self.interval_ops > 0, "interval_ops must be positive");
-        let mut driver = SimDriver::new(workload, config, Track::Full);
+        let mut driver = SimDriver::new(workload, config, self.signature.full_track());
         ctx.bind(&mut driver);
         let mut policy = ProfilePolicy {
             interval_ops: self.interval_ops,
@@ -111,14 +115,13 @@ impl SamplingPolicy for ProfilePolicy {
     fn observe(&mut self, outcome: &SegmentOutcome, _trace: &mut RunTrace) {
         // Keep only complete intervals, as SimPoint does.
         if outcome.complete() {
-            self.rows.push(
-                outcome
-                    .bbv
-                    .as_ref()
-                    .expect("profile intervals close a BBV")
-                    .full()
-                    .to_vec(),
-            );
+            let row = match outcome.bbv.as_ref().expect("profile intervals close a BBV") {
+                Bbv::Full(v) => v.clone(),
+                // MAV intervals arrive hashed-BBV-shaped; L2-normalise so
+                // clustering sees rates, not interval lengths.
+                Bbv::Hashed(h) => h.normalized().to_vec(),
+            };
+            self.rows.push(row);
         }
         if outcome.halted || outcome.ops == 0 {
             self.done = true;
@@ -170,7 +173,12 @@ impl SamplingPolicy for ReplayPolicy {
 
 impl Technique for SimPointOffline {
     fn name(&self) -> String {
-        format!("SimPoint({}x{}M)", self.k, self.interval_ops / 1_000_000)
+        format!(
+            "SimPoint{}({}x{}M)",
+            self.signature.name_suffix(),
+            self.k,
+            self.interval_ops / 1_000_000
+        )
     }
 
     fn run_with(&self, workload: &Workload, config: &MachineConfig) -> Estimate {
@@ -182,7 +190,7 @@ impl Technique for SimPointOffline {
     }
 
     fn tracks(&self) -> Vec<Track> {
-        vec![Track::Full, Track::None]
+        vec![self.signature.full_track(), Track::None]
     }
 
     fn run_traced_ctx(
@@ -267,6 +275,7 @@ mod tests {
             k: 5,
             projected_dims: 15,
             seed: 1,
+            ..SimPointOffline::default()
         }
     }
 

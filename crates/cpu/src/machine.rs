@@ -648,7 +648,11 @@ impl Machine {
     // shape, operator folded in), not a redundant call.
     #[allow(clippy::redundant_closure_call)]
     #[inline(always)]
-    fn exec_straight<const DETAILED: bool, const WARM: bool>(&mut self, op: DecodedOp) {
+    fn exec_straight<const DETAILED: bool, const WARM: bool, S: RetireSink>(
+        &mut self,
+        op: DecodedOp,
+        sink: &mut S,
+    ) {
         // `a` indexes the padded 64-slot file (dests may be R0_SINK);
         // `ra` is its 32-slot scoreboard alias; sources are always < 32.
         let a = (op.a & 63) as usize;
@@ -731,6 +735,7 @@ impl Machine {
             OpKind::FDiv => frr!(|x: f64, y: f64| x / y),
             OpKind::Load => {
                 let addr = self.effective(b, op.imm);
+                sink.data_access(addr);
                 self.regs[a] = self.mem[addr as usize];
                 if DETAILED {
                     let l = self.memsys.load_latency_fast(addr * 8);
@@ -742,6 +747,7 @@ impl Machine {
             }
             OpKind::Store => {
                 let addr = self.effective(b, op.imm);
+                sink.data_access(addr);
                 self.mem[addr as usize] = self.regs[c];
                 if DETAILED {
                     let ready = self.reg_ready[c].max(self.reg_ready[b]);
@@ -753,6 +759,7 @@ impl Machine {
             }
             OpKind::FLoad => {
                 let addr = self.effective(b, op.imm);
+                sink.data_access(addr);
                 self.fregs[ra] = f64::from_bits(self.mem[addr as usize] as u64);
                 if DETAILED {
                     let l = self.memsys.load_latency_fast(addr * 8);
@@ -764,6 +771,7 @@ impl Machine {
             }
             OpKind::FStore => {
                 let addr = self.effective(b, op.imm);
+                sink.data_access(addr);
                 self.mem[addr as usize] = self.fregs[c].to_bits() as i64;
                 if DETAILED {
                     let ready = self.reg_ready[32 + c].max(self.reg_ready[b]);
@@ -843,7 +851,7 @@ impl Machine {
                         run - i
                     };
                     for &op in &all_ops[cur as usize..(cur + chunk) as usize] {
-                        self.exec_straight::<DETAILED, WARM>(op);
+                        self.exec_straight::<DETAILED, WARM, S>(op, sink);
                     }
                     i += chunk;
                 }

@@ -350,6 +350,7 @@ impl ReferenceMachine {
                 }
                 Instr::Load { rd, base, offset } => {
                     let addr = self.effective(base.index(), offset);
+                    sink.data_access(addr);
                     let value = self.mem[addr as usize];
                     self.write_reg(rd.index(), value);
                     if DETAILED {
@@ -362,6 +363,7 @@ impl ReferenceMachine {
                 }
                 Instr::Store { rs, base, offset } => {
                     let addr = self.effective(base.index(), offset);
+                    sink.data_access(addr);
                     self.mem[addr as usize] = self.regs[rs.index()];
                     if DETAILED {
                         let ready = self.reg_ready[rs.index()].max(self.reg_ready[base.index()]);
@@ -373,6 +375,7 @@ impl ReferenceMachine {
                 }
                 Instr::FLoad { fd, base, offset } => {
                     let addr = self.effective(base.index(), offset);
+                    sink.data_access(addr);
                     self.fregs[fd.index()] = f64::from_bits(self.mem[addr as usize] as u64);
                     if DETAILED {
                         let l = self.memsys.load_latency(addr * 8);
@@ -384,6 +387,7 @@ impl ReferenceMachine {
                 }
                 Instr::FStore { fs, base, offset } => {
                     let addr = self.effective(base.index(), offset);
+                    sink.data_access(addr);
                     self.mem[addr as usize] = self.fregs[fs.index()].to_bits() as i64;
                     if DETAILED {
                         let ready =

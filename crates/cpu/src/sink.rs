@@ -38,6 +38,16 @@ pub trait RetireSink {
             self.retire(start_pc + k);
         }
     }
+
+    /// Called when a data-memory access (load or store, integer or FP)
+    /// retires, with its *word* address — post effective-address wrap, so
+    /// always within the machine's memory. Memory-Access-Vector trackers
+    /// bin these addresses into coarse regions to form an alternative
+    /// phase signature; every other sink leaves the default no-op body.
+    #[inline]
+    fn data_access(&mut self, addr: u64) {
+        let _ = addr;
+    }
 }
 
 /// A sink that ignores every event; the default for [`crate::Machine::run`].
@@ -64,6 +74,11 @@ impl<S: RetireSink + ?Sized> RetireSink for &mut S {
     fn retire_run(&mut self, start_pc: u32, len: u32) {
         (**self).retire_run(start_pc, len);
     }
+
+    #[inline]
+    fn data_access(&mut self, addr: u64) {
+        (**self).data_access(addr);
+    }
 }
 
 /// Sinks compose: a pair delivers every event to both members, so BBV
@@ -87,6 +102,44 @@ impl<A: RetireSink, B: RetireSink> RetireSink for (A, B) {
     fn retire_run(&mut self, start_pc: u32, len: u32) {
         self.0.retire_run(start_pc, len);
         self.1.retire_run(start_pc, len);
+    }
+
+    #[inline]
+    fn data_access(&mut self, addr: u64) {
+        self.0.data_access(addr);
+        self.1.data_access(addr);
+    }
+}
+
+/// Triples compose the same way pairs do; the driver's track sink is one
+/// (hashed-BBV, full-BBV, MAV trackers, each optional).
+impl<A: RetireSink, B: RetireSink, C: RetireSink> RetireSink for (A, B, C) {
+    #[inline]
+    fn retire(&mut self, pc: u32) {
+        self.0.retire(pc);
+        self.1.retire(pc);
+        self.2.retire(pc);
+    }
+
+    #[inline]
+    fn taken_branch(&mut self, pc: u32, ops_since_last: u64) {
+        self.0.taken_branch(pc, ops_since_last);
+        self.1.taken_branch(pc, ops_since_last);
+        self.2.taken_branch(pc, ops_since_last);
+    }
+
+    #[inline]
+    fn retire_run(&mut self, start_pc: u32, len: u32) {
+        self.0.retire_run(start_pc, len);
+        self.1.retire_run(start_pc, len);
+        self.2.retire_run(start_pc, len);
+    }
+
+    #[inline]
+    fn data_access(&mut self, addr: u64) {
+        self.0.data_access(addr);
+        self.1.data_access(addr);
+        self.2.data_access(addr);
     }
 }
 
@@ -115,6 +168,13 @@ impl<S: RetireSink> RetireSink for Vec<S> {
             s.retire_run(start_pc, len);
         }
     }
+
+    #[inline]
+    fn data_access(&mut self, addr: u64) {
+        for s in self.iter_mut() {
+            s.data_access(addr);
+        }
+    }
 }
 
 /// An absent sink is a no-op, so "maybe track BBVs" is `Option<Tracker>`
@@ -141,6 +201,13 @@ impl<S: RetireSink> RetireSink for Option<S> {
             s.retire_run(start_pc, len);
         }
     }
+
+    #[inline]
+    fn data_access(&mut self, addr: u64) {
+        if let Some(s) = self {
+            s.data_access(addr);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +218,7 @@ mod tests {
     struct Counting {
         retired: u64,
         takens: Vec<(u32, u64)>,
+        accesses: Vec<u64>,
     }
 
     impl RetireSink for Counting {
@@ -159,6 +227,9 @@ mod tests {
         }
         fn taken_branch(&mut self, pc: u32, ops: u64) {
             self.takens.push((pc, ops));
+        }
+        fn data_access(&mut self, addr: u64) {
+            self.accesses.push(addr);
         }
     }
 
@@ -233,6 +304,34 @@ mod tests {
         v.retire_run(5, 2);
         assert_eq!(v[0].retired, 2);
         NoopSink.retire_run(0, 100);
+    }
+
+    #[test]
+    fn data_access_fans_out_like_other_events() {
+        NoopSink.data_access(7); // default body: no-op
+
+        let mut r = Counting::default();
+        (&mut r).data_access(1);
+        assert_eq!(r.accesses, vec![1]);
+
+        let mut pair = (Counting::default(), Counting::default());
+        pair.data_access(9);
+        assert_eq!(pair.0.accesses, vec![9]);
+        assert_eq!(pair.1.accesses, vec![9]);
+
+        let mut triple = (Counting::default(), NoopSink, Some(Counting::default()));
+        triple.data_access(4);
+        triple.data_access(5);
+        assert_eq!(triple.0.accesses, vec![4, 5]);
+        assert_eq!(triple.2.as_ref().unwrap().accesses, vec![4, 5]);
+
+        let mut v = vec![Counting::default(), Counting::default()];
+        v.data_access(2);
+        assert_eq!(v[0].accesses, vec![2]);
+        assert_eq!(v[1].accesses, vec![2]);
+
+        let mut none: Option<Counting> = None;
+        none.data_access(3); // harmless
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! byte-comparable to a direct library run of the same grid.
 
 use pgss::{
-    AdaptivePgss, FullDetailed, OnlineSimPoint, PgssSim, SimPointOffline, Smarts, Technique,
-    TurboSmarts,
+    AdaptivePgss, FullDetailed, OnlineSimPoint, PgssSim, RankedSet, Signature, SimPointOffline,
+    Smarts, Technique, TurboSmarts, TwoPhaseStratified,
 };
 use pgss_ckpt::{CodecError, Decoder, Encoder};
 use pgss_cpu::MachineConfig;
@@ -56,6 +56,28 @@ pub enum TechSpec {
     },
     /// [`FullDetailed`] — the ground truth, at ground-truth cost.
     Full,
+    /// [`TwoPhaseStratified`] with optional period / budget overrides.
+    TwoPhase {
+        /// `ff_ops` override.
+        ff_ops: Option<u64>,
+        /// `budget` override.
+        budget: Option<u64>,
+    },
+    /// [`RankedSet`] with optional period / replicate overrides.
+    RankedSet {
+        /// `ff_ops` override.
+        ff_ops: Option<u64>,
+        /// `replicates` override.
+        replicates: Option<u64>,
+    },
+    /// [`PgssSim`] classifying on Memory Access Vectors instead of the
+    /// hashed branch BBV.
+    PgssMav {
+        /// `ff_ops` override.
+        ff_ops: Option<u64>,
+        /// `spacing_ops` override.
+        spacing_ops: Option<u64>,
+    },
 }
 
 impl TechSpec {
@@ -92,6 +114,25 @@ impl TechSpec {
                 ..OnlineSimPoint::default()
             }),
             TechSpec::Full => Box::new(FullDetailed::new()),
+            TechSpec::TwoPhase { ff_ops, budget } => Box::new(TwoPhaseStratified {
+                ff_ops: ff_ops.unwrap_or(TwoPhaseStratified::default().ff_ops),
+                budget: budget.unwrap_or(TwoPhaseStratified::default().budget),
+                ..TwoPhaseStratified::default()
+            }),
+            TechSpec::RankedSet { ff_ops, replicates } => Box::new(RankedSet {
+                ff_ops: ff_ops.unwrap_or(RankedSet::default().ff_ops),
+                replicates: replicates.unwrap_or(RankedSet::default().replicates),
+                ..RankedSet::default()
+            }),
+            TechSpec::PgssMav {
+                ff_ops,
+                spacing_ops,
+            } => Box::new(PgssSim {
+                ff_ops: ff_ops.unwrap_or(PgssSim::default().ff_ops),
+                spacing_ops: spacing_ops.unwrap_or(PgssSim::default().spacing_ops),
+                signature: Signature::Mav,
+                ..PgssSim::default()
+            }),
         }
     }
 
@@ -104,6 +145,9 @@ impl TechSpec {
             TechSpec::SimPoint { .. } => 4,
             TechSpec::OnlineSimPoint { .. } => 5,
             TechSpec::Full => 6,
+            TechSpec::TwoPhase { .. } => 7,
+            TechSpec::RankedSet { .. } => 8,
+            TechSpec::PgssMav { .. } => 9,
         }
     }
 
@@ -131,6 +175,21 @@ impl TechSpec {
                 opt(e, k);
             }
             TechSpec::OnlineSimPoint { interval_ops } => opt(e, interval_ops),
+            TechSpec::TwoPhase { ff_ops, budget } => {
+                opt(e, ff_ops);
+                opt(e, budget);
+            }
+            TechSpec::RankedSet { ff_ops, replicates } => {
+                opt(e, ff_ops);
+                opt(e, replicates);
+            }
+            TechSpec::PgssMav {
+                ff_ops,
+                spacing_ops,
+            } => {
+                opt(e, ff_ops);
+                opt(e, spacing_ops);
+            }
             TechSpec::AdaptivePgss | TechSpec::Full => {}
         }
     }
@@ -163,6 +222,18 @@ impl TechSpec {
                 interval_ops: opt(d)?,
             },
             6 => TechSpec::Full,
+            7 => TechSpec::TwoPhase {
+                ff_ops: opt(d)?,
+                budget: opt(d)?,
+            },
+            8 => TechSpec::RankedSet {
+                ff_ops: opt(d)?,
+                replicates: opt(d)?,
+            },
+            9 => TechSpec::PgssMav {
+                ff_ops: opt(d)?,
+                spacing_ops: opt(d)?,
+            },
             _ => return Err(CodecError::Malformed("unknown technique tag")),
         })
     }
@@ -200,6 +271,18 @@ impl TechSpec {
                 interval_ops: u("interval_ops")?,
             }),
             "full" => Ok(TechSpec::Full),
+            "two_phase" => Ok(TechSpec::TwoPhase {
+                ff_ops: u("ff_ops")?,
+                budget: u("budget")?,
+            }),
+            "ranked_set" => Ok(TechSpec::RankedSet {
+                ff_ops: u("ff_ops")?,
+                replicates: u("replicates")?,
+            }),
+            "pgss_mav" => Ok(TechSpec::PgssMav {
+                ff_ops: u("ff_ops")?,
+                spacing_ops: u("spacing_ops")?,
+            }),
             other => Err(format!("unknown technique kind {other:?}")),
         }
     }
@@ -518,6 +601,32 @@ mod tests {
             assert_eq!(a.technique.name(), b.technique.name());
             assert_eq!(a.config, b.config);
         }
+    }
+
+    #[test]
+    fn new_estimator_kinds_roundtrip_and_build() {
+        let v = json::parse(
+            r#"{"suite":[{"name":"164.gzip","scale":0.01}],
+                "techniques":[{"kind":"two_phase","ff_ops":100000,"budget":40},
+                              {"kind":"ranked_set","ff_ops":100000,"replicates":5},
+                              {"kind":"pgss_mav","ff_ops":100000,"spacing_ops":100000}]}"#,
+        )
+        .unwrap();
+        let spec = CampaignSpec::from_json(&v).unwrap();
+        let bytes = spec.encode();
+        let mut d = Decoder::new(&bytes);
+        let back = CampaignSpec::decode(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(spec, back);
+        let names: Vec<String> = spec.techniques.iter().map(|t| t.build().name()).collect();
+        assert_eq!(
+            names,
+            [
+                "TwoPhase(100k/b40)",
+                "RankedSet(100k/r2x5)",
+                "PGSS-MAV(100k/.05)"
+            ]
+        );
     }
 
     #[test]

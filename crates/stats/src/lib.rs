@@ -16,11 +16,13 @@
 mod ci;
 mod histogram;
 mod rng;
+mod strata;
 mod welford;
 
 pub use ci::{ConfidenceInterval, Z_95, Z_997};
 pub use histogram::Histogram;
 pub use rng::DetRng;
+pub use strata::{neyman_allocation, replicate_ci, stratified_variance};
 pub use welford::Welford;
 
 /// Arithmetic mean of a slice; `None` when empty.

@@ -1,0 +1,176 @@
+//! Stratified-estimator building blocks: Neyman allocation, composed
+//! stratified variance, and between-replicate intervals.
+//!
+//! These back the two-phase stratified and ranked-set sampling techniques
+//! (Ekman, *CPU Simulation Using Two-Phase Stratified Sampling* and *CPU
+//! Simulation with Ranked Set Sampling and Repeated Subsampling*): a cheap
+//! pilot pass measures per-stratum spread, [`neyman_allocation`] turns the
+//! spread into a detail-sample budget split, and [`stratified_variance`]
+//! composes the post-allocation per-stratum variances into the whole-program
+//! estimator variance behind the 95 % interval.
+
+use crate::ci::ConfidenceInterval;
+use crate::welford::Welford;
+
+/// Splits an integer sample `budget` across strata proportionally to
+/// `weight × stddev` (Neyman's optimal allocation), deterministically.
+///
+/// `strata` holds `(weight, stddev)` pairs; both must be non-negative and
+/// finite. Fractional shares are resolved with the largest-remainder
+/// method, ties broken by larger remainder, then larger `weight × stddev`,
+/// then lower index — so the result is a pure function of the inputs and
+/// permutation-equivariant (reordering strata reorders the allocation the
+/// same way). When every product is zero (no observed spread anywhere) the
+/// budget is spread evenly, remainder to the lowest indices.
+///
+/// The returned vector always sums to exactly `budget` (an empty `strata`
+/// returns an empty vector and drops the budget — there is nowhere to put
+/// it).
+///
+/// ```
+/// let n = pgss_stats::neyman_allocation(10, &[(0.5, 2.0), (0.5, 0.0)]);
+/// assert_eq!(n, [10, 0]); // all spread lives in stratum 0
+/// ```
+///
+/// # Panics
+///
+/// Panics if any weight or stddev is negative or non-finite.
+pub fn neyman_allocation(budget: u64, strata: &[(f64, f64)]) -> Vec<u64> {
+    if strata.is_empty() {
+        return Vec::new();
+    }
+    let products: Vec<f64> = strata
+        .iter()
+        .map(|&(w, s)| {
+            assert!(
+                w >= 0.0 && s >= 0.0 && w.is_finite() && s.is_finite(),
+                "neyman_allocation needs finite non-negative (weight, stddev), got ({w}, {s})"
+            );
+            w * s
+        })
+        .collect();
+    let total: f64 = products.iter().sum();
+    if total <= 0.0 {
+        // No spread signal: even split, remainder to the front.
+        let base = budget / strata.len() as u64;
+        let extra = (budget % strata.len() as u64) as usize;
+        return (0..strata.len())
+            .map(|i| base + u64::from(i < extra))
+            .collect();
+    }
+    // Largest-remainder apportionment of the exact proportional shares.
+    let shares: Vec<f64> = products.iter().map(|p| p / total * budget as f64).collect();
+    let mut alloc: Vec<u64> = shares.iter().map(|s| s.floor() as u64).collect();
+    let assigned: u64 = alloc.iter().sum();
+    let mut order: Vec<usize> = (0..strata.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = shares[a] - shares[a].floor();
+        let rb = shares[b] - shares[b].floor();
+        rb.partial_cmp(&ra)
+            .expect("finite remainders")
+            .then(
+                products[b]
+                    .partial_cmp(&products[a])
+                    .expect("finite products"),
+            )
+            .then(a.cmp(&b))
+    });
+    for &i in order.iter().take((budget - assigned) as usize) {
+        alloc[i] += 1;
+    }
+    alloc
+}
+
+/// Variance of a stratified mean: `Σ wᵢ² sᵢ² / nᵢ` over strata with at
+/// least one sample.
+///
+/// `strata` holds `(weight, sample_variance, n)` triples. Strata with
+/// `n == 0` contribute nothing (they also contribute nothing to the point
+/// estimate — the caller substitutes a fallback mean for them, which has no
+/// sampling-variance model).
+///
+/// ```
+/// let v = pgss_stats::stratified_variance(&[(0.5, 4.0, 4), (0.5, 0.0, 2)]);
+/// assert!((v - 0.25).abs() < 1e-12); // 0.25·4/4 + 0.25·0/2
+/// ```
+pub fn stratified_variance(strata: &[(f64, f64, u64)]) -> f64 {
+    strata
+        .iter()
+        .filter(|&&(_, _, n)| n > 0)
+        .map(|&(w, s2, n)| w * w * s2 / n as f64)
+        .sum()
+}
+
+/// The between-replicate confidence interval of a repeated-subsampling
+/// estimator: each replicate is one full ranked-set estimate, and the
+/// interval is the Gaussian CI of their mean.
+///
+/// ```
+/// use pgss_stats::{replicate_ci, Z_95};
+/// let ci = replicate_ci(&[1.0, 1.1, 0.9, 1.0], Z_95);
+/// assert_eq!(ci.n, 4);
+/// assert!(ci.half_width.is_finite());
+/// ```
+pub fn replicate_ci(estimates: &[f64], z: f64) -> ConfidenceInterval {
+    let w: Welford = estimates.iter().copied().collect();
+    ConfidenceInterval::from_welford(&w, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ci::Z_95;
+
+    #[test]
+    fn allocation_sums_to_budget() {
+        let strata = [(0.3, 1.0), (0.5, 0.25), (0.2, 3.0)];
+        for budget in [0u64, 1, 7, 100] {
+            let alloc = neyman_allocation(budget, &strata);
+            assert_eq!(alloc.iter().sum::<u64>(), budget, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn allocation_follows_weight_times_stddev() {
+        let alloc = neyman_allocation(100, &[(0.5, 1.0), (0.25, 1.0), (0.25, 3.0)]);
+        // products 0.5, 0.25, 0.75 → 33.3/16.7/50 of 100.
+        assert_eq!(alloc, [33, 17, 50]);
+    }
+
+    #[test]
+    fn zero_spread_splits_evenly() {
+        assert_eq!(neyman_allocation(7, &[(0.5, 0.0), (0.5, 0.0)]), [4, 3]);
+        assert_eq!(
+            neyman_allocation(6, &[(1.0, 0.0), (0.0, 0.0), (0.0, 0.0)]),
+            [2, 2, 2]
+        );
+    }
+
+    #[test]
+    fn empty_strata_is_empty() {
+        assert!(neyman_allocation(10, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_stddev_panics() {
+        neyman_allocation(1, &[(0.5, -1.0)]);
+    }
+
+    #[test]
+    fn stratified_variance_skips_empty_strata() {
+        let v = stratified_variance(&[(0.5, 4.0, 0), (0.5, 4.0, 4)]);
+        assert!((v - 0.25).abs() < 1e-12);
+        assert_eq!(stratified_variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn replicate_ci_matches_welford() {
+        let xs = [2.0, 2.5, 1.5, 2.0, 2.2];
+        let ci = replicate_ci(&xs, Z_95);
+        let w: Welford = xs.iter().copied().collect();
+        assert_eq!(ci.mean, w.mean());
+        assert_eq!(ci.n, 5);
+        assert!((ci.half_width - Z_95 * w.sample_stddev() / 5f64.sqrt()).abs() < 1e-12);
+    }
+}

@@ -12,8 +12,16 @@
 //! * [`Histogram::merge`] is *exact*: binning is a pure function of the
 //!   value and the shared range, so partition-then-merge reproduces the
 //!   whole-stream histogram bit for bit.
+//!
+//! The stratified-estimator helpers behind `TwoPhaseStratified` and
+//! `RankedSet` get the same treatment: Neyman allocation spends its budget
+//! exactly and commutes with stratum permutation, the replicate interval
+//! shrinks monotonically as the replicate count grows, and the composed
+//! stratified variance matches a brute-force Σ wₕ²sₕ²/nₕ oracle.
 
-use pgss_stats::{DetRng, Histogram, Welford};
+use pgss_stats::{
+    neyman_allocation, replicate_ci, stratified_variance, DetRng, Histogram, Welford, Z_95,
+};
 
 const CASES: u64 = 200;
 
@@ -157,6 +165,134 @@ fn welford_merge_with_empty_is_identity() {
         // bit-identical — no tolerance needed.
         assert_eq!(left, w);
         assert_eq!(right, w);
+    }
+}
+
+/// Neyman allocation spends exactly the requested budget, whatever the
+/// (weight, stddev) profile — the largest-remainder rounding never loses
+/// or invents a sample.
+#[test]
+fn neyman_allocation_sums_to_budget() {
+    let mut rng = DetRng::seed_from_u64(0x5EED_0006);
+    for _ in 0..CASES {
+        let k = 1 + rng.range_usize(12);
+        let strata: Vec<(f64, f64)> = (0..k)
+            .map(|_| {
+                // Mix of zero and non-zero products, including strata with
+                // weight but no spread and vice versa.
+                let w = if rng.range_usize(5) == 0 {
+                    0.0
+                } else {
+                    rng.next_f64()
+                };
+                let s = if rng.range_usize(5) == 0 {
+                    0.0
+                } else {
+                    rng.next_f64() * 10.0
+                };
+                (w, s)
+            })
+            .collect();
+        let budget = rng.range_u64(200);
+        let alloc = neyman_allocation(budget, &strata);
+        assert_eq!(alloc.len(), strata.len());
+        assert_eq!(
+            alloc.iter().sum::<u64>(),
+            budget,
+            "allocation must spend the budget exactly: {alloc:?} for {strata:?}"
+        );
+    }
+}
+
+/// Permuting the strata permutes the allocation: a stratum's share depends
+/// only on its own (weight, stddev), never on its position in the table.
+#[test]
+fn neyman_allocation_is_permutation_invariant() {
+    let mut rng = DetRng::seed_from_u64(0x5EED_0007);
+    for _ in 0..CASES {
+        let k = 2 + rng.range_usize(10);
+        // Distinct w·s products so the permutation map is unambiguous
+        // (ties may legitimately resolve by index under largest-remainder
+        // rounding).
+        let strata: Vec<(f64, f64)> = (0..k)
+            .map(|i| (0.1 + i as f64, 1.0 + rng.next_f64()))
+            .collect();
+        let budget = rng.range_u64(100);
+        let base = neyman_allocation(budget, &strata);
+
+        let mut perm: Vec<usize> = (0..k).collect();
+        rng.shuffle(&mut perm);
+        let permuted: Vec<(f64, f64)> = perm.iter().map(|&i| strata[i]).collect();
+        let permuted_alloc = neyman_allocation(budget, &permuted);
+        let unpermuted: Vec<u64> = {
+            let mut v = vec![0u64; k];
+            for (j, &i) in perm.iter().enumerate() {
+                v[i] = permuted_alloc[j];
+            }
+            v
+        };
+        assert_eq!(
+            base, unpermuted,
+            "allocation must commute with permutation: {strata:?}"
+        );
+    }
+}
+
+/// Replicating the replicate set shrinks the interval strictly and
+/// monotonically: for a fixed empirical distribution, the half-width of
+/// the mean's interval scales down as the replicate count grows (the
+/// deterministic face of ranked-set sampling's "more replicates, tighter
+/// estimate" claim).
+#[test]
+fn replicate_interval_shrinks_monotonically_with_replicates() {
+    let mut rng = DetRng::seed_from_u64(0x5EED_0008);
+    for _ in 0..CASES {
+        let len = 2 + rng.range_usize(20);
+        let base = stream(&mut rng, len);
+        let hw = |m: usize| {
+            let reps: Vec<f64> = base.iter().cycle().take(base.len() * m).copied().collect();
+            let ci = replicate_ci(&reps, Z_95);
+            assert_eq!(ci.n, (base.len() * m) as u64);
+            ci.half_width
+        };
+        let widths: Vec<f64> = (1..=4).map(hw).collect();
+        if widths[0] == 0.0 {
+            continue; // a constant stream has nothing to shrink
+        }
+        for pair in widths.windows(2) {
+            assert!(
+                pair[1] < pair[0],
+                "half-width must shrink with replicate count: {widths:?}"
+            );
+        }
+    }
+}
+
+/// The composed stratified variance matches a brute-force oracle:
+/// Σ wₕ² sₕ² / nₕ over strata with at least one sample, computed here
+/// from raw per-stratum observation streams through [`Welford`].
+#[test]
+fn stratified_variance_matches_brute_force_oracle() {
+    let mut rng = DetRng::seed_from_u64(0x5EED_0009);
+    for _ in 0..CASES {
+        let k = 1 + rng.range_usize(8);
+        let mut inputs: Vec<(f64, f64, u64)> = Vec::with_capacity(k);
+        let mut oracle = 0.0f64;
+        for _ in 0..k {
+            let w = rng.next_f64();
+            let n = rng.range_usize(6);
+            let xs = stream(&mut rng, n);
+            let acc = welford_of(&xs);
+            inputs.push((w, acc.sample_variance(), acc.count()));
+            if n > 0 {
+                oracle += w * w * acc.sample_variance() / n as f64;
+            }
+        }
+        let composed = stratified_variance(&inputs);
+        assert!(
+            close(composed, oracle),
+            "stratified variance {composed} vs oracle {oracle} for {inputs:?}"
+        );
     }
 }
 

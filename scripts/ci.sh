@@ -22,6 +22,9 @@ cargo test -p pgss-ckpt -q
 echo "== cargo test --test checkpoints -q (snapshot round-trip + bit-exact acceleration)"
 cargo test --release --test checkpoints -q
 
+echo "== statistical validation smoke (12-rep debug subset: all estimators + verdicts)"
+cargo test --test statistical_validation -q
+
 echo "== statistical validation (200-rep CI-coverage sweep, release)"
 cargo test --release --test statistical_validation -q
 

@@ -15,7 +15,7 @@ use pgss::{
     campaign, AdaptivePgss, CheckpointLadder, LadderSpec, OnlineSimPoint, PgssSim, SimContext,
     SimPointOffline, Smarts, Technique, Track, TurboSmarts, SNAPSHOT_FORMAT_VERSION,
 };
-use pgss_ckpt::{fnv1a64, Store, STORE_FORMAT_VERSION};
+use pgss_ckpt::{fnv1a64, STORE_FORMAT_VERSION};
 use pgss_cpu::MachineConfig;
 use pgss_workloads::Workload;
 
@@ -114,9 +114,8 @@ fn every_technique_is_bit_exact_under_checkpoint_acceleration() {
 
 #[test]
 fn checkpointed_campaign_round_trips_through_the_store() {
-    let tmp = util::TempDir::new("pgss-ckpt-campaign");
+    let (tmp, store) = util::temp_store("pgss-ckpt-campaign");
     let dir = tmp.path();
-    let store = Store::open(dir).unwrap();
 
     let workloads = vec![pgss_workloads::gzip(0.01), pgss_workloads::equake(0.01)];
     let smarts = Smarts {
@@ -173,9 +172,8 @@ fn checkpointed_campaign_round_trips_through_the_store() {
 
 #[test]
 fn corrupt_rung_is_quarantined_recaptured_and_bit_exact() {
-    let tmp = util::TempDir::new("pgss-ckpt-quarantine");
+    let (tmp, store) = util::temp_store("pgss-ckpt-quarantine");
     let dir = tmp.path();
-    let store = Store::open(dir).unwrap();
 
     let workloads = vec![pgss_workloads::gzip(0.01)];
     let smarts = Smarts {

@@ -46,9 +46,7 @@ fn pgss_sim() -> PgssSim {
 }
 
 fn temp_store(tag: &str) -> (util::TempDir, Store) {
-    let dir = util::TempDir::new(&format!("pgss-fault-{tag}"));
-    let store = Store::open(dir.path()).unwrap();
-    (dir, store)
+    util::temp_store(&format!("pgss-fault-{tag}"))
 }
 
 #[test]

@@ -5,13 +5,13 @@
 //! shared engine executes the identical segment sequence.
 
 use pgss::{
-    AdaptivePgss, FullDetailed, OnlineSimPoint, PgssSim, SimPointOffline, Smarts, Technique,
-    TurboSmarts,
+    AdaptivePgss, FullDetailed, OnlineSimPoint, PgssSim, RankedSet, Signature, SimPointOffline,
+    Smarts, Technique, TurboSmarts, TwoPhaseStratified,
 };
 use pgss_cpu::{MachineConfig, ModeOps};
 
 /// `(workload, technique, ipc_bits, mode_ops, samples)` recorded goldens.
-const GOLDENS: [(&str, &str, u64, ModeOps, u64); 14] = [
+const GOLDENS: [(&str, &str, u64, ModeOps, u64); 20] = [
     (
         "164.gzip",
         "FullDetailed",
@@ -97,6 +97,42 @@ const GOLDENS: [(&str, &str, u64, ModeOps, u64); 14] = [
         30,
     ),
     (
+        "164.gzip",
+        "TwoPhase(100k/b20)",
+        0x3fe0c18f6c1261b1,
+        ModeOps {
+            fast_forward: 0,
+            functional: 13445470,
+            detailed_warming: 60000,
+            detailed_measured: 20000,
+        },
+        20,
+    ),
+    (
+        "164.gzip",
+        "RankedSet(100k/r2x5)",
+        0x3fe14c036097acbb,
+        ModeOps {
+            fast_forward: 0,
+            functional: 11259970,
+            detailed_warming: 203500,
+            detailed_measured: 58000,
+        },
+        58,
+    ),
+    (
+        "164.gzip",
+        "PGSS-MAV(100k/.05)",
+        0x3fe0a6b10b811e24,
+        ModeOps {
+            fast_forward: 0,
+            functional: 5597470,
+            detailed_warming: 165000,
+            detailed_measured: 55000,
+        },
+        55,
+    ),
+    (
         "168.wupwise",
         "FullDetailed",
         0x3fdc89fb4e1f5413,
@@ -180,6 +216,42 @@ const GOLDENS: [(&str, &str, u64, ModeOps, u64); 14] = [
         },
         17,
     ),
+    (
+        "168.wupwise",
+        "TwoPhase(100k/b20)",
+        0x3fdcc17fe5af6527,
+        ModeOps {
+            fast_forward: 0,
+            functional: 22516054,
+            detailed_warming: 60000,
+            detailed_measured: 20000,
+        },
+        20,
+    ),
+    (
+        "168.wupwise",
+        "RankedSet(100k/r2x5)",
+        0x3fdcf6eaae9f0ccc,
+        ModeOps {
+            fast_forward: 0,
+            functional: 15248554,
+            detailed_warming: 267500,
+            detailed_measured: 76000,
+        },
+        76,
+    ),
+    (
+        "168.wupwise",
+        "PGSS-MAV(100k/.05)",
+        0x3fdc1620705a932f,
+        ModeOps {
+            fast_forward: 0,
+            functional: 7696054,
+            detailed_warming: 144000,
+            detailed_measured: 48000,
+        },
+        48,
+    ),
 ];
 
 fn techniques() -> Vec<Box<dyn Technique>> {
@@ -200,6 +272,7 @@ fn techniques() -> Vec<Box<dyn Technique>> {
             k: 5,
             projected_dims: 15,
             seed: 1,
+            ..SimPointOffline::default()
         }),
         Box::new(OnlineSimPoint {
             interval_ops: 100_000,
@@ -217,6 +290,21 @@ fn techniques() -> Vec<Box<dyn Technique>> {
                 ..PgssSim::default()
             },
             ..AdaptivePgss::default()
+        }),
+        Box::new(TwoPhaseStratified {
+            ff_ops: 100_000,
+            budget: 20,
+            ..TwoPhaseStratified::default()
+        }),
+        Box::new(RankedSet {
+            ff_ops: 100_000,
+            ..RankedSet::default()
+        }),
+        Box::new(PgssSim {
+            ff_ops: 100_000,
+            spacing_ops: 100_000,
+            signature: Signature::Mav,
+            ..PgssSim::default()
         }),
     ]
 }

@@ -5,7 +5,10 @@
 
 mod util;
 
-use pgss::{campaign, MetricsRecorder, MetricsReport, PgssSim, Recorder, Smarts, Technique};
+use pgss::{
+    campaign, MetricsRecorder, MetricsReport, PgssSim, RankedSet, Recorder, Signature, Smarts,
+    Technique, TwoPhaseStratified,
+};
 use pgss_cpu::MachineConfig;
 
 const METRICS_SCHEMA_VERSION: u32 = 1;
@@ -21,7 +24,20 @@ fn jobs_jsonl(threads: usize) -> String {
         spacing_ops: 100_000,
         ..PgssSim::default()
     };
-    let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &pgss];
+    let two_phase = TwoPhaseStratified {
+        ff_ops: 100_000,
+        budget: 20,
+        ..TwoPhaseStratified::default()
+    };
+    let ranked = RankedSet {
+        ff_ops: 100_000,
+        ..RankedSet::default()
+    };
+    let pgss_mav = PgssSim {
+        signature: Signature::Mav,
+        ..pgss
+    };
+    let techs: Vec<&(dyn Technique + Sync)> = vec![&smarts, &pgss, &two_phase, &ranked, &pgss_mav];
     let jobs = campaign::grid(&workloads, &techs, MachineConfig::default());
     let report = campaign::run_on(&jobs, threads).expect("campaign runs");
     assert!(report.is_complete());
@@ -44,8 +60,9 @@ fn jsonl_is_byte_identical_across_worker_counts_and_reruns() {
             "unexpected line prefix: {line}"
         );
     }
-    // Campaign scope first, then one scope per cell in job order.
-    assert_eq!(one.lines().count(), 1 + 4);
+    // Campaign scope first, then one scope per cell in job order
+    // (2 workloads × 5 techniques).
+    assert_eq!(one.lines().count(), 1 + 10);
     assert!(one.starts_with("{\"v\":1,\"scope\":\"campaign\","));
 }
 

@@ -10,7 +10,6 @@
 mod util;
 
 use pgss::{campaign, CampaignConfig};
-use pgss_ckpt::Store;
 use pgss_serve::{json, CampaignSpec, Client, Listen, ServeConfig, Server};
 
 const SPEC_JSON: &str = r#"{
@@ -20,8 +19,7 @@ const SPEC_JSON: &str = r#"{
     "stride":50000}"#;
 
 fn library_artifact() -> String {
-    let tmp = util::TempDir::new("pgss-serve-equiv-lib");
-    let store = Store::open(tmp.path()).unwrap();
+    let (_tmp, store) = util::temp_store("pgss-serve-equiv-lib");
     let value = json::parse(SPEC_JSON).unwrap();
     let spec = CampaignSpec::from_json(&value).unwrap();
     let stride = spec.stride;

@@ -37,3 +37,14 @@ impl Drop for TempDir {
         let _ = std::fs::remove_dir_all(&self.path);
     }
 }
+
+/// A checkpoint [`pgss_ckpt::Store`] opened in its own [`TempDir`] — the
+/// standard per-test store setup, deduplicated from the checkpoint, fault
+/// and serve suites. The returned `TempDir` owns the store's directory:
+/// keep it bound for as long as the store is in use.
+#[allow(dead_code)] // not every test binary that includes util/ opens a store
+pub fn temp_store(prefix: &str) -> (TempDir, pgss_ckpt::Store) {
+    let dir = TempDir::new(prefix);
+    let store = pgss_ckpt::Store::open(dir.path()).expect("open per-test checkpoint store");
+    (dir, store)
+}
