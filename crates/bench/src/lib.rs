@@ -77,7 +77,9 @@ fn truth_store() -> std::io::Result<Store> {
 }
 
 /// The cache key for a workload: a hash of its identity and the scale.
-fn truth_key(workload: &Workload) -> u64 {
+/// Public so store-GC callers can mark truth-cache entries as liveness
+/// roots when a truth cache shares a store with other records.
+pub fn truth_key(workload: &Workload) -> u64 {
     let mut e = Encoder::new();
     e.put_str("pgss-truth-v1");
     e.put_str(workload.name());

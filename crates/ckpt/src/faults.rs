@@ -30,6 +30,22 @@ pub struct StoreFaultPlan {
     pub corrupt_gets: Vec<u64>,
     /// Record reads served truncated to half their length.
     pub truncate_gets: Vec<u64>,
+    /// The disk stays full from this put index onward: every
+    /// [`crate::Store::put`] at or past it fails like [`fail_puts`]
+    /// (torn temp file, I/O error) until the plan clears.
+    ///
+    /// [`fail_puts`]: StoreFaultPlan::fail_puts
+    pub full_after_puts: Option<u64>,
+    /// Puts whose commit rename is *torn*: the caller sees success, but
+    /// the destination file holds only the first half of the record —
+    /// the non-atomic-rename filesystem a crash-consistent store must
+    /// survive by detecting the tear on read.
+    pub torn_renames: Vec<u64>,
+    /// Drop every fsync (temp file and directory) while the plan is
+    /// installed — models a power loss the write-then-rename path alone
+    /// cannot survive. Tests observe the difference through the
+    /// `ckpt.store.fsync` counter and the injection log.
+    pub drop_fsyncs: bool,
 }
 
 impl StoreFaultPlan {
@@ -39,6 +55,9 @@ impl StoreFaultPlan {
             && self.fail_gets.is_empty()
             && self.corrupt_gets.is_empty()
             && self.truncate_gets.is_empty()
+            && self.full_after_puts.is_none()
+            && self.torn_renames.is_empty()
+            && !self.drop_fsyncs
     }
 }
 
@@ -109,17 +128,50 @@ impl Drop for StoreFaultGuard {
     }
 }
 
-/// Hook for [`crate::Store::put`]: `Some(err)` when this put must fail.
-pub(crate) fn on_put() -> Option<io::Error> {
+/// How an injected fault wants a [`crate::Store::put`] to misbehave.
+#[derive(Debug)]
+pub(crate) enum PutFault {
+    /// Fail with this I/O error after leaving a torn temp file behind.
+    Fail(io::Error),
+    /// Report success but leave only half the record at the destination.
+    TornRename,
+}
+
+/// Hook for [`crate::Store::put`]: `Some(fault)` when this put must
+/// misbehave. Outright failure (indexed or disk-full) outranks a torn
+/// rename when both name the same operation.
+pub(crate) fn on_put() -> Option<PutFault> {
     let mut slot = active();
     let a = slot.as_mut()?;
     let n = a.puts;
     a.puts += 1;
-    if a.plan.fail_puts.contains(&n) {
-        a.log.push(format!("put #{n}: injected I/O error"));
-        Some(io::Error::other(format!("injected store fault: put #{n}")))
+    let full = a.plan.full_after_puts.is_some_and(|from| n >= from);
+    if a.plan.fail_puts.contains(&n) || full {
+        let cause = if full { "disk full" } else { "I/O error" };
+        a.log.push(format!("put #{n}: injected {cause}"));
+        Some(PutFault::Fail(io::Error::other(format!(
+            "injected store fault: put #{n} ({cause})"
+        ))))
+    } else if a.plan.torn_renames.contains(&n) {
+        a.log.push(format!("put #{n}: injected torn rename"));
+        Some(PutFault::TornRename)
     } else {
         None
+    }
+}
+
+/// Hook for the store's durability barriers: true when this fsync must be
+/// silently dropped (the power-loss model).
+pub(crate) fn on_fsync() -> bool {
+    let mut slot = active();
+    let Some(a) = slot.as_mut() else {
+        return false;
+    };
+    if a.plan.drop_fsyncs {
+        a.log.push("fsync: dropped".to_string());
+        true
+    } else {
+        false
     }
 }
 
@@ -160,9 +212,10 @@ mod tests {
             fail_gets: vec![0],
             corrupt_gets: vec![1],
             truncate_gets: vec![2],
+            ..StoreFaultPlan::default()
         });
         assert!(on_put().is_none(), "put #0 passes");
-        assert!(on_put().is_some(), "put #1 fails");
+        assert!(matches!(on_put(), Some(PutFault::Fail(_))), "put #1 fails");
         assert!(on_put().is_none(), "put #2 passes");
 
         let mut bytes = vec![0u8; 8];
@@ -185,7 +238,44 @@ mod tests {
             });
         }
         assert!(on_put().is_none(), "dropped guard must clear the plan");
+        assert!(!on_fsync(), "dropped guard must restore fsyncs");
         assert!(injection_log().is_empty());
         assert!(StoreFaultPlan::default().is_empty());
+    }
+
+    #[test]
+    fn disk_stays_full_from_the_named_put_onward() {
+        let _guard = install(StoreFaultPlan {
+            full_after_puts: Some(2),
+            ..StoreFaultPlan::default()
+        });
+        assert!(on_put().is_none(), "put #0 passes");
+        assert!(on_put().is_none(), "put #1 passes");
+        for n in 2..5 {
+            assert!(
+                matches!(on_put(), Some(PutFault::Fail(_))),
+                "put #{n} hits the full disk"
+            );
+        }
+        assert!(!StoreFaultPlan {
+            full_after_puts: Some(0),
+            ..StoreFaultPlan::default()
+        }
+        .is_empty());
+    }
+
+    #[test]
+    fn torn_rename_and_dropped_fsync_are_logged() {
+        let _guard = install(StoreFaultPlan {
+            torn_renames: vec![0],
+            drop_fsyncs: true,
+            ..StoreFaultPlan::default()
+        });
+        assert!(matches!(on_put(), Some(PutFault::TornRename)));
+        assert!(on_put().is_none(), "only put #0 is torn");
+        assert!(on_fsync() && on_fsync(), "every fsync drops");
+        let log = injection_log();
+        assert_eq!(log[0], "put #0: injected torn rename");
+        assert!(log[1..].iter().all(|l| l == "fsync: dropped"));
     }
 }

@@ -25,4 +25,7 @@ pub mod store;
 
 pub use codec::{fnv1a64, CodecError, Decoder, Encoder};
 pub use job::{index_key, job_key, JobRecordKind};
-pub use store::{Quarantined, RecordError, RecordFault, Store, VerifyReport, STORE_FORMAT_VERSION};
+pub use store::{
+    is_budget_error, GcReport, Quarantined, RecordError, RecordFault, Store, VerifyReport,
+    STORE_FORMAT_VERSION,
+};

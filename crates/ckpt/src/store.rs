@@ -27,6 +27,7 @@
 
 use std::fs;
 use std::io;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -139,6 +140,31 @@ impl VerifyReport {
     }
 }
 
+/// What a [`Store::gc`] mark-and-sweep pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Record files examined (quarantine sidecar and foreign files excluded).
+    pub checked: usize,
+    /// Records the liveness predicate kept.
+    pub live: usize,
+    /// Garbage records deleted.
+    pub swept: usize,
+    /// Bytes those deletions freed.
+    pub bytes_freed: u64,
+}
+
+/// Message prefix of the error a budgeted [`Store::put`] returns when the
+/// write would exceed the store's byte budget. Test with
+/// [`is_budget_error`].
+pub const BUDGET_EXCEEDED: &str = "store byte budget exceeded";
+
+/// True when `err` is a [`Store`] byte-budget rejection (as opposed to a
+/// real I/O failure) — the caller's cue to GC and retry rather than
+/// degrade.
+pub fn is_budget_error(err: &io::Error) -> bool {
+    err.to_string().starts_with(BUDGET_EXCEEDED)
+}
+
 /// A directory of content-addressed records. Cheap to clone paths from;
 /// safe for concurrent writers (last complete write wins atomically).
 ///
@@ -149,6 +175,7 @@ impl VerifyReport {
 pub struct Store {
     dir: PathBuf,
     recorder: Arc<dyn Recorder>,
+    budget: Option<u64>,
 }
 
 impl Store {
@@ -159,6 +186,7 @@ impl Store {
         Ok(Self {
             dir,
             recorder: Arc::new(NoopRecorder),
+            budget: None,
         })
     }
 
@@ -166,6 +194,33 @@ impl Store {
     pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Store {
         self.recorder = recorder;
         self
+    }
+
+    /// The same store, refusing any [`Store::put`] that would push total
+    /// record bytes past `bytes` (see [`is_budget_error`]). The budget
+    /// covers record files only — quarantined evidence is never counted
+    /// against it, so a sick store cannot starve a healthy one.
+    pub fn with_budget(mut self, bytes: u64) -> Store {
+        self.budget = Some(bytes);
+        self
+    }
+
+    /// The byte budget, if one is set.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Total bytes currently held in record files (quarantine sidecar and
+    /// foreign files excluded).
+    pub fn usage_bytes(&self) -> io::Result<u64> {
+        let mut total = 0u64;
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if record_key_of(&entry.file_name()).is_some() {
+                total += entry.metadata()?.len();
+            }
+        }
+        Ok(total)
     }
 
     /// The directory this store lives in.
@@ -179,9 +234,13 @@ impl Store {
     }
 
     /// Atomically writes `payload` under `key`, replacing any previous
-    /// record. On failure — whether the temp-file write or the rename —
-    /// the temp file is removed, so a failed `put` leaves neither a torn
-    /// record nor a stray temp file behind.
+    /// record. The temp file is fsynced before the rename and the parent
+    /// directory after it, so a committed record survives power loss, not
+    /// just process death. On failure — whether the temp-file write or the
+    /// rename — the temp file is removed, so a failed `put` leaves neither
+    /// a torn record nor a stray temp file behind. With a budget set (see
+    /// [`Store::with_budget`]), a put that would exceed it is rejected
+    /// up front with a [`is_budget_error`] error and touches nothing.
     pub fn put(&self, key: u64, payload: &[u8]) -> io::Result<()> {
         let mut e = Encoder::new();
         // Header fields are written manually (not length-prefixed) so the
@@ -195,13 +254,23 @@ impl Store {
         record.extend_from_slice(&e.into_bytes());
         record.extend_from_slice(payload);
 
+        if let Some(budget) = self.budget {
+            let used = self.usage_bytes()?;
+            if used.saturating_add(record.len() as u64) > budget {
+                self.recorder.add("ckpt.store.budget_rejected", 1);
+                return Err(io::Error::other(format!(
+                    "{BUDGET_EXCEEDED}: {used} bytes held + {} incoming > {budget} budget",
+                    record.len()
+                )));
+            }
+        }
+
         let tmp = self.dir.join(format!(
             ".{key:016x}.{}.{}.tmp",
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
-        let written = write_tmp(&tmp, &record);
-        match written.and_then(|()| fs::rename(&tmp, self.path_for(key))) {
+        match self.commit(&tmp, key, &record) {
             Ok(()) => {
                 self.recorder.add("ckpt.store.put", 1);
                 self.recorder
@@ -214,6 +283,60 @@ impl Store {
                 Err(e)
             }
         }
+    }
+
+    /// The write-then-rename commit path, with its `fault-inject` points:
+    /// an injected put failure simulates a disk filling mid-write by
+    /// leaving a torn temp file and returning an error (the caller's
+    /// cleanup removes it); an injected torn rename reports success but
+    /// leaves half a record at the destination, which the read path must
+    /// detect and heal.
+    fn commit(&self, tmp: &Path, key: u64, record: &[u8]) -> io::Result<()> {
+        #[cfg(feature = "fault-inject")]
+        match crate::faults::on_put() {
+            Some(crate::faults::PutFault::Fail(err)) => {
+                let _ = fs::write(tmp, &record[..record.len() / 2]);
+                return Err(err);
+            }
+            Some(crate::faults::PutFault::TornRename) => {
+                fs::write(tmp, record)?;
+                fs::write(self.path_for(key), &record[..record.len() / 2])?;
+                fs::remove_file(tmp)?;
+                return Ok(());
+            }
+            None => {}
+        }
+        {
+            let mut f = fs::File::create(tmp)?;
+            f.write_all(record)?;
+            self.fsync_file(&f)?;
+        }
+        fs::rename(tmp, self.path_for(key))?;
+        self.fsync_dir()
+    }
+
+    /// Flushes a written temp file to stable storage (durability barrier
+    /// one of two; see [`Store::fsync_dir`]).
+    fn fsync_file(&self, f: &fs::File) -> io::Result<()> {
+        #[cfg(feature = "fault-inject")]
+        if crate::faults::on_fsync() {
+            return Ok(());
+        }
+        f.sync_all()?;
+        self.recorder.add("ckpt.store.fsync", 1);
+        Ok(())
+    }
+
+    /// Flushes the store directory so the rename itself — not just the
+    /// file contents — survives power loss (barrier two of two).
+    fn fsync_dir(&self) -> io::Result<()> {
+        #[cfg(feature = "fault-inject")]
+        if crate::faults::on_fsync() {
+            return Ok(());
+        }
+        fs::File::open(&self.dir)?.sync_all()?;
+        self.recorder.add("ckpt.store.fsync", 1);
+        Ok(())
     }
 
     /// Reads the payload stored under `key`. Returns `None` when the
@@ -343,19 +466,55 @@ impl Store {
         }
         Ok(report)
     }
-}
 
-/// Writes the temp file, with the `fault-inject` failure point: an
-/// injected put failure simulates a disk filling mid-write by leaving a
-/// torn temp file and returning an error (the caller's cleanup path must
-/// remove it).
-fn write_tmp(tmp: &Path, record: &[u8]) -> io::Result<()> {
-    #[cfg(feature = "fault-inject")]
-    if let Some(err) = crate::faults::on_put() {
-        let _ = fs::write(tmp, &record[..record.len() / 2]);
-        return Err(err);
+    /// Mark-and-sweep: deletes every record file whose key `is_live`
+    /// rejects, in file-name order. The quarantine sidecar, stale temp
+    /// files, and foreign files are never touched — GC reclaims only
+    /// well-formed record names, and evidence is [`Store::verify_all`]'s
+    /// business, not GC's. Each deletion is individually atomic, so a
+    /// crash mid-sweep leaves a store that is merely less collected,
+    /// never less correct.
+    ///
+    /// Callers own consistency: the liveness predicate must cover every
+    /// record any concurrent writer could still need (over-approximating
+    /// liveness is always safe; `pgss-serve` holds its scheduler lock
+    /// across mark and sweep for exactly this reason).
+    pub fn gc(&self, is_live: impl Fn(u64) -> bool) -> io::Result<GcReport> {
+        let mut names: Vec<std::ffi::OsString> = fs::read_dir(&self.dir)?
+            .filter_map(|entry| {
+                let name = entry.ok()?.file_name();
+                record_key_of(&name).map(|_| name)
+            })
+            .collect();
+        names.sort();
+        let mut report = GcReport::default();
+        for name in names {
+            let Some(key) = record_key_of(&name) else {
+                continue;
+            };
+            report.checked += 1;
+            if is_live(key) {
+                report.live += 1;
+                continue;
+            }
+            let path = self.dir.join(&name);
+            let len = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            match fs::remove_file(&path) {
+                Ok(()) => {
+                    report.swept += 1;
+                    report.bytes_freed += len;
+                }
+                // A concurrent quarantine or remove got there first.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.recorder.add("ckpt.gc.runs", 1);
+        self.recorder.add("ckpt.gc.live", report.live as u64);
+        self.recorder.add("ckpt.gc.swept", report.swept as u64);
+        self.recorder.add("ckpt.gc.bytes_freed", report.bytes_freed);
+        Ok(report)
     }
-    fs::write(tmp, record)
 }
 
 /// Parses `{key:016x}.rec` file names back to their key.
@@ -676,6 +835,153 @@ mod tests {
         assert_eq!(frame.counter("ckpt.store.put"), 1);
         assert_eq!(frame.counter("ckpt.store.bytes_read"), 7);
         assert!(frame.counter("ckpt.store.bytes_written") > 7);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_sweeps_garbage_but_spares_live_records_and_quarantine() {
+        let dir = scratch("gc");
+        let s = Store::open(&dir).unwrap();
+        s.put(1, b"live one").unwrap();
+        s.put(2, b"garbage").unwrap();
+        s.put(3, b"live two").unwrap();
+        s.put(4, b"rotting").unwrap();
+        fs::write(s.path_for(4), b"junk").unwrap();
+        s.quarantine(4).unwrap().expect("moved aside");
+        // A stale temp and a foreign file must survive a sweep untouched.
+        fs::write(dir.join(".0000000000000009.1.0.tmp"), b"interrupted").unwrap();
+        fs::write(dir.join("notes.txt"), b"not a record").unwrap();
+
+        let garbage_len = fs::metadata(s.path_for(2)).unwrap().len();
+        let report = s.gc(|k| k == 1 || k == 3).unwrap();
+        assert_eq!(
+            report,
+            GcReport {
+                checked: 3,
+                live: 2,
+                swept: 1,
+                bytes_freed: garbage_len,
+            }
+        );
+        assert!(s.get(1).is_some() && s.get(3).is_some());
+        assert_eq!(s.get_checked(2), Err(RecordError::Missing));
+        assert!(
+            s.quarantine_dir().join(format!("{:016x}.rec", 4)).exists(),
+            "gc touched the quarantine sidecar"
+        );
+        assert!(dir.join(".0000000000000009.1.0.tmp").exists());
+        assert!(dir.join("notes.txt").exists());
+        // A second sweep over the same live set is a no-op.
+        let again = s.gc(|k| k == 1 || k == 3).unwrap();
+        assert_eq!(again.swept, 0);
+        assert_eq!(again.live, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_rejects_puts_until_gc_frees_garbage() {
+        let dir = scratch("budget");
+        // Records are 36 header bytes + payload; budget fits two of these
+        // 44-byte records but not three.
+        let s = Store::open(&dir).unwrap().with_budget(100);
+        assert_eq!(s.budget(), Some(100));
+        s.put(1, b"payload1").unwrap();
+        s.put(2, b"payload2").unwrap();
+        let used = s.usage_bytes().unwrap();
+        assert_eq!(used, 88);
+        let err = s.put(3, b"payload3").unwrap_err();
+        assert!(is_budget_error(&err), "unexpected error: {err}");
+        assert_eq!(s.get(3), None, "rejected put must touch nothing");
+        // Freeing garbage re-admits the write.
+        s.gc(|k| k == 1).unwrap();
+        s.put(3, b"payload3").unwrap();
+        assert_eq!(s.get(3).as_deref(), Some(&b"payload3"[..]));
+        // Real I/O failures are not budget errors.
+        assert!(!is_budget_error(&io::Error::other("disk on fire")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn put_fsyncs_file_and_directory() {
+        let dir = scratch("fsync");
+        let rec = Arc::new(pgss_obs::MetricsRecorder::new());
+        let s = Store::open(&dir)
+            .unwrap()
+            .with_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
+        s.put(1, b"durable").unwrap();
+        assert_eq!(
+            rec.frame().counter("ckpt.store.fsync"),
+            2,
+            "one barrier for the temp file, one for the rename"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn dropped_fsyncs_are_observable_through_the_counter() {
+        let dir = scratch("drop-fsync");
+        let rec = Arc::new(pgss_obs::MetricsRecorder::new());
+        let s = Store::open(&dir)
+            .unwrap()
+            .with_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
+        let _guard = crate::faults::install(crate::faults::StoreFaultPlan {
+            drop_fsyncs: true,
+            ..crate::faults::StoreFaultPlan::default()
+        });
+        s.put(1, b"undurable").unwrap();
+        assert_eq!(
+            rec.frame().counter("ckpt.store.fsync"),
+            0,
+            "the knob must drop both barriers"
+        );
+        assert_eq!(
+            crate::faults::injection_log(),
+            vec!["fsync: dropped".to_string(); 2]
+        );
+        // The record still reads back — only durability was sacrificed.
+        assert_eq!(s.get(1).as_deref(), Some(&b"undurable"[..]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn torn_rename_reports_success_but_reads_detect_the_tear() {
+        let dir = scratch("torn-rename");
+        let s = Store::open(&dir).unwrap();
+        let _guard = crate::faults::install(crate::faults::StoreFaultPlan {
+            torn_renames: vec![0],
+            ..crate::faults::StoreFaultPlan::default()
+        });
+        s.put(5, b"a payload long enough to tear")
+            .expect("torn rename lies about success");
+        assert!(matches!(
+            s.get_checked(5),
+            Err(RecordError::Invalid(RecordFault::TooShort))
+        ));
+        // The standard healing path: quarantine the tear, rewrite.
+        s.quarantine(5)
+            .unwrap()
+            .expect("tear preserved as evidence");
+        s.put(5, b"a payload long enough to tear").unwrap();
+        assert!(s.get(5).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn disk_full_rejects_every_put_from_the_named_op() {
+        let dir = scratch("disk-full");
+        let s = Store::open(&dir).unwrap();
+        let _guard = crate::faults::install(crate::faults::StoreFaultPlan {
+            full_after_puts: Some(1),
+            ..crate::faults::StoreFaultPlan::default()
+        });
+        s.put(1, b"fits").unwrap();
+        assert!(s.put(2, b"disk full").is_err());
+        assert!(s.put(3, b"still full").is_err());
+        assert_eq!(s.get(1).as_deref(), Some(&b"fits"[..]));
+        assert_eq!(s.get(2), None);
         let _ = fs::remove_dir_all(&dir);
     }
 

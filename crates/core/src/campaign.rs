@@ -119,6 +119,16 @@ pub enum CellError {
     /// [`crate::SimContext`], and the cell is failed with the typed
     /// reason.
     MachineFault(pgss_cpu::MachineFault),
+    /// The cell overran its supervision lease and was reaped by a
+    /// watchdog (`pgss-serve`'s lease-based cell supervision). The cell's
+    /// worker may still be running, but its result — if one ever arrives —
+    /// is discarded. The deadline is carried in nanoseconds of the
+    /// supervising clock so replays under an injected clock are
+    /// byte-identical.
+    DeadlineExceeded {
+        /// The lease deadline the cell overran, in nanoseconds.
+        deadline_ns: u64,
+    },
 }
 
 impl fmt::Display for CellError {
@@ -126,6 +136,12 @@ impl fmt::Display for CellError {
         match self {
             CellError::Panicked(msg) => write!(f, "technique panicked: {msg}"),
             CellError::MachineFault(fault) => write!(f, "machine fault: {fault}"),
+            CellError::DeadlineExceeded { deadline_ns } => {
+                write!(
+                    f,
+                    "deadline exceeded: cell overran its {deadline_ns}ns lease"
+                )
+            }
         }
     }
 }
@@ -554,7 +570,10 @@ pub fn run_cell(job: &Job<'_>, ctx: &SimContext) -> Result<(CellResult, MetricsF
     };
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         #[cfg(feature = "fault-inject")]
-        crate::faults::maybe_panic_cell(&workload, &technique);
+        {
+            crate::faults::maybe_panic_cell(&workload, &technique);
+            crate::faults::maybe_stall_cell(&workload, &technique);
+        }
         let _span = Span::enter(&*rec, "cell.run");
         job.technique
             .run_traced_ctx(job.workload, &job.config, &cell_ctx)

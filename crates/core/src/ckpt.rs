@@ -628,6 +628,45 @@ impl CheckpointLadder {
         })
     }
 
+    /// The content addresses a persisted ladder for `workload` × `config`
+    /// × `spec` occupies in `store`: the meta record plus every rung the
+    /// meta record declares. These are GC liveness roots — a
+    /// [`Store::gc`] caller marks them live to keep accelerated campaigns
+    /// warm across sweeps.
+    ///
+    /// When the meta record is missing or corrupt the ladder is already
+    /// unreachable (`load_or_capture` would recapture), so only the meta
+    /// key itself is reported; any orphaned rungs are legitimately
+    /// collectable and will be transparently re-created on the next
+    /// capture. Callers must not run a sweep concurrently with a ladder
+    /// *capture*: rungs are written before their meta record, so a sweep
+    /// in that window would (harmlessly but wastefully) collect them.
+    pub fn live_keys(
+        store: &Store,
+        workload: &Workload,
+        config: &MachineConfig,
+        spec: &LadderSpec,
+    ) -> Vec<u64> {
+        let tag = Self::spec_tag(spec);
+        let meta_key = CheckpointKey::new(workload, config, u64::MAX).hash_with_tag(tag);
+        let mut keys = vec![meta_key];
+        let Ok(meta) = store.get_checked(meta_key) else {
+            return keys;
+        };
+        let mut d = Decoder::new(&meta);
+        let count = (|| {
+            d.get_u64()?; // capture_ops; irrelevant to liveness
+            let count = d.get_u64()?;
+            d.finish()?;
+            Ok::<u64, CodecError>(count)
+        })()
+        .unwrap_or(0);
+        for i in 1..=count {
+            keys.push(CheckpointKey::new(workload, config, i * spec.stride).hash_with_tag(tag));
+        }
+        keys
+    }
+
     /// A digest of the spec, mixed into keys so ladders with different
     /// tracked seeds never alias.
     fn spec_tag(spec: &LadderSpec) -> u64 {

@@ -22,11 +22,13 @@ struct Args {
     listen: Listen,
     workers: usize,
     quota: TenantQuota,
+    lease_deadline_ns: Option<u64>,
 }
 
 fn usage() -> String {
     "usage: pgss_serve --store DIR [--listen tcp:ADDR|unix:PATH] [--workers N]\n\
-     \x20                 [--max-concurrent-cells N] [--max-queued-jobs N]"
+     \x20                 [--max-concurrent-cells N] [--max-queued-jobs N]\n\
+     \x20                 [--lease-deadline-ms N   (0 disables lease reaping)]"
         .to_string()
 }
 
@@ -48,6 +50,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     // itself is explicit (see `pgss::CampaignConfig`).
     let mut workers = campaign::worker_threads();
     let mut quota = TenantQuota::default();
+    let mut lease_deadline_ns = ServeConfig::default().lease_deadline_ns;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -73,6 +76,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--max-queued-jobs: {e}"))?;
             }
+            "--lease-deadline-ms" => {
+                let ms: u64 = value("--lease-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--lease-deadline-ms: {e}"))?;
+                lease_deadline_ns = (ms > 0).then(|| ms.saturating_mul(1_000_000));
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -86,6 +95,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         listen,
         workers,
         quota,
+        lease_deadline_ns,
     })
 }
 
@@ -102,6 +112,7 @@ fn main() -> ExitCode {
         workers: args.workers,
         default_quota: args.quota,
         quotas: BTreeMap::new(),
+        lease_deadline_ns: args.lease_deadline_ns,
         ..ServeConfig::default()
     };
     let server = match Server::start(&args.store, args.listen, cfg) {

@@ -40,6 +40,16 @@ pub enum ClientError {
     Protocol(String),
     /// The server answered `"ok":false` with this error.
     Server(String),
+    /// The server is saturated (connection cap, tenant quota, or a
+    /// deferred `gc`) and attached a retry hint. Transient by
+    /// construction: retrying after `retry_after_ms` is expected to
+    /// succeed once load drains.
+    Busy {
+        /// The server's human-readable rejection reason.
+        message: String,
+        /// The server's suggested wait before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -48,6 +58,10 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Busy {
+                message,
+                retry_after_ms,
+            } => write!(f, "server busy (retry after {retry_after_ms}ms): {message}"),
         }
     }
 }
@@ -58,6 +72,58 @@ impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> ClientError {
         ClientError::Io(e)
     }
+}
+
+/// Deterministic capped exponential backoff for client-side retries.
+///
+/// The schedule is pure arithmetic — `delay_ms(n)` for retry `n` is
+/// `min(cap_ms, base_ms << n)` — so tests inject a recording sleeper and
+/// assert the exact delays instead of watching a wall clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Total attempts (the initial try plus retries). `1` disables
+    /// retry entirely; `0` is treated as `1`.
+    pub max_attempts: u32,
+    /// Delay before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Upper bound on any single delay, in milliseconds.
+    pub cap_ms: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff {
+            max_attempts: 5,
+            base_ms: 50,
+            cap_ms: 2000,
+        }
+    }
+}
+
+impl Backoff {
+    /// The delay before retry number `retry` (0-based), in milliseconds:
+    /// `base_ms` doubled per retry, saturating, capped at `cap_ms`.
+    pub fn delay_ms(&self, retry: u32) -> u64 {
+        let doubled = if retry >= 63 {
+            u64::MAX
+        } else {
+            self.base_ms.saturating_mul(1u64 << retry)
+        };
+        doubled.min(self.cap_ms)
+    }
+}
+
+/// A `gc` response: what the server's mark-and-sweep saw and freed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Records examined.
+    pub checked: u64,
+    /// Records kept because a liveness root claimed them.
+    pub live: u64,
+    /// Garbage records deleted.
+    pub swept: u64,
+    /// Bytes reclaimed by the sweep.
+    pub bytes_freed: u64,
 }
 
 /// A `status` response.
@@ -124,6 +190,81 @@ impl Client {
         Client::from_stream(Stream::Unix(UnixStream::connect(path)?))
     }
 
+    /// [`Client::connect`] with bounded retry on transport errors,
+    /// sleeping `backoff.delay_ms(n)` milliseconds between attempts via
+    /// the injected `sleep` (tests pass a recorder; production code can
+    /// use [`Client::connect_with_retry`]). Protocol and server errors
+    /// are never retried — only [`ClientError::Io`].
+    pub fn connect_with_retry_using(
+        addr: &BoundAddr,
+        backoff: &Backoff,
+        sleep: &mut dyn FnMut(u64),
+    ) -> Result<Client, ClientError> {
+        let attempts = backoff.max_attempts.max(1);
+        let mut retry = 0u32;
+        loop {
+            match Client::connect(addr) {
+                Err(ClientError::Io(e)) if retry + 1 < attempts => {
+                    sleep(backoff.delay_ms(retry));
+                    retry += 1;
+                    let _ = e;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// [`Client::connect_with_retry_using`] with a real wall-clock sleep.
+    pub fn connect_with_retry(addr: &BoundAddr, backoff: &Backoff) -> Result<Client, ClientError> {
+        Client::connect_with_retry_using(addr, backoff, &mut |ms| {
+            std::thread::sleep(std::time::Duration::from_millis(ms))
+        })
+    }
+
+    /// Submits a spec with bounded retry, opening a fresh connection per
+    /// attempt. Transport errors wait the backoff delay; a server
+    /// [`ClientError::Busy`] rejection waits the *larger* of the backoff
+    /// delay and the server's `retry_after_ms` hint. Anything else (a
+    /// malformed spec, an unknown tenant) fails immediately — retrying a
+    /// deterministic rejection only repeats it.
+    pub fn submit_with_retry_using(
+        addr: &BoundAddr,
+        tenant: &str,
+        spec_json: &str,
+        backoff: &Backoff,
+        sleep: &mut dyn FnMut(u64),
+    ) -> Result<String, ClientError> {
+        let attempts = backoff.max_attempts.max(1);
+        let mut retry = 0u32;
+        loop {
+            let result = Client::connect(addr).and_then(|mut c| c.submit(tenant, spec_json));
+            let delay = match &result {
+                Err(ClientError::Io(_)) => backoff.delay_ms(retry),
+                Err(ClientError::Busy { retry_after_ms, .. }) => {
+                    backoff.delay_ms(retry).max(*retry_after_ms)
+                }
+                _ => return result,
+            };
+            if retry + 1 >= attempts {
+                return result;
+            }
+            sleep(delay);
+            retry += 1;
+        }
+    }
+
+    /// [`Client::submit_with_retry_using`] with a real wall-clock sleep.
+    pub fn submit_with_retry(
+        addr: &BoundAddr,
+        tenant: &str,
+        spec_json: &str,
+        backoff: &Backoff,
+    ) -> Result<String, ClientError> {
+        Client::submit_with_retry_using(addr, tenant, spec_json, backoff, &mut |ms| {
+            std::thread::sleep(std::time::Duration::from_millis(ms))
+        })
+    }
+
     fn send(&mut self, line: &str) -> Result<(), ClientError> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
@@ -142,20 +283,35 @@ impl Client {
         Ok(line)
     }
 
-    fn read_response(&mut self) -> Result<Value, ClientError> {
-        let line = self.read_raw_line()?;
-        let v = json::parse(&line)
+    /// Classifies one response line. A failure carrying `retry_after_ms`
+    /// is the server's backpressure shape ([`ClientError::Busy`]); any
+    /// other `"ok":false` is a terminal [`ClientError::Server`].
+    fn interpret(line: &str) -> Result<Value, ClientError> {
+        let v = json::parse(line)
             .map_err(|e| ClientError::Protocol(format!("bad response line: {e}")))?;
         match v.get("ok").and_then(Value::as_bool) {
             Some(true) => Ok(v),
-            Some(false) => Err(ClientError::Server(
-                v.get("error")
+            Some(false) => {
+                let message = v
+                    .get("error")
                     .and_then(Value::as_str)
                     .unwrap_or("unspecified")
-                    .to_string(),
-            )),
+                    .to_string();
+                match v.get("retry_after_ms").and_then(Value::as_u64) {
+                    Some(retry_after_ms) => Err(ClientError::Busy {
+                        message,
+                        retry_after_ms,
+                    }),
+                    None => Err(ClientError::Server(message)),
+                }
+            }
             None => Err(ClientError::Protocol("response without \"ok\"".to_string())),
         }
+    }
+
+    fn read_response(&mut self) -> Result<Value, ClientError> {
+        let line = self.read_raw_line()?;
+        Self::interpret(&line)
     }
 
     fn round_trip(&mut self, request: &str) -> Result<Value, ClientError> {
@@ -280,8 +436,112 @@ impl Client {
         }
     }
 
+    /// Asks the server to drain: stop admitting and claiming work, let
+    /// in-flight cells finish (or be lease-reaped), then exit 0. Returns
+    /// the number of cells still in flight at the moment of the request.
+    pub fn drain(&mut self) -> Result<u64, ClientError> {
+        let v = self.round_trip("{\"op\":\"drain\"}")?;
+        Self::field_u64(&v, "inflight")
+    }
+
+    /// Asks the server to garbage-collect its store: mark every record a
+    /// live root can reach, sweep the rest. Answers
+    /// [`ClientError::Busy`] (retryable) while a checkpoint-ladder build
+    /// is in flight.
+    pub fn gc(&mut self) -> Result<GcOutcome, ClientError> {
+        let v = self.round_trip("{\"op\":\"gc\"}")?;
+        Ok(GcOutcome {
+            checked: Self::field_u64(&v, "checked")?,
+            live: Self::field_u64(&v, "live")?,
+            swept: Self::field_u64(&v, "swept")?,
+            bytes_freed: Self::field_u64(&v, "bytes_freed")?,
+        })
+    }
+
     /// Asks the server to shut down gracefully.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.round_trip("{\"op\":\"shutdown\"}").map(|_| ())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_saturates_and_caps() {
+        let b = Backoff::default();
+        assert_eq!(b.delay_ms(0), 50);
+        assert_eq!(b.delay_ms(1), 100);
+        assert_eq!(b.delay_ms(2), 200);
+        assert_eq!(b.delay_ms(5), 1600);
+        assert_eq!(b.delay_ms(6), 2000); // capped
+        assert_eq!(b.delay_ms(200), 2000); // no shift overflow
+        let uncapped = Backoff {
+            max_attempts: 2,
+            base_ms: u64::MAX / 2,
+            cap_ms: u64::MAX,
+        };
+        assert_eq!(uncapped.delay_ms(63), u64::MAX); // saturates, no panic
+    }
+
+    #[test]
+    fn busy_responses_surface_the_retry_hint() {
+        let busy = Client::interpret(
+            "{\"ok\":false,\"error\":\"tenant \\\"ci\\\" is at its queued-job quota (1)\",\
+             \"retry_after_ms\":250}",
+        );
+        match busy {
+            Err(ClientError::Busy {
+                message,
+                retry_after_ms,
+            }) => {
+                assert!(message.contains("quota"));
+                assert_eq!(retry_after_ms, 250);
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        // A plain failure (no hint) stays a terminal server error.
+        match Client::interpret("{\"ok\":false,\"error\":\"no such job\"}") {
+            Err(ClientError::Server(m)) => assert_eq!(m, "no such job"),
+            other => panic!("expected Server, got {other:?}"),
+        }
+        assert!(Client::interpret("{\"ok\":true,\"job\":\"ab\"}").is_ok());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn connect_retry_sleeps_the_deterministic_schedule() {
+        // A Unix socket path that does not exist refuses every connect,
+        // so the retry loop runs its full schedule with no wall sleeps.
+        let addr = BoundAddr::Unix(std::path::PathBuf::from(
+            "/nonexistent/pgss-serve-client-test.sock",
+        ));
+        let mut slept = Vec::new();
+        let got =
+            Client::connect_with_retry_using(&addr, &Backoff::default(), &mut |ms| slept.push(ms));
+        assert!(matches!(got, Err(ClientError::Io(_))));
+        assert_eq!(slept, vec![50, 100, 200, 400]); // 5 attempts, 4 waits
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn submit_retry_gives_up_after_max_attempts() {
+        let addr = BoundAddr::Unix(std::path::PathBuf::from(
+            "/nonexistent/pgss-serve-client-test.sock",
+        ));
+        let mut slept = Vec::new();
+        let backoff = Backoff {
+            max_attempts: 3,
+            base_ms: 10,
+            cap_ms: 1000,
+        };
+        let got =
+            Client::submit_with_retry_using(&addr, "ci", "{\"suite\":[]}", &backoff, &mut |ms| {
+                slept.push(ms)
+            });
+        assert!(matches!(got, Err(ClientError::Io(_))));
+        assert_eq!(slept, vec![10, 20]);
     }
 }

@@ -36,7 +36,7 @@ pub mod record;
 pub mod server;
 pub mod spec;
 
-pub use client::{CellEvent, Client, ClientError, JobStatus};
+pub use client::{Backoff, CellEvent, Client, ClientError, GcOutcome, JobStatus};
 pub use record::{IndexRecord, JobPhase, SpecRecord, StatusRecord, JOB_RECORD_VERSION};
 pub use server::{BoundAddr, Listen, ServeConfig, Server, TenantQuota};
 pub use spec::{CampaignSpec, ConfigSpec, Materialized, TechSpec};

@@ -37,27 +37,46 @@
 //! worker), and once the job drains a durable `Cancelled` status is
 //! written. A cancelled job still answers `status` and `report` from
 //! whatever it completed before the cancel.
+//!
+//! # Leases, backpressure, drain, GC
+//!
+//! The server is *crash-only*: it assumes it can die at any instant, so
+//! the extra machinery here only bounds resources, never adds state that
+//! must survive. Every claimed cell holds a lease (a deadline on the
+//! injected [`pgss_obs::Clock`]); a watchdog thread reaps overdue cells
+//! into the failure ledger as [`pgss::campaign::CellError::DeadlineExceeded`]
+//! (retrying first, like any other cell error) and remembers the reap so
+//! a zombie worker's late result is discarded — a wedged worker costs one
+//! pool slot until release, never correctness. Connections get read
+//! deadlines, a line-length cap, and a connection cap; saturation answers
+//! are typed `busy` rejections carrying `retry_after_ms`, never parked
+//! threads. The `drain` verb stops admission and claiming, lets in-flight
+//! work finish or get reaped, then exits 0 — pending cells stay durable
+//! for the next run. The `gc` verb mark-and-sweeps the store under the
+//! scheduler lock (the `handle_gc` docs spell out the liveness roots).
 
 // A server embeds the fault-isolating campaign path; an unwrap here
 // would turn one bad record or request into a dead daemon.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use pgss::campaign::{annotate_cell_frame, run_cell, CellResult};
+use pgss::campaign::{annotate_cell_frame, run_cell, CellError, CellResult};
 use pgss::wire::{self, WireFailure};
 use pgss::{CheckpointLadder, LadderSpec, RetryPolicy, SimContext, Track};
 use pgss_ckpt::{index_key, job_key, JobRecordKind, RecordError, Store};
-use pgss_obs::{json_string, scope_line, MetricsFrame, MetricsRecorder, Recorder};
+use pgss_obs::{
+    json_string, scope_line, Clock, MetricsFrame, MetricsRecorder, MonotonicClock, Recorder,
+};
 
 use crate::json::{self, Value};
 use crate::record::{IndexRecord, JobPhase, SpecRecord, StatusRecord};
@@ -99,6 +118,29 @@ pub struct ServeConfig {
     pub default_quota: TenantQuota,
     /// Per-tenant quota overrides.
     pub quotas: BTreeMap<String, TenantQuota>,
+    /// Lease deadline for in-flight cells, in nanoseconds of `clock`.
+    /// A cell that overruns it is reaped into the failure ledger as
+    /// [`pgss::campaign::CellError::DeadlineExceeded`] (after the usual
+    /// retries) and its worker's eventual result is discarded. `None`
+    /// disables supervision. The default (one hour) is a generous
+    /// stuck-worker tripwire, not a performance bound.
+    pub lease_deadline_ns: Option<u64>,
+    /// The clock leases are measured on. Tests inject
+    /// [`pgss_obs::ManualClock`] so deadline scenarios replay
+    /// byte-identically; production uses the monotonic default.
+    pub clock: Arc<dyn Clock>,
+    /// Longest accepted request line in bytes; longer lines get a typed
+    /// error and the connection is closed (slow-loris / garbage guard).
+    pub max_line_bytes: usize,
+    /// Per-connection read deadline. A connection idle past it is closed
+    /// with a typed error. `None` waits forever (trusted-client mode).
+    pub read_timeout: Option<Duration>,
+    /// Concurrent connections (and hence in-flight requests — the
+    /// protocol is one request at a time per connection) the server
+    /// accepts before answering `busy` with a retry hint.
+    pub max_conns: usize,
+    /// The `retry_after_ms` hint attached to backpressure rejections.
+    pub retry_after_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +150,12 @@ impl Default for ServeConfig {
             retry: RetryPolicy::default(),
             default_quota: TenantQuota::default(),
             quotas: BTreeMap::new(),
+            lease_deadline_ns: Some(3_600_000_000_000),
+            clock: Arc::new(MonotonicClock::default()),
+            max_line_bytes: 1 << 20,
+            read_timeout: Some(Duration::from_secs(300)),
+            max_conns: 256,
+            retry_after_ms: 250,
         }
     }
 }
@@ -167,6 +215,16 @@ impl Stream {
             #[cfg(unix)]
             Stream::Unix(s) => Stream::Unix(s.try_clone()?),
         })
+    }
+
+    /// Applies a read deadline to the underlying socket; reads past it
+    /// fail with `WouldBlock`/`TimedOut` instead of blocking forever.
+    pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(dur),
+        }
     }
 }
 
@@ -254,6 +312,11 @@ struct JobState {
     groups: Vec<LadderState>,
     watchers: Vec<mpsc::Sender<WatchMsg>>,
     started: Option<Instant>,
+    /// Lease expiry (clock ns) per in-flight cell, when supervision is on.
+    leases: BTreeMap<usize, u64>,
+    /// Cells the watchdog reaped whose worker has not returned yet; the
+    /// late result is discarded when it does.
+    reaped: BTreeSet<usize>,
 }
 
 impl JobState {
@@ -280,6 +343,11 @@ struct Inner {
     state: Mutex<State>,
     work: Condvar,
     shutdown: AtomicBool,
+    /// Drain mode: stop admitting submits and claiming cells; the
+    /// watchdog initiates shutdown once in-flight work is gone.
+    draining: AtomicBool,
+    /// Live connection count, for the connection cap.
+    conns: AtomicUsize,
     addr: OnceLock<BoundAddr>,
 }
 
@@ -383,6 +451,11 @@ impl Inner {
     }
 
     fn find_work(&self, st: &mut State) -> Option<WorkItem> {
+        if self.draining.load(Ordering::SeqCst) {
+            // Draining: nothing new is claimed; pending cells stay
+            // durable for the next server run.
+            return None;
+        }
         let n = st.order.len();
         for k in 0..n {
             let idx = (st.rr + k) % n;
@@ -412,6 +485,11 @@ impl Inner {
                     continue;
                 };
                 job.inflight += 1;
+                if let Some(deadline) = self.cfg.lease_deadline_ns {
+                    job.leases
+                        .insert(cell, self.cfg.clock.now_ns().saturating_add(deadline));
+                    self.rec.add("serve.lease.granted", 1);
+                }
                 if job.phase == JobPhase::Queued {
                     job.phase = JobPhase::Running;
                     if job.started.is_none() {
@@ -592,6 +670,14 @@ impl Inner {
         let Some(job) = st.jobs.get_mut(&id) else {
             return;
         };
+        job.leases.remove(&cell);
+        if job.reaped.remove(&cell) {
+            // The watchdog already settled this cell (failure or retry)
+            // and freed its slot; this zombie's late result — computed
+            // before the cell record would be written — is discarded.
+            self.rec.add("serve.lease.late_result", 1);
+            return;
+        }
         job.inflight -= 1;
         if job.cancelled {
             // Result discarded; the worker is free again.
@@ -656,6 +742,115 @@ impl Inner {
         }
     }
 
+    /// Settles every cell whose lease has expired on the injected clock:
+    /// frees its scheduler slot, marks it reaped (so the zombie worker's
+    /// late result is discarded), and runs the standard retry/failure
+    /// logic with [`CellError::DeadlineExceeded`]. Determinism comes from
+    /// the clock and the cell identity, not from when this happens to be
+    /// polled.
+    fn reap_overdue(&self) {
+        let Some(deadline_ns) = self.cfg.lease_deadline_ns else {
+            return;
+        };
+        let now = self.cfg.clock.now_ns();
+        let mut st = self.lock();
+        let overdue: Vec<(u64, usize)> = st
+            .jobs
+            .iter()
+            .flat_map(|(&id, j)| {
+                j.leases
+                    .iter()
+                    .filter(|&(_, &expiry)| expiry <= now)
+                    .map(|(&cell, _)| (id, cell))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        if overdue.is_empty() {
+            return;
+        }
+        for (id, cell) in overdue {
+            let Some(mat) = st.jobs.get(&id).and_then(|j| j.mat.clone()) else {
+                continue;
+            };
+            let Some(job) = st.jobs.get_mut(&id) else {
+                continue;
+            };
+            if job.leases.remove(&cell).is_none() {
+                continue; // the worker finished while we walked the list
+            }
+            job.reaped.insert(cell);
+            job.inflight -= 1;
+            self.rec.add("serve.lease.reaped", 1);
+            if job.cancelled {
+                if job.inflight == 0 && !job.phase.is_terminal() {
+                    self.finish_cancel(id, job);
+                }
+                continue;
+            }
+            let attempts_entry = job.attempts.entry(cell).or_insert(0);
+            *attempts_entry += 1;
+            let attempts = *attempts_entry;
+            if attempts < self.cfg.retry.max_attempts {
+                job.retries += 1;
+                job.pending.push_back(cell);
+                self.rec.add("serve.cells.retried", 1);
+            } else {
+                job.attempts.remove(&cell);
+                let desc = cell_job(&mat, cell);
+                job.failures.push(WireFailure {
+                    job_index: cell,
+                    workload: desc.workload.name().to_string(),
+                    technique: desc.technique.name(),
+                    attempts,
+                    error: CellError::DeadlineExceeded { deadline_ns }.to_string(),
+                });
+                self.rec.add("serve.cells.failed", 1);
+                let snapshot = &st.jobs[&id];
+                self.write_status(id, snapshot);
+                let Some(job) = st.jobs.get_mut(&id) else {
+                    continue;
+                };
+                if job.settled() {
+                    self.complete_job(id, job);
+                }
+            }
+        }
+        drop(st);
+        // Requeued retries (and freed quota slots) need workers.
+        self.work.notify_all();
+    }
+
+    /// True when no worker holds a cell or ladder build — the drain
+    /// completion condition.
+    fn drained(&self) -> bool {
+        let st = self.lock();
+        st.jobs.values().all(|j| {
+            j.inflight == 0 && !j.groups.iter().any(|g| matches!(g, LadderState::Building))
+        })
+    }
+
+    /// The supervision thread: polls wall time at a short cadence but
+    /// evaluates lease expiry against the *injected* clock, so tests
+    /// drive deadlines with [`pgss_obs::ManualClock`] and production gets
+    /// monotonic time — the poll cadence affects latency, never outcome.
+    /// Doubles as the drain monitor: once draining and idle, it flips the
+    /// server into shutdown so `Server::wait` returns and the process can
+    /// exit 0.
+    fn watchdog_loop(&self) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            self.reap_overdue();
+            if self.draining.load(Ordering::SeqCst) && self.drained() {
+                self.rec.add("serve.drain.completed", 1);
+                self.initiate_shutdown();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
     fn initiate_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
@@ -698,7 +893,7 @@ impl Server {
         listen: Listen,
         cfg: ServeConfig,
     ) -> io::Result<Server> {
-        let rec = Arc::new(MetricsRecorder::new());
+        let rec = Arc::new(MetricsRecorder::with_clock(Arc::clone(&cfg.clock)));
         let store = Store::open(store_dir)?.with_recorder(Arc::clone(&rec) as Arc<dyn Recorder>);
         let inner = Arc::new(Inner {
             store,
@@ -712,6 +907,8 @@ impl Server {
             }),
             work: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
             addr: OnceLock::new(),
         });
         resume_jobs(&inner);
@@ -741,6 +938,10 @@ impl Server {
         for _ in 0..inner.cfg.workers.max(1) {
             let inner = Arc::clone(&inner);
             threads.push(std::thread::spawn(move || inner.worker_loop()));
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(std::thread::spawn(move || inner.watchdog_loop()));
         }
         {
             let inner = Arc::clone(&inner);
@@ -884,6 +1085,8 @@ fn resume_jobs(inner: &Arc<Inner>) {
             groups: Vec::new(),
             watchers: Vec::new(),
             started: None,
+            leases: BTreeMap::new(),
+            reaped: BTreeSet::new(),
         };
         if let Some(mat) = &job.mat {
             job.groups = (0..group_count(mat))
@@ -942,26 +1145,155 @@ fn err_line(message: &str) -> String {
     out
 }
 
+/// A backpressure rejection: an error line carrying a `retry_after_ms`
+/// hint, which [`crate::Client`] surfaces as `ClientError::Busy`.
+fn busy_line(message: &str, retry_after_ms: u64) -> String {
+    let mut out = String::from("{\"ok\":false,\"error\":");
+    json_string(&mut out, message);
+    out.push_str(",\"retry_after_ms\":");
+    out.push_str(&retry_after_ms.to_string());
+    out.push('}');
+    out
+}
+
 fn write_line(w: &mut Stream, line: &str) -> io::Result<()> {
     w.write_all(line.as_bytes())?;
     w.write_all(b"\n")?;
     w.flush()
 }
 
+/// Outcome of one bounded, deadline-guarded request-line read.
+enum ReadLine {
+    Line(String),
+    Eof,
+    TooLong,
+    BadUtf8,
+    TimedOut,
+    Io,
+}
+
+/// Reads one newline-terminated request line without ever buffering more
+/// than `max` bytes — the replacement for `BufReader::lines()`, whose
+/// unbounded buffer is exactly what a slow-loris or garbage peer abuses.
+fn read_request_line(reader: &mut BufReader<Stream>, max: usize) -> ReadLine {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return ReadLine::TimedOut
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return ReadLine::Io,
+        };
+        if chunk.is_empty() {
+            if buf.is_empty() {
+                return ReadLine::Eof;
+            }
+            break; // EOF after a final unterminated line: serve it
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > max {
+                    return ReadLine::TooLong;
+                }
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                let n = chunk.len();
+                if buf.len() + n > max {
+                    return ReadLine::TooLong;
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(n);
+            }
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => ReadLine::Line(line),
+        Err(_) => ReadLine::BadUtf8,
+    }
+}
+
+/// Decrements the live-connection count however the handler exits.
+struct ConnGuard<'a>(&'a Inner);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn handle_conn(inner: &Arc<Inner>, stream: Stream) {
-    let Ok(read_half) = stream.try_clone() else {
+    let active = inner.conns.fetch_add(1, Ordering::SeqCst) + 1;
+    let _guard = ConnGuard(inner);
+    let mut writer = stream;
+    if active > inner.cfg.max_conns {
+        // Connection-level backpressure: a typed busy answer and a clean
+        // close, never an unbounded pile of parked handler threads.
+        inner.rec.add("serve.backpressure.conn_rejected", 1);
+        let _ = write_line(
+            &mut writer,
+            &busy_line(
+                &format!("server is at its connection cap ({})", inner.cfg.max_conns),
+                inner.cfg.retry_after_ms,
+            ),
+        );
+        return;
+    }
+    if writer.set_read_timeout(inner.cfg.read_timeout).is_err() {
+        return;
+    }
+    let Ok(read_half) = writer.try_clone() else {
         return;
     };
-    let mut writer = stream;
-    let reader = BufReader::new(read_half);
-    for line in reader.lines() {
-        let Ok(line) = line else { return };
-        if line.trim().is_empty() {
-            continue;
-        }
-        match dispatch(inner, &line, &mut writer) {
-            Ok(true) => {}
-            _ => return,
+    let mut reader = BufReader::new(read_half);
+    loop {
+        match read_request_line(&mut reader, inner.cfg.max_line_bytes) {
+            ReadLine::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match dispatch(inner, &line, &mut writer) {
+                    Ok(true) => {}
+                    _ => return,
+                }
+            }
+            ReadLine::Eof | ReadLine::Io => return,
+            ReadLine::TooLong => {
+                inner.rec.add("serve.protocol.oversized", 1);
+                let _ = write_line(
+                    &mut writer,
+                    &err_line(&format!(
+                        "request line exceeds {} bytes",
+                        inner.cfg.max_line_bytes
+                    )),
+                );
+                return;
+            }
+            ReadLine::BadUtf8 => {
+                inner.rec.add("serve.protocol.malformed", 1);
+                let _ = write_line(&mut writer, &err_line("request line is not valid UTF-8"));
+                return;
+            }
+            ReadLine::TimedOut => {
+                inner.rec.add("serve.conns.timed_out", 1);
+                let _ = write_line(
+                    &mut writer,
+                    &err_line("read deadline exceeded; closing idle connection"),
+                );
+                return;
+            }
         }
     }
 }
@@ -1008,6 +1340,26 @@ fn dispatch(inner: &Arc<Inner>, line: &str, w: &mut Stream) -> io::Result<bool> 
             write_line(w, &line)?;
         }
         "watch" => return handle_watch(inner, &req, w).map(|()| true),
+        "drain" => {
+            // Graceful drain: stop admitting and claiming, answer with
+            // what is still in flight, and let the watchdog turn "idle"
+            // into a clean exit. Idempotent.
+            inner.rec.add("serve.drain.requested", 1);
+            inner.draining.store(true, Ordering::SeqCst);
+            inner.work.notify_all();
+            let inflight: usize = {
+                let st = inner.lock();
+                st.jobs.values().map(|j| j.inflight).sum()
+            };
+            write_line(
+                w,
+                &ok_line(&format!("\"draining\":true,\"inflight\":{inflight}")),
+            )?;
+        }
+        "gc" => {
+            let resp = handle_gc(inner);
+            write_line(w, &resp)?;
+        }
         "shutdown" => {
             write_line(w, &ok_line("\"stopping\":true"))?;
             inner.initiate_shutdown();
@@ -1031,6 +1383,10 @@ fn job_from_req<'a>(req: &Value, st: &'a mut State) -> Result<(u64, &'a mut JobS
 }
 
 fn handle_submit(inner: &Arc<Inner>, req: &Value) -> String {
+    if inner.draining.load(Ordering::SeqCst) {
+        inner.rec.add("serve.jobs.rejected", 1);
+        return err_line("server is draining; new jobs are not admitted");
+    }
     let tenant = req
         .get("tenant")
         .and_then(Value::as_str)
@@ -1058,10 +1414,14 @@ fn handle_submit(inner: &Arc<Inner>, req: &Value) -> String {
     if inner.active_jobs(&st, &tenant) >= quota.max_queued_jobs {
         drop(st);
         inner.rec.add("serve.jobs.rejected", 1);
-        return err_line(&format!(
-            "tenant {tenant:?} is at its queued-job quota ({})",
-            quota.max_queued_jobs
-        ));
+        inner.rec.add("serve.backpressure.rejections", 1);
+        return busy_line(
+            &format!(
+                "tenant {tenant:?} is at its queued-job quota ({})",
+                quota.max_queued_jobs
+            ),
+            inner.cfg.retry_after_ms,
+        );
     }
     let seq = st.next_seq;
     st.next_seq += 1;
@@ -1091,6 +1451,8 @@ fn handle_submit(inner: &Arc<Inner>, req: &Value) -> String {
             .collect(),
         watchers: Vec::new(),
         started: None,
+        leases: BTreeMap::new(),
+        reaped: BTreeSet::new(),
     };
     // Durable order matters: spec and status first, then the index that
     // names them — a crash between writes leaves an unnamed record, not
@@ -1167,6 +1529,71 @@ fn handle_cancel(inner: &Arc<Inner>, req: &Value) -> String {
     drop(st);
     inner.work.notify_all();
     resp
+}
+
+/// Mark-and-sweep over the server's store, answering the `gc` verb.
+///
+/// Marking and sweeping both happen under the scheduler lock: every
+/// job-record write (cell, spec, status, index) happens under the same
+/// lock, so no live record can land mid-sweep. The live roots are:
+///
+/// - the job index, plus every indexed job's spec and status records;
+/// - **all** cell records `0..total` of every job, finished or not —
+///   unfinished jobs never lose what they already computed;
+/// - every ladder record ([`CheckpointLadder::live_keys`]: meta plus the
+///   rungs the meta declares) of every job's workload × config grid.
+///
+/// A ladder *capture*'s write-back runs outside the scheduler lock
+/// (rungs land before their meta record), so GC defers with a `busy`
+/// answer while any build is in flight — builds are claimed under the
+/// lock, so none can start mid-sweep either. Quarantined evidence is
+/// structurally out of reach ([`Store::gc`] never enters the sidecar).
+/// Records of jobs orphaned by a quarantined index are unreachable by
+/// resume and therefore legitimately collectable.
+fn handle_gc(inner: &Arc<Inner>) -> String {
+    let st = inner.lock();
+    let building = st
+        .jobs
+        .values()
+        .any(|j| j.groups.iter().any(|g| matches!(g, LadderState::Building)));
+    if building {
+        inner.rec.add("serve.backpressure.rejections", 1);
+        return busy_line(
+            "gc deferred: a checkpoint-ladder build is in flight",
+            inner.cfg.retry_after_ms,
+        );
+    }
+    let mut live: BTreeSet<u64> = BTreeSet::new();
+    live.insert(index_key());
+    for (&id, job) in &st.jobs {
+        live.insert(job_key(JobRecordKind::Spec, id, 0));
+        live.insert(job_key(JobRecordKind::Status, id, 0));
+        for i in 0..job.total {
+            live.insert(job_key(JobRecordKind::Cell, id, i as u64));
+        }
+        if let Some(mat) = &job.mat {
+            let spec = ladder_spec(mat);
+            for workload in &mat.workloads {
+                for config in &mat.configs {
+                    live.extend(CheckpointLadder::live_keys(
+                        &inner.store,
+                        workload,
+                        config,
+                        &spec,
+                    ));
+                }
+            }
+        }
+    }
+    let report = inner.store.gc(|key| live.contains(&key));
+    drop(st);
+    match report {
+        Ok(r) => ok_line(&format!(
+            "\"kind\":\"gc\",\"checked\":{},\"live\":{},\"swept\":{},\"bytes_freed\":{}",
+            r.checked, r.live, r.swept, r.bytes_freed
+        )),
+        Err(e) => err_line(&format!("gc failed: {e}")),
+    }
 }
 
 /// Re-assembles a terminal job's canonical campaign artifact from its

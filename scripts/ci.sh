@@ -37,6 +37,15 @@ echo "== campaign server (pgss-serve: SIGKILL resume, quotas, byte-identical rep
 timeout 1800 cargo test --release -p pgss-serve -q
 timeout 1800 cargo test --release --test serve_resilience --test serve_equivalence -q
 
+echo "== wire-protocol fuzz (byte soup, truncated frames, deep nesting, slow loris)"
+timeout 900 cargo test --release --test serve_protocol_fuzz -q
+
+echo "== chaos suite (leases, drain, disk budget, torn writes, kill -9 mid-GC)"
+timeout 1800 cargo test --release --features fault-inject --test serve_chaos -q
+
+echo "== store-GC smoke (quarantine survives a sweep; budget frees after gc)"
+timeout 600 cargo test --release -p pgss-ckpt -q -- gc_ budget_
+
 echo "== pgss-stats property tests (merge algebra behind the metrics layer)"
 cargo test --release -p pgss-stats --test properties -q
 

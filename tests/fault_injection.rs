@@ -290,6 +290,7 @@ fn combined_panic_and_store_faults_in_one_campaign() {
             corrupt_gets: vec![1],
             ..StoreFaultPlan::default()
         },
+        ..FaultPlan::default()
     });
     let report = campaign::run_checkpointed(&jobs, 50_000, Some(&store)).unwrap();
     assert!(report.is_complete(), "{}", report.ledger());

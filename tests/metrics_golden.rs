@@ -133,6 +133,7 @@ fn serve_scope_schema_is_pinned() {
             "serve.cells.streamed",
             "serve.jobs.completed",
             "serve.jobs.submitted",
+            "serve.lease.granted",
         ],
         "pinned serve counter vocabulary changed: {line}"
     );

@@ -211,11 +211,17 @@ fn quotas_gate_concurrency_and_reject_over_queueing() {
         .unwrap()
         .submit("gated", TINY_SPEC)
         .unwrap();
-    // A second active job would exceed the tenant's queue quota.
+    // A second active job would exceed the tenant's queue quota. The
+    // rejection is typed busy (it carries the server's retry hint), not
+    // a terminal error.
     let err = Client::connect(&addr).unwrap().submit("gated", TINY_SPEC);
     assert!(
-        matches!(&err, Err(ClientError::Server(m)) if m.contains("quota")),
-        "expected a quota rejection, got {err:?}"
+        matches!(
+            &err,
+            Err(ClientError::Busy { message, retry_after_ms })
+                if message.contains("quota") && *retry_after_ms > 0
+        ),
+        "expected a typed busy rejection, got {err:?}"
     );
 
     // An unconstrained tenant runs to completion on the same workers —
